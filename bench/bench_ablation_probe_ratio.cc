@@ -1,0 +1,47 @@
+// Ablation (beyond the paper's figures): Sparrow probe ratio sweep.
+//
+// The paper fixes the probe ratio at 2 "because the authors of Sparrow have
+// found two to be the best probe ratio" and notes that more probes are
+// counterproductive due to messaging overhead. This ablation verifies the
+// choice inside our simulator: absolute Sparrow percentiles and message
+// counts per probe ratio, plus Hawk (which probes short jobs only) under the
+// same ratios.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/metrics/report.h"
+#include "src/scheduler/experiment.h"
+
+int main(int argc, char** argv) {
+  hawk::Flags flags(argc, argv);
+  const uint32_t jobs = hawk::bench::ScaledJobs(flags, 3000);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const uint32_t workers =
+      static_cast<uint32_t>(flags.GetInt("workers", hawk::bench::SimSize(15000)));
+  const std::vector<int64_t> ratios = flags.GetIntList("ratios", {1, 2, 3, 4});
+
+  const hawk::Trace trace = hawk::bench::GoogleSweepTrace(
+      jobs, seed, hawk::bench::SimSize(10000), workers, flags.GetDouble("util", 0.93));
+
+  hawk::bench::PrintHeader("Ablation: probe ratio (Google trace, 15k-equivalent nodes)");
+  hawk::Table table({"scheduler", "ratio", "p50 short (s)", "p90 short (s)", "p50 long (s)",
+                     "probes placed"});
+  for (const auto kind : {hawk::SchedulerKind::kSparrow, hawk::SchedulerKind::kHawk}) {
+    for (const int64_t ratio : ratios) {
+      hawk::HawkConfig config = hawk::bench::GoogleConfig(workers, seed);
+      config.probe_ratio = static_cast<uint32_t>(ratio);
+      const hawk::RunResult run = hawk::RunScheduler(trace, config, kind);
+      const hawk::Samples shorts = run.RuntimesSeconds(false);
+      const hawk::Samples longs = run.RuntimesSeconds(true);
+      table.AddRow({std::string(hawk::SchedulerKindName(kind)), std::to_string(ratio),
+                    hawk::Table::Num(shorts.Percentile(50), 1),
+                    hawk::Table::Num(shorts.Percentile(90), 1),
+                    hawk::Table::Num(longs.Percentile(50), 1),
+                    std::to_string(run.counters.probes_placed)});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figures 10 & 11 (§4.6): Hawk normalized to a split cluster — disjoint long
+// (83%, centralized) and short (17%, distributed) partitions, no stealing,
+// no shared general partition. Google trace, cluster-size sweep.
+//
+// Paper observations: Hawk fares significantly better for short jobs (the
+// split cluster's short partition cannot use idle general capacity and shows
+// "extreme degradation" at intermediate sizes), while the split cluster is
+// slightly better for long jobs (no short tasks in its long partition).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/metrics/comparison.h"
+#include "src/metrics/report.h"
+#include "src/scheduler/experiment.h"
+
+int main(int argc, char** argv) {
+  hawk::Flags flags(argc, argv);
+  const uint32_t jobs = hawk::bench::ScaledJobs(flags, 3000);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const std::vector<int64_t> paper_sizes =
+      flags.GetIntList("paper-sizes", {10000, 15000, 20000, 25000, 30000, 35000, 40000, 45000,
+                                       50000});
+
+  const hawk::Trace trace = hawk::bench::GoogleSweepTrace(
+      jobs, seed, hawk::bench::SimSize(static_cast<uint32_t>(paper_sizes.front())),
+      hawk::bench::SimSize(static_cast<uint32_t>(paper_sizes[1])),
+      flags.GetDouble("util", 0.93));
+
+  hawk::bench::PrintHeader("Figures 10-11: Hawk normalized to split cluster (Google trace, " +
+                           std::to_string(jobs) + " jobs; 17%/83% split)");
+  hawk::Table fig10({"nodes(paper)", "p50 short", "p90 short"});
+  hawk::Table fig11({"nodes(paper)", "p50 long", "p90 long"});
+  for (const int64_t paper_size : paper_sizes) {
+    const uint32_t workers = hawk::bench::SimSize(static_cast<uint32_t>(paper_size));
+    const hawk::HawkConfig config = hawk::bench::GoogleConfig(workers, seed);
+    const hawk::RunResult hawk_run =
+        hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
+    const hawk::RunResult split_run =
+        hawk::RunScheduler(trace, config, hawk::SchedulerKind::kSplit);
+    const hawk::RunComparison cmp = hawk::CompareRuns(hawk_run, split_run);
+    fig10.AddRow({std::to_string(paper_size), hawk::Table::Num(cmp.short_jobs.p50_ratio),
+                  hawk::Table::Num(cmp.short_jobs.p90_ratio)});
+    fig11.AddRow({std::to_string(paper_size), hawk::Table::Num(cmp.long_jobs.p50_ratio),
+                  hawk::Table::Num(cmp.long_jobs.p90_ratio)});
+  }
+  std::printf("\nFigure 10: short jobs (Hawk much better at intermediate sizes)\n");
+  fig10.Print();
+  std::printf("\nFigure 11: long jobs (split slightly better => ratios slightly > 1)\n");
+  fig11.Print();
+  return 0;
+}

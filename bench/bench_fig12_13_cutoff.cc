@@ -1,0 +1,61 @@
+// Figures 12 & 13 (§4.7): sensitivity to the long/short cutoff threshold.
+// Hawk normalized to Sparrow on the Google trace at 15k-equivalent nodes,
+// with the cutoff swept over {750, 1000, 1129, 1300, 1500, 2000} seconds.
+//
+// Paper observations: Hawk yields benefits over the whole range. Smaller
+// cutoffs classify more jobs as long, loading the general partition and
+// affecting the long p90; larger cutoffs classify more jobs as short,
+// leaving the short partition underloaded with more stealing opportunity.
+// Both runs of each pair use the cutoff-consistent job classes for metrics.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/metrics/comparison.h"
+#include "src/metrics/report.h"
+#include "src/scheduler/experiment.h"
+
+int main(int argc, char** argv) {
+  hawk::Flags flags(argc, argv);
+  const uint32_t jobs = hawk::bench::ScaledJobs(flags, 3000);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const uint32_t workers =
+      static_cast<uint32_t>(flags.GetInt("workers", hawk::bench::SimSize(15000)));
+  const std::vector<int64_t> cutoffs =
+      flags.GetIntList("cutoffs", {750, 1000, 1129, 1300, 1500, 2000});
+
+  const hawk::Trace trace = hawk::bench::GoogleSweepTrace(
+      jobs, seed, hawk::bench::SimSize(10000), workers, flags.GetDouble("util", 0.93));
+
+  hawk::bench::PrintHeader(
+      "Figures 12-13: cutoff sensitivity, Hawk normalized to Sparrow (Google trace, "
+      "15k-equivalent nodes, " +
+      std::to_string(jobs) + " jobs)");
+  hawk::Table fig12({"cutoff (s)", "% jobs long", "p50 long", "p90 long"});
+  hawk::Table fig13({"cutoff (s)", "p50 short", "p90 short"});
+  for (const int64_t cutoff_s : cutoffs) {
+    hawk::HawkConfig config = hawk::bench::GoogleConfig(workers, seed);
+    config.cutoff_us = hawk::SecondsToUs(static_cast<double>(cutoff_s));
+    const hawk::RunResult hawk_run =
+        hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
+    // Sparrow schedules all jobs identically; the cutoff only affects which
+    // jobs are *reported* as long vs short, so it is applied to both runs.
+    const hawk::RunResult sparrow_run =
+        hawk::RunScheduler(trace, config, hawk::SchedulerKind::kSparrow);
+    const hawk::RunComparison cmp = hawk::CompareRuns(hawk_run, sparrow_run);
+    const double pct_long =
+        100.0 * static_cast<double>(cmp.long_jobs.jobs) /
+        static_cast<double>(cmp.long_jobs.jobs + cmp.short_jobs.jobs);
+    fig12.AddRow({std::to_string(cutoff_s), hawk::Table::Num(pct_long, 1),
+                  hawk::Table::Num(cmp.long_jobs.p50_ratio),
+                  hawk::Table::Num(cmp.long_jobs.p90_ratio)});
+    fig13.AddRow({std::to_string(cutoff_s), hawk::Table::Num(cmp.short_jobs.p50_ratio),
+                  hawk::Table::Num(cmp.short_jobs.p90_ratio)});
+  }
+  std::printf("\nFigure 12: long jobs\n");
+  fig12.Print();
+  std::printf("\nFigure 13: short jobs\n");
+  fig13.Print();
+  return 0;
+}

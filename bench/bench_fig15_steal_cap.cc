@@ -1,0 +1,53 @@
+// Figure 15 (§4.9): sensitivity to the number of stealing attempts. Hawk
+// with the per-idle-transition victim cap swept over 1..250, normalized to
+// Hawk with cap 1, short jobs, Google trace at 15k-equivalent nodes.
+//
+// Paper observation: performance increases with the cap, but even a low
+// value (10) gives a significant benefit.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/metrics/comparison.h"
+#include "src/metrics/report.h"
+#include "src/scheduler/experiment.h"
+
+int main(int argc, char** argv) {
+  hawk::Flags flags(argc, argv);
+  const uint32_t jobs = hawk::bench::ScaledJobs(flags, 3000);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const uint32_t workers =
+      static_cast<uint32_t>(flags.GetInt("workers", hawk::bench::SimSize(15000)));
+  const std::vector<int64_t> caps =
+      flags.GetIntList("caps", {1, 2, 3, 4, 5, 10, 15, 20, 25, 50, 75, 100, 250});
+
+  const hawk::Trace trace = hawk::bench::GoogleSweepTrace(
+      jobs, seed, hawk::bench::SimSize(10000), workers, flags.GetDouble("util", 0.93));
+
+  hawk::bench::PrintHeader(
+      "Figure 15: stealing-attempt cap, short jobs, normalized to cap=1 (Google trace, "
+      "15k-equivalent nodes, " +
+      std::to_string(jobs) + " jobs)");
+
+  hawk::HawkConfig config = hawk::bench::GoogleConfig(workers, seed);
+  config.steal_cap = 1;
+  const hawk::RunResult cap1 = hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
+
+  hawk::Table table({"cap", "p50 short", "p90 short", "steal success rate"});
+  for (const int64_t cap : caps) {
+    config.steal_cap = static_cast<uint32_t>(cap);
+    const hawk::RunResult run = hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
+    const hawk::RunComparison cmp = hawk::CompareRuns(run, cap1);
+    const double success_rate =
+        run.counters.steal_attempts > 0
+            ? static_cast<double>(run.counters.steal_successes) /
+                  static_cast<double>(run.counters.steal_attempts)
+            : 0.0;
+    table.AddRow({std::to_string(cap), hawk::Table::Num(cmp.short_jobs.p50_ratio),
+                  hawk::Table::Num(cmp.short_jobs.p90_ratio),
+                  hawk::Table::Pct(success_rate)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Figures 16 & 17 (§4.10): prototype implementation vs simulation.
+//
+// The paper runs a 3300-job sample of the Google trace on a 100-node cluster
+// (1 centralized + 10 distributed schedulers), with task durations scaled
+// down 1000x into sleep tasks and tasks-per-job capped by the cluster-size
+// ratio, then varies load through the mean job inter-arrival time as a
+// multiple of the mean task runtime (1 .. 2.25). Hawk is normalized to
+// Sparrow at the 50th/90th percentile for short (Fig 16) and long (Fig 17)
+// jobs, with the corresponding simulation results alongside.
+//
+// Here the prototype is the in-process threaded runtime (real node-monitor
+// threads, sleep tasks, RPC bus with 0.5 ms latency); the simulation runs the
+// exact same scaled trace. Defaults are sized for ~a minute of wall time;
+// --jobs / --work-seconds scale it up toward the paper's setup.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/metrics/comparison.h"
+#include "src/metrics/report.h"
+#include "src/runtime/prototype_cluster.h"
+#include "src/scheduler/experiment.h"
+
+int main(int argc, char** argv) {
+  hawk::Flags flags(argc, argv);
+  const uint32_t jobs = hawk::bench::ScaledJobs(flags, 120);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 5));
+  const uint32_t nodes = static_cast<uint32_t>(flags.GetInt("nodes", 100));
+  // Total task-work in the scaled trace, in wall-clock seconds; governs how
+  // long the prototype runs (the paper's 1000x scaling is the same idea).
+  const double work_seconds = flags.GetDouble("work-seconds", 60.0);
+
+  // Google sample, capped for 2t probes on `nodes` workers (§4.1's scaling
+  // rule), then time-scaled so the total work matches `work_seconds`.
+  hawk::GoogleTraceParams params;
+  params.num_jobs = jobs;
+  params.seed = seed;
+  hawk::Trace base = hawk::CapTasksPreserveWork(hawk::GenerateGoogleTrace(params), nodes / 2);
+  const double factor =
+      work_seconds * 1e6 / static_cast<double>(base.TotalWorkUs());
+  base = hawk::RescaleTime(base, factor);
+
+  const double mean_job_work_us =
+      static_cast<double>(base.TotalWorkUs()) / static_cast<double>(base.NumJobs());
+  // Calibrate so that ratio 1.0 offers ~95% utilization, declining as the
+  // inter-arrival multiple grows (the paper's load sweep direction).
+  const double base_interarrival_us = mean_job_work_us / (0.95 * nodes);
+
+  const std::vector<double> ratios = {1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.25};
+
+  hawk::bench::PrintHeader(
+      "Figures 16-17: implementation vs simulation, Hawk normalized to Sparrow (" +
+      std::to_string(jobs) + "-job Google sample, " + std::to_string(nodes) +
+      " node monitors, 10 distributed + 1 centralized schedulers)");
+
+  hawk::Table fig16({"interarrival/runtime", "impl p50 short", "impl p90 short",
+                     "sim p50 short", "sim p90 short", "sparrow med util"});
+  hawk::Table fig17({"interarrival/runtime", "impl p50 long", "impl p90 long", "sim p50 long",
+                     "sim p90 long", "sparrow med util"});
+
+  for (const double ratio : ratios) {
+    hawk::Trace trace = base;
+    hawk::Rng arrivals_rng(seed ^ 0xBEEF);
+    hawk::AssignPoissonArrivals(
+        &trace, static_cast<hawk::DurationUs>(base_interarrival_us * ratio), &arrivals_rng);
+
+    // Sampling resolution: ~60 utilization snapshots over the submission
+    // span (the simulator's "every 100 s" scaled to this trace's time base).
+    const hawk::DurationUs sample_period_us =
+        std::max<hawk::DurationUs>(2000, trace.SpanUs() / 60);
+
+    // --- prototype runs (wall clock) ---
+    hawk::runtime::PrototypeConfig proto;
+    proto.num_nodes = nodes;
+    proto.num_frontends = 10;
+    proto.short_partition_fraction = 0.17;
+    proto.cutoff_us = 0;  // Classify by generator label, as the paper's fixed 3000/300 split.
+    proto.steal_cap = 10;
+    proto.util_sample_period = std::chrono::microseconds(sample_period_us);
+    proto.seed = seed;
+    proto.mode = hawk::runtime::PrototypeMode::kHawk;
+    const hawk::RunResult impl_hawk = hawk::runtime::RunPrototype(trace, proto);
+    proto.mode = hawk::runtime::PrototypeMode::kSparrow;
+    const hawk::RunResult impl_sparrow = hawk::runtime::RunPrototype(trace, proto);
+    const hawk::RunComparison impl = hawk::CompareRuns(impl_hawk, impl_sparrow);
+
+    // --- corresponding simulation runs on the same scaled trace ---
+    hawk::HawkConfig sim_config;
+    sim_config.num_workers = nodes;
+    sim_config.short_partition_fraction = 0.17;
+    sim_config.classify_mode = hawk::ClassifyMode::kHint;
+    sim_config.util_sample_period_us = sample_period_us;  // Same base as the prototype.
+    sim_config.seed = seed;
+    const hawk::RunResult sim_hawk =
+        hawk::RunScheduler(trace, sim_config, hawk::SchedulerKind::kHawk);
+    const hawk::RunResult sim_sparrow =
+        hawk::RunScheduler(trace, sim_config, hawk::SchedulerKind::kSparrow);
+    const hawk::RunComparison sim = hawk::CompareRuns(sim_hawk, sim_sparrow);
+
+    const std::string x = hawk::Table::Num(ratio, 2);
+    fig16.AddRow({x, hawk::Table::Num(impl.short_jobs.p50_ratio),
+                  hawk::Table::Num(impl.short_jobs.p90_ratio),
+                  hawk::Table::Num(sim.short_jobs.p50_ratio),
+                  hawk::Table::Num(sim.short_jobs.p90_ratio),
+                  hawk::Table::Pct(impl.baseline_median_util)});
+    fig17.AddRow({x, hawk::Table::Num(impl.long_jobs.p50_ratio),
+                  hawk::Table::Num(impl.long_jobs.p90_ratio),
+                  hawk::Table::Num(sim.long_jobs.p50_ratio),
+                  hawk::Table::Num(sim.long_jobs.p90_ratio),
+                  hawk::Table::Pct(impl.baseline_median_util)});
+    std::printf("  [ratio %.2f done: impl messages=%llu, steals=%llu]\n", ratio,
+                static_cast<unsigned long long>(impl_hawk.counters.events),
+                static_cast<unsigned long long>(impl_hawk.counters.entries_stolen));
+  }
+
+  std::printf("\nFigure 16: short jobs, implementation vs simulation\n");
+  fig16.Print();
+  std::printf("\nFigure 17: long jobs, implementation vs simulation\n");
+  fig17.Print();
+  return 0;
+}

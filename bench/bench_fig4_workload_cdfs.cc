@@ -1,0 +1,57 @@
+// Figure 4 (a-d): workload properties — CDFs of average task duration per job
+// and of the number of tasks per job, for long and short jobs, across the
+// four workloads.
+//
+// Paper ranges: long task durations reach ~15000 s (4a); short durations stay
+// below ~800 s (4b); long jobs reach thousands of tasks (4c); short jobs stay
+// below ~180 tasks (4d).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/metrics/report.h"
+#include "src/workload/trace_stats.h"
+
+int main(int argc, char** argv) {
+  hawk::Flags flags(argc, argv);
+  const uint32_t jobs = hawk::bench::ScaledJobs(flags, 6000);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  const size_t points = static_cast<size_t>(flags.GetInt("points", 10));
+
+  struct Entry {
+    std::string name;
+    hawk::Trace trace;
+    hawk::LongJobPredicate is_long;
+  };
+  std::vector<Entry> workloads;
+  {
+    hawk::GoogleTraceParams p;
+    p.num_jobs = jobs;
+    p.seed = seed;
+    workloads.push_back({"google", hawk::GenerateGoogleTrace(p),
+                         hawk::LongByCutoff(hawk::SecondsToUs(1129.0))});
+  }
+  workloads.push_back({"cloudera",
+                       hawk::GenerateClusterWorkload(hawk::ClouderaParams(jobs, seed)),
+                       hawk::LongByHint()});
+  workloads.push_back({"facebook",
+                       hawk::GenerateClusterWorkload(hawk::FacebookParams(jobs, seed)),
+                       hawk::LongByHint()});
+  workloads.push_back({"yahoo", hawk::GenerateClusterWorkload(hawk::YahooParams(jobs, seed)),
+                       hawk::LongByHint()});
+
+  hawk::bench::PrintHeader("Figure 4: workload properties (" + std::to_string(jobs) +
+                           " jobs per workload)");
+  for (const Entry& entry : workloads) {
+    const hawk::WorkloadCdfs cdfs = hawk::ComputeCdfs(entry.trace, entry.is_long);
+    std::printf("\n--- %s ---\n", entry.name.c_str());
+    hawk::PrintCdf("Fig 4a: avg task duration per job (s), long jobs",
+                   cdfs.long_avg_task_duration_s, points);
+    hawk::PrintCdf("Fig 4b: avg task duration per job (s), short jobs",
+                   cdfs.short_avg_task_duration_s, points);
+    hawk::PrintCdf("Fig 4c: tasks per job, long jobs", cdfs.long_tasks_per_job, points);
+    hawk::PrintCdf("Fig 4d: tasks per job, short jobs", cdfs.short_tasks_per_job, points);
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 5 (a, b, c): Hawk normalized to Sparrow on the Google trace, as a
+// function of cluster size.
+//
+// Paper series:
+//   5a: 50th/90th percentile runtime ratio, long jobs + Sparrow median util.
+//   5b: 50th/90th percentile runtime ratio, short jobs + Sparrow median util.
+//   5c: fraction of jobs Hawk improves (>=) and average runtime ratio, both
+//       classes.
+// Paper results to compare against: at high-but-not-saturated load
+// (15k-25k nodes) Hawk improves short p50 by up to 80% and p90 by up to 90%;
+// long jobs improve up to 35% (p50) / 10% (p90); under overload (10k) Hawk is
+// slightly worse for long jobs; at 40k+ both converge.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/metrics/comparison.h"
+#include "src/metrics/report.h"
+#include "src/scheduler/experiment.h"
+
+int main(int argc, char** argv) {
+  hawk::Flags flags(argc, argv);
+  const uint32_t num_jobs = hawk::bench::ScaledJobs(flags, 3000);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  // Paper sweep: 10k..50k nodes; simulated at 1/10 scale.
+  const std::vector<int64_t> paper_sizes =
+      flags.GetIntList("paper-sizes", {10000, 15000, 20000, 25000, 30000, 35000, 40000, 45000,
+                                       50000});
+  const uint32_t min_workers = hawk::bench::SimSize(static_cast<uint32_t>(paper_sizes.front()));
+  const uint32_t ref_workers = hawk::bench::SimSize(static_cast<uint32_t>(paper_sizes[1]));
+
+  const double ref_util = flags.GetDouble("util", 0.93);
+  const hawk::Trace trace =
+      hawk::bench::GoogleSweepTrace(num_jobs, seed, min_workers, ref_workers, ref_util);
+
+  hawk::bench::PrintHeader(
+      "Figure 5: Hawk normalized to Sparrow, Google trace (" + std::to_string(num_jobs) +
+      " jobs; sizes are paper-equivalent, simulated at 1/10 scale)");
+
+  hawk::Table fig5a({"nodes(paper)", "p50 long", "p90 long", "sparrow med util"});
+  hawk::Table fig5b({"nodes(paper)", "p50 short", "p90 short", "sparrow med util"});
+  hawk::Table fig5c({"nodes(paper)", "frac long improved", "avg ratio long",
+                     "frac short improved", "avg ratio short"});
+
+  for (const int64_t paper_size : paper_sizes) {
+    const uint32_t workers = hawk::bench::SimSize(static_cast<uint32_t>(paper_size));
+    hawk::HawkConfig config = hawk::bench::GoogleConfig(workers, seed);
+    const hawk::RunResult hawk_run =
+        hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
+    const hawk::RunResult sparrow_run =
+        hawk::RunScheduler(trace, config, hawk::SchedulerKind::kSparrow);
+    const hawk::RunComparison cmp = hawk::CompareRuns(hawk_run, sparrow_run);
+
+    const std::string nodes = std::to_string(paper_size);
+    fig5a.AddRow({nodes, hawk::Table::Num(cmp.long_jobs.p50_ratio),
+                  hawk::Table::Num(cmp.long_jobs.p90_ratio),
+                  hawk::Table::Pct(cmp.baseline_median_util)});
+    fig5b.AddRow({nodes, hawk::Table::Num(cmp.short_jobs.p50_ratio),
+                  hawk::Table::Num(cmp.short_jobs.p90_ratio),
+                  hawk::Table::Pct(cmp.baseline_median_util)});
+    fig5c.AddRow({nodes, hawk::Table::Pct(cmp.long_jobs.fraction_improved_or_equal),
+                  hawk::Table::Num(cmp.long_jobs.avg_ratio),
+                  hawk::Table::Pct(cmp.short_jobs.fraction_improved_or_equal),
+                  hawk::Table::Num(cmp.short_jobs.avg_ratio)});
+  }
+
+  std::printf("\nFigure 5a: long jobs (ratios < 1 mean Hawk is better)\n");
+  fig5a.Print();
+  std::printf("\nFigure 5b: short jobs\n");
+  fig5b.Print();
+  std::printf("\nFigure 5c: additional metrics\n");
+  fig5c.Print();
+  return 0;
+}

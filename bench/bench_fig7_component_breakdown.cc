@@ -1,0 +1,62 @@
+// Figure 7 (§4.4): break-down of Hawk's benefits — job runtimes of Hawk with
+// one component disabled, normalized to full Hawk. Google trace, 15k nodes.
+//
+// Paper observations:
+//   - without centralized scheduling, long jobs take a significant hit and
+//     short jobs improve slightly;
+//   - without the partition, short jobs suffer and long jobs improve a bit;
+//   - without stealing, both suffer, short jobs dramatically.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/metrics/comparison.h"
+#include "src/metrics/report.h"
+#include "src/scheduler/experiment.h"
+
+int main(int argc, char** argv) {
+  hawk::Flags flags(argc, argv);
+  const uint32_t jobs = hawk::bench::ScaledJobs(flags, 3000);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const uint32_t workers =
+      static_cast<uint32_t>(flags.GetInt("workers", hawk::bench::SimSize(15000)));
+
+  const hawk::Trace trace = hawk::bench::GoogleSweepTrace(
+      jobs, seed, hawk::bench::SimSize(10000), workers, flags.GetDouble("util", 0.93));
+
+  const hawk::HawkConfig base_config = hawk::bench::GoogleConfig(workers, seed);
+  const hawk::RunResult full =
+      hawk::RunScheduler(trace, base_config, hawk::SchedulerKind::kHawk);
+
+  hawk::bench::PrintHeader(
+      "Figure 7: component breakdown, normalized to full Hawk (Google trace, "
+      "15k-equivalent nodes, " +
+      std::to_string(jobs) + " jobs; >1 means worse than Hawk)");
+  hawk::Table table({"variant", "p50 short", "p90 short", "p50 long", "p90 long"});
+
+  struct Variant {
+    std::string name;
+    bool centralized;
+    bool partition;
+    bool stealing;
+  };
+  const Variant variants[] = {
+      {"hawk w/out centralized", false, true, true},
+      {"hawk w/out partition", true, false, true},
+      {"hawk w/out stealing", true, true, false},
+  };
+  for (const Variant& variant : variants) {
+    hawk::HawkConfig config = base_config;
+    config.use_centralized_long = variant.centralized;
+    config.use_partition = variant.partition;
+    config.use_stealing = variant.stealing;
+    const hawk::RunResult run = hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
+    const hawk::RunComparison cmp = hawk::CompareRuns(run, full);
+    table.AddRow({variant.name, hawk::Table::Num(cmp.short_jobs.p50_ratio),
+                  hawk::Table::Num(cmp.short_jobs.p90_ratio),
+                  hawk::Table::Num(cmp.long_jobs.p50_ratio),
+                  hawk::Table::Num(cmp.long_jobs.p90_ratio)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figures 8 & 9 (§4.5): Hawk normalized to a fully centralized scheduler
+// (the §3.7 algorithm applied to all jobs, whole cluster, no partition, no
+// stealing). Google trace, cluster-size sweep.
+//
+// Paper observations: the centralized scheduler penalizes short jobs under
+// heavy load (Hawk ratio < 1 at 10k-15k, converging at 50k); for long jobs
+// the centralized approach is slightly better because they can use the whole
+// cluster (Hawk ratio slightly > 1).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/metrics/comparison.h"
+#include "src/metrics/report.h"
+#include "src/scheduler/experiment.h"
+
+int main(int argc, char** argv) {
+  hawk::Flags flags(argc, argv);
+  const uint32_t jobs = hawk::bench::ScaledJobs(flags, 3000);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const std::vector<int64_t> paper_sizes =
+      flags.GetIntList("paper-sizes", {10000, 15000, 20000, 25000, 30000, 35000, 40000, 45000,
+                                       50000});
+
+  const hawk::Trace trace = hawk::bench::GoogleSweepTrace(
+      jobs, seed, hawk::bench::SimSize(static_cast<uint32_t>(paper_sizes.front())),
+      hawk::bench::SimSize(static_cast<uint32_t>(paper_sizes[1])),
+      flags.GetDouble("util", 0.93));
+
+  hawk::bench::PrintHeader("Figures 8-9: Hawk normalized to fully centralized (Google trace, " +
+                           std::to_string(jobs) + " jobs)");
+  hawk::Table fig8({"nodes(paper)", "p50 short", "p90 short"});
+  hawk::Table fig9({"nodes(paper)", "p50 long", "p90 long"});
+  for (const int64_t paper_size : paper_sizes) {
+    const uint32_t workers = hawk::bench::SimSize(static_cast<uint32_t>(paper_size));
+    const hawk::HawkConfig config = hawk::bench::GoogleConfig(workers, seed);
+    const hawk::RunResult hawk_run =
+        hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
+    const hawk::RunResult central_run =
+        hawk::RunScheduler(trace, config, hawk::SchedulerKind::kCentralized);
+    const hawk::RunComparison cmp = hawk::CompareRuns(hawk_run, central_run);
+    fig8.AddRow({std::to_string(paper_size), hawk::Table::Num(cmp.short_jobs.p50_ratio),
+                 hawk::Table::Num(cmp.short_jobs.p90_ratio)});
+    fig9.AddRow({std::to_string(paper_size), hawk::Table::Num(cmp.long_jobs.p50_ratio),
+                 hawk::Table::Num(cmp.long_jobs.p90_ratio)});
+  }
+  std::printf("\nFigure 8: short jobs (Hawk better where < 1)\n");
+  fig8.Print();
+  std::printf("\nFigure 9: long jobs (centralized slightly better => ratios slightly > 1)\n");
+  fig9.Print();
+  return 0;
+}

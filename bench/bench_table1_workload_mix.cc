@@ -1,0 +1,75 @@
+// Table 1: "Long jobs in heterogeneous workloads form a small fraction of the
+// total number of jobs, but use a large amount of resources."
+//
+// Paper values (measured -> printed for comparison):
+//   Google 2011    10.00% long jobs   83.65% task-seconds
+//   Cloudera-c     5.02%              92.79%
+//   Facebook 2010  2.01%              99.79%
+//   Yahoo 2011     9.41%              98.31%
+// Also prints the §2.1 text statistics for the Google trace: the share of
+// tasks in long jobs (paper: 28%) and the ratio of average task durations
+// (paper: 7.34x).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/metrics/report.h"
+#include "src/workload/trace_stats.h"
+
+namespace {
+
+struct Row {
+  const char* name;
+  double paper_pct_long;
+  double paper_pct_task_seconds;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hawk::Flags flags(argc, argv);
+  const uint32_t jobs = hawk::bench::ScaledJobs(flags, 12000);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+
+  hawk::bench::PrintHeader("Table 1: long-job share of jobs and of task-seconds (" +
+                           std::to_string(jobs) + " jobs per workload)");
+
+  hawk::Table table({"workload", "% long jobs", "paper", "% task-seconds", "paper"});
+
+  const hawk::GoogleTraceParams google_params = [&] {
+    hawk::GoogleTraceParams p;
+    p.num_jobs = jobs;
+    p.seed = seed;
+    return p;
+  }();
+  const hawk::Trace google = hawk::GenerateGoogleTrace(google_params);
+  const hawk::WorkloadMix google_mix =
+      hawk::ComputeMix(google, hawk::LongByCutoff(hawk::SecondsToUs(1129.0)));
+  table.AddRow({"google-2011", hawk::Table::Num(google_mix.pct_long_jobs, 2), "10.00",
+                hawk::Table::Num(google_mix.pct_task_seconds_long, 2), "83.65"});
+
+  const Row rows[] = {
+      {"cloudera-c", 5.02, 92.79},
+      {"facebook-2010", 2.01, 99.79},
+      {"yahoo-2011", 9.41, 98.31},
+  };
+  for (const Row& row : rows) {
+    hawk::ClusterWorkloadParams params =
+        row.name == std::string("cloudera-c")      ? hawk::ClouderaParams(jobs, seed)
+        : row.name == std::string("facebook-2010") ? hawk::FacebookParams(jobs, seed)
+                                                   : hawk::YahooParams(jobs, seed);
+    const hawk::Trace trace = hawk::GenerateClusterWorkload(params);
+    const hawk::WorkloadMix mix = hawk::ComputeMix(trace, hawk::LongByHint());
+    table.AddRow({row.name, hawk::Table::Num(mix.pct_long_jobs, 2),
+                  hawk::Table::Num(row.paper_pct_long, 2),
+                  hawk::Table::Num(mix.pct_task_seconds_long, 2),
+                  hawk::Table::Num(row.paper_pct_task_seconds, 2)});
+  }
+  table.Print();
+
+  std::printf("\nSection 2.1 text statistics, Google trace:\n");
+  std::printf("  share of tasks in long jobs: %.1f%% (paper: 28%%)\n",
+              google_mix.pct_tasks_long);
+  std::printf("  avg task duration ratio long/short: %.2fx (paper: 7.34x)\n",
+              google_mix.avg_task_duration_ratio);
+  return 0;
+}

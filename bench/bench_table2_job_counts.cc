@@ -1,0 +1,61 @@
+// Table 2: number of long jobs and total number of jobs per workload.
+//
+// Paper values: Google 10.00% of 506460, Cloudera-c 5.02% of 21030,
+// Facebook 2.01% of 1169184, Yahoo 9.41% of 24262. Trace sizes here are
+// scaled down (DESIGN.md §2); the class percentages are the reproduction
+// target, and the paper's absolute counts are printed alongside.
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/metrics/report.h"
+#include "src/workload/trace_stats.h"
+
+int main(int argc, char** argv) {
+  hawk::Flags flags(argc, argv);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  const double scale = hawk::bench::BenchScale(flags);
+
+  // Per-workload job counts proportional to the paper's trace sizes
+  // (divided by ~100 by default).
+  const auto scaled = [&](double paper_jobs) {
+    return static_cast<uint32_t>(paper_jobs / 100.0 * scale) + 1;
+  };
+
+  hawk::bench::PrintHeader("Table 2: number of long jobs and total jobs");
+  hawk::Table table(
+      {"workload", "% long jobs", "paper %", "total jobs", "paper total (unscaled)"});
+
+  {
+    hawk::GoogleTraceParams p;
+    p.num_jobs = scaled(506460);
+    p.seed = seed;
+    const hawk::Trace trace = hawk::GenerateGoogleTrace(p);
+    const hawk::WorkloadMix mix =
+        hawk::ComputeMix(trace, hawk::LongByCutoff(hawk::SecondsToUs(1129.0)));
+    table.AddRow({"google-2011", hawk::Table::Num(mix.pct_long_jobs, 2), "10.00",
+                  std::to_string(mix.total_jobs), "506460"});
+  }
+  {
+    const hawk::Trace trace =
+        hawk::GenerateClusterWorkload(hawk::ClouderaParams(scaled(21030), seed));
+    const hawk::WorkloadMix mix = hawk::ComputeMix(trace, hawk::LongByHint());
+    table.AddRow({"cloudera-c", hawk::Table::Num(mix.pct_long_jobs, 2), "5.02",
+                  std::to_string(mix.total_jobs), "21030"});
+  }
+  {
+    const hawk::Trace trace =
+        hawk::GenerateClusterWorkload(hawk::FacebookParams(scaled(1169184), seed));
+    const hawk::WorkloadMix mix = hawk::ComputeMix(trace, hawk::LongByHint());
+    table.AddRow({"facebook-2010", hawk::Table::Num(mix.pct_long_jobs, 2), "2.01",
+                  std::to_string(mix.total_jobs), "1169184"});
+  }
+  {
+    const hawk::Trace trace =
+        hawk::GenerateClusterWorkload(hawk::YahooParams(scaled(24262), seed));
+    const hawk::WorkloadMix mix = hawk::ComputeMix(trace, hawk::LongByHint());
+    table.AddRow({"yahoo-2011", hawk::Table::Num(mix.pct_long_jobs, 2), "9.41",
+                  std::to_string(mix.total_jobs), "24262"});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Shared setup for the experiment benches (bench_fig*/bench_table*).
+//
+// Scaling convention (DESIGN.md §2): simulated cluster sizes are the paper's
+// divided by 10 and traces have thousands of jobs instead of ~506k; rows are
+// labelled with the paper-equivalent sizes. HAWK_BENCH_SCALE (env var or
+// --scale flag) multiplies the default job counts for bigger runs.
+#ifndef HAWK_BENCH_BENCH_UTIL_H_
+#define HAWK_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/flags.h"
+#include "src/common/random.h"
+#include "src/core/hawk_config.h"
+#include "src/workload/arrivals.h"
+#include "src/workload/cluster_workloads.h"
+#include "src/workload/google_trace.h"
+#include "src/workload/scaling.h"
+#include "src/workload/trace.h"
+
+namespace hawk {
+namespace bench {
+
+// Paper cluster size (in nodes) -> simulated size. The simulation runs the
+// paper's clusters at 1/10 scale.
+inline constexpr uint32_t kClusterScaleDivisor = 10;
+
+inline uint32_t SimSize(uint32_t paper_nodes) { return paper_nodes / kClusterScaleDivisor; }
+
+inline double BenchScale(const Flags& flags) {
+  const char* env = std::getenv("HAWK_BENCH_SCALE");
+  const double env_scale = env != nullptr ? std::atof(env) : 1.0;
+  return flags.GetDouble("scale", env_scale > 0.0 ? env_scale : 1.0);
+}
+
+inline uint32_t ScaledJobs(const Flags& flags, uint32_t default_jobs) {
+  const auto jobs = static_cast<uint32_t>(flags.GetInt(
+      "jobs", static_cast<int64_t>(default_jobs * BenchScale(flags))));
+  return jobs > 0 ? jobs : 1;
+}
+
+// Builds a trace ready for a cluster-size sweep: tasks-per-job capped for the
+// smallest cluster (2t probes must fit; the paper applies the same transform
+// for its prototype, §4.1) and Poisson arrivals calibrated once so that the
+// *reference* cluster size sees `target_util` offered load. Larger clusters
+// in the sweep are then progressively less loaded, smaller ones overloaded —
+// the paper's load knob.
+inline Trace PrepareSweepTrace(Trace trace, uint64_t seed, uint32_t min_workers,
+                               uint32_t ref_workers, double target_util) {
+  trace = CapTasksPreserveWork(trace, min_workers / 2);
+  Rng rng(seed ^ 0xA5A5A5A5ULL);
+  const DurationUs interarrival =
+      MeanInterarrivalForUtilization(trace, target_util, ref_workers);
+  AssignPoissonArrivals(&trace, interarrival, &rng);
+  return trace;
+}
+
+inline Trace GoogleSweepTrace(uint32_t num_jobs, uint64_t seed, uint32_t min_workers,
+                              uint32_t ref_workers, double target_util = 0.93) {
+  GoogleTraceParams params;
+  params.num_jobs = num_jobs;
+  params.seed = seed;
+  return PrepareSweepTrace(GenerateGoogleTrace(params), seed, min_workers, ref_workers,
+                           target_util);
+}
+
+// Default Google-trace experiment configuration (paper §4.1 parameters).
+inline HawkConfig GoogleConfig(uint32_t num_workers, uint64_t seed = 42) {
+  HawkConfig config;
+  config.num_workers = num_workers;
+  config.short_partition_fraction = 0.17;  // 17% for the Google trace.
+  config.cutoff_us = SecondsToUs(1129.0);
+  config.classify_mode = ClassifyMode::kCutoff;
+  config.seed = seed;
+  return config;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace hawk
+
+#endif  // HAWK_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,61 @@
+// The paper's motivating experiment (§2.3, Figure 1): why distributed
+// scheduling struggles with heterogeneous workloads at high load.
+//
+// A cluster runs 95% short jobs (100 tasks x 100 s) and 5% long jobs
+// (tasks of 20000 s). Even though idle slots exist nearly all the time,
+// Sparrow's random probes queue short tasks behind long ones, inflating
+// short-job runtimes by orders of magnitude. Hawk's stealing + partition
+// rescue them. Run with --workers/--jobs to explore other scales.
+#include <cstdio>
+
+#include "src/common/flags.h"
+#include "src/core/hawk_config.h"
+#include "src/metrics/report.h"
+#include "src/scheduler/experiment.h"
+#include "src/workload/cluster_workloads.h"
+
+int main(int argc, char** argv) {
+  hawk::Flags flags(argc, argv);
+  const auto jobs = static_cast<uint32_t>(flags.GetInt("jobs", 1000));
+  const auto workers = static_cast<uint32_t>(flags.GetInt("workers", 1500));
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  // 1/10-scale version of the paper's 15000-server scenario.
+  const hawk::Trace trace = hawk::GenerateMotivationTrace(jobs, 0.1, seed);
+
+  hawk::HawkConfig config;
+  config.num_workers = workers;
+  config.seed = seed;
+  // The long jobs here use ~99% of task-seconds; reserve a thin slice.
+  config.short_partition_fraction = 0.10;
+
+  std::printf("Scenario: %u workers, %zu jobs (95%% short: 100 tasks x 100 s; "
+              "5%% long: 100 tasks x 20000 s), Poisson arrivals every 50 s.\n\n",
+              workers, trace.NumJobs());
+
+  const hawk::RunResult sparrow =
+      hawk::RunScheduler(trace, config, hawk::SchedulerKind::kSparrow);
+  const hawk::RunResult hawk_run =
+      hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
+
+  const hawk::Samples sparrow_short = sparrow.RuntimesSeconds(/*long_jobs=*/false);
+  const hawk::Samples hawk_short = hawk_run.RuntimesSeconds(/*long_jobs=*/false);
+
+  hawk::PrintCdf("Figure 1 — short-job runtime CDF under SPARROW (seconds)", sparrow_short,
+                 12);
+  std::printf("\n");
+  hawk::PrintCdf("Same workload under HAWK (seconds)", hawk_short, 12);
+
+  std::printf("\nAn omniscient scheduler would finish most short jobs in ~100 s.\n");
+  std::printf("Sparrow: median %.0f s | %.1f%% of short jobs exceed 15000 s "
+              "(head-of-line blocking behind 20000 s tasks)\n",
+              sparrow_short.Median(), (1.0 - sparrow_short.CdfAt(15000.0)) * 100.0);
+  std::printf("Hawk:    median %.0f s | %.1f%% exceed 15000 s "
+              "(%llu short tasks rescued by stealing)\n",
+              hawk_short.Median(), (1.0 - hawk_short.CdfAt(15000.0)) * 100.0,
+              static_cast<unsigned long long>(hawk_run.counters.entries_stolen));
+  std::printf("Median utilization: sparrow %.0f%%, hawk %.0f%% — the cluster was "
+              "busy, not broken; placement was the problem.\n",
+              sparrow.MedianUtilization() * 100.0, hawk_run.MedianUtilization() * 100.0);
+  return 0;
+}

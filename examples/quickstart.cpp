@@ -1,0 +1,99 @@
+// Quickstart: generate a small heterogeneous workload, run it under Hawk and
+// under Sparrow on the same simulated cluster, and print runtime percentiles.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build --target quickstart
+//   ./build/examples/quickstart [--jobs=1000] [--workers=600] [--seed=1]
+#include <cstdio>
+
+#include "src/common/flags.h"
+#include "src/core/hawk_config.h"
+#include "src/metrics/comparison.h"
+#include "src/metrics/csv_export.h"
+#include "src/metrics/report.h"
+#include "src/scheduler/experiment.h"
+#include "src/workload/arrivals.h"
+#include "src/workload/google_trace.h"
+#include "src/workload/scaling.h"
+
+int main(int argc, char** argv) {
+  hawk::Flags flags(argc, argv);
+
+  // 1. A Google-like heterogeneous workload: 10% long jobs carrying ~84% of
+  //    the work (see src/workload/google_trace.h for the calibration).
+  hawk::GoogleTraceParams trace_params;
+  trace_params.num_jobs = static_cast<uint32_t>(flags.GetInt("jobs", 1000));
+  trace_params.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  hawk::Trace trace = hawk::GenerateGoogleTrace(trace_params);
+
+  // 2. Scheduler configuration. The defaults mirror the paper's §4.1
+  //    parameters; we size the cluster and arrival rate for a busy cluster.
+  hawk::HawkConfig config;
+  config.num_workers = static_cast<uint32_t>(flags.GetInt("workers", 600));
+  config.seed = trace_params.seed;
+
+  // Keep tasks-per-job compatible with 2t probes on this cluster, then pick
+  // an arrival rate that drives ~90% utilization.
+  trace = hawk::CapTasksPreserveWork(trace, config.num_workers / 2);
+  hawk::Rng arrival_rng(trace_params.seed);
+  hawk::AssignPoissonArrivals(
+      &trace, hawk::MeanInterarrivalForUtilization(trace, 0.9, config.num_workers),
+      &arrival_rng);
+
+  // 3. Run both schedulers on the same trace.
+  std::printf("Simulating %zu jobs on %u workers (general partition: %u)...\n",
+              trace.NumJobs(), config.num_workers, config.GeneralCount());
+  const hawk::RunResult hawk_run =
+      hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
+  const hawk::RunResult sparrow_run =
+      hawk::RunScheduler(trace, config, hawk::SchedulerKind::kSparrow);
+
+  // 4. Report.
+  hawk::Table table({"scheduler", "class", "jobs", "p50 (s)", "p90 (s)", "mean (s)"});
+  for (const bool long_jobs : {false, true}) {
+    for (const auto* entry : {&hawk_run, &sparrow_run}) {
+      const hawk::Samples runtimes = entry->RuntimesSeconds(long_jobs);
+      if (runtimes.Empty()) {
+        continue;
+      }
+      table.AddRow({entry == &hawk_run ? "hawk" : "sparrow", long_jobs ? "long" : "short",
+                    std::to_string(runtimes.Count()), hawk::Table::Num(runtimes.Percentile(50)),
+                    hawk::Table::Num(runtimes.Percentile(90)),
+                    hawk::Table::Num(runtimes.Mean())});
+    }
+  }
+  table.Print();
+
+  const hawk::RunComparison cmp = hawk::CompareRuns(hawk_run, sparrow_run);
+  std::printf("\nHawk vs Sparrow: short p50 ratio %.2f, short p90 ratio %.2f, "
+              "long p50 ratio %.2f, long p90 ratio %.2f (lower is better)\n",
+              cmp.short_jobs.p50_ratio, cmp.short_jobs.p90_ratio, cmp.long_jobs.p50_ratio,
+              cmp.long_jobs.p90_ratio);
+  std::printf("Median cluster utilization: hawk %.1f%%, sparrow %.1f%%\n",
+              cmp.treatment_median_util * 100.0, cmp.baseline_median_util * 100.0);
+  std::printf("Steals: %llu attempts, %llu successful, %llu entries moved\n",
+              static_cast<unsigned long long>(hawk_run.counters.steal_attempts),
+              static_cast<unsigned long long>(hawk_run.counters.steal_successes),
+              static_cast<unsigned long long>(hawk_run.counters.entries_stolen));
+  std::printf("Avg queueing delay: short %.1f s (hawk) vs %.1f s (sparrow)\n",
+              hawk_run.counters.AvgQueueWaitSeconds(false),
+              sparrow_run.counters.AvgQueueWaitSeconds(false));
+
+  // Optional CSV export for plotting (--csv=prefix writes prefix_hawk.csv
+  // and prefix_sparrow.csv with one row per job).
+  if (flags.Has("csv")) {
+    const std::string prefix = flags.GetString("csv", "quickstart");
+    for (const auto& [suffix, run] :
+         {std::pair<const char*, const hawk::RunResult*>{"_hawk.csv", &hawk_run},
+          {"_sparrow.csv", &sparrow_run}}) {
+      const std::string path = prefix + suffix;
+      const hawk::Status status = hawk::WriteJobResultsCsv(path, *run);
+      if (!status.ok()) {
+        std::fprintf(stderr, "csv export failed: %s\n", status.message().c_str());
+        return 1;
+      }
+      std::printf("Wrote %s\n", path.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Generate, inspect, save and reload workload traces.
+//
+//   trace_explorer --workload=google|cloudera|facebook|yahoo [--jobs=N]
+//                  [--save=trace.txt] [--load=trace.txt]
+//
+// Prints the Table 1 mix statistics and the Figure 4 CDFs for the chosen
+// workload, and demonstrates the text trace format round-trip.
+#include <cstdio>
+#include <string>
+
+#include "src/common/flags.h"
+#include "src/metrics/report.h"
+#include "src/workload/cluster_workloads.h"
+#include "src/workload/google_trace.h"
+#include "src/workload/trace.h"
+#include "src/workload/trace_stats.h"
+
+int main(int argc, char** argv) {
+  hawk::Flags flags(argc, argv);
+  const std::string workload = flags.GetString("workload", "google");
+  const auto jobs = static_cast<uint32_t>(flags.GetInt("jobs", 5000));
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+
+  hawk::Trace trace;
+  hawk::LongJobPredicate is_long = hawk::LongByHint();
+  if (flags.Has("load")) {
+    const auto loaded = hawk::Trace::LoadFromFile(flags.GetString("load", ""));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", loaded.status().message().c_str());
+      return 1;
+    }
+    trace = loaded.value();
+    std::printf("Loaded %zu jobs from %s\n", trace.NumJobs(),
+                flags.GetString("load", "").c_str());
+  } else if (workload == "google") {
+    hawk::GoogleTraceParams params;
+    params.num_jobs = jobs;
+    params.seed = seed;
+    trace = hawk::GenerateGoogleTrace(params);
+    is_long = hawk::LongByCutoff(hawk::SecondsToUs(1129.0));
+  } else if (workload == "cloudera") {
+    trace = hawk::GenerateClusterWorkload(hawk::ClouderaParams(jobs, seed));
+  } else if (workload == "facebook") {
+    trace = hawk::GenerateClusterWorkload(hawk::FacebookParams(jobs, seed));
+  } else if (workload == "yahoo") {
+    trace = hawk::GenerateClusterWorkload(hawk::YahooParams(jobs, seed));
+  } else {
+    std::fprintf(stderr, "unknown --workload=%s\n", workload.c_str());
+    return 1;
+  }
+
+  const hawk::WorkloadMix mix = hawk::ComputeMix(trace, is_long);
+  std::printf("\nWorkload mix (Table 1 statistics):\n");
+  std::printf("  jobs:              %zu (%zu long, %.2f%%)\n", mix.total_jobs, mix.long_jobs,
+              mix.pct_long_jobs);
+  std::printf("  tasks:             %llu (%.1f%% in long jobs)\n",
+              static_cast<unsigned long long>(mix.total_tasks), mix.pct_tasks_long);
+  std::printf("  task-seconds:      %.2f%% in long jobs\n", mix.pct_task_seconds_long);
+  std::printf("  duration ratio:    %.2fx (long avg / short avg)\n\n",
+              mix.avg_task_duration_ratio);
+
+  const hawk::WorkloadCdfs cdfs = hawk::ComputeCdfs(trace, is_long);
+  hawk::PrintCdf("avg task duration per job (s), long jobs", cdfs.long_avg_task_duration_s,
+                 10);
+  hawk::PrintCdf("avg task duration per job (s), short jobs", cdfs.short_avg_task_duration_s,
+                 10);
+  hawk::PrintCdf("tasks per job, long jobs", cdfs.long_tasks_per_job, 10);
+  hawk::PrintCdf("tasks per job, short jobs", cdfs.short_tasks_per_job, 10);
+
+  if (flags.Has("save")) {
+    const std::string path = flags.GetString("save", "");
+    const hawk::Status status = trace.SaveToFile(path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", status.message().c_str());
+      return 1;
+    }
+    std::printf("\nSaved trace to %s (reload with --load=%s)\n", path.c_str(), path.c_str());
+  }
+  return 0;
+}

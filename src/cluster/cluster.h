@@ -1,0 +1,75 @@
+// The simulated cluster: a set of single-slot workers plus the Hawk
+// partitioning scheme (paper §3.4).
+//
+// Workers [0, general_count) form the *general partition* (short and long
+// tasks may run there); workers [general_count, num_workers) form the *short
+// partition*, reserved for short tasks. Baselines that do not partition use
+// general_count == num_workers.
+#ifndef HAWK_CLUSTER_CLUSTER_H_
+#define HAWK_CLUSTER_CLUSTER_H_
+
+#include <vector>
+
+#include "src/cluster/worker.h"
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace hawk {
+
+class Cluster {
+ public:
+  Cluster(uint32_t num_workers, uint32_t general_count)
+      : general_count_(general_count) {
+    HAWK_CHECK_GT(num_workers, 0u);
+    HAWK_CHECK_LE(general_count, num_workers);
+    HAWK_CHECK_GT(general_count, 0u) << "general partition may not be empty";
+    workers_.reserve(num_workers);
+    for (uint32_t i = 0; i < num_workers; ++i) {
+      workers_.emplace_back(i);
+    }
+  }
+
+  uint32_t NumWorkers() const { return static_cast<uint32_t>(workers_.size()); }
+  uint32_t GeneralCount() const { return general_count_; }
+  uint32_t ShortPartitionCount() const { return NumWorkers() - general_count_; }
+
+  bool InGeneralPartition(WorkerId id) const { return id < general_count_; }
+
+  Worker& worker(WorkerId id) {
+    HAWK_CHECK_LT(id, workers_.size());
+    return workers_[id];
+  }
+  const Worker& worker(WorkerId id) const {
+    HAWK_CHECK_LT(id, workers_.size());
+    return workers_[id];
+  }
+
+  // Fraction of workers currently executing a task (paper's "percentage of
+  // used servers").
+  double Utilization() const {
+    uint32_t executing = 0;
+    for (const Worker& w : workers_) {
+      if (w.state() == WorkerState::kExecuting) {
+        ++executing;
+      }
+    }
+    return static_cast<double>(executing) / static_cast<double>(workers_.size());
+  }
+
+  // Total accumulated execution time across workers (work conservation).
+  DurationUs TotalBusyUs() const {
+    DurationUs total = 0;
+    for (const Worker& w : workers_) {
+      total += w.busy_accum_us();
+    }
+    return total;
+  }
+
+ private:
+  std::vector<Worker> workers_;
+  uint32_t general_count_;
+};
+
+}  // namespace hawk
+
+#endif  // HAWK_CLUSTER_CLUSTER_H_

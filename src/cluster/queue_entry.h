@@ -1,0 +1,54 @@
+// Worker queue entries.
+//
+// A queue entry is either a Sparrow-style probe (late-bound: the concrete
+// task is requested from the job's scheduler when the probe reaches the head
+// of the queue) or a concrete task (placed directly by the centralized
+// scheduler). Entries carry the scheduling classification of their owning job
+// so the steal-group scan (paper Fig. 3) can distinguish long from short
+// entries without chasing job state.
+#ifndef HAWK_CLUSTER_QUEUE_ENTRY_H_
+#define HAWK_CLUSTER_QUEUE_ENTRY_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace hawk {
+
+enum class EntryKind : uint8_t {
+  kProbe,  // Late binding: resolves to a task or a cancel at head-of-queue.
+  kTask,   // Concrete task with a known duration.
+};
+
+struct QueueEntry {
+  EntryKind kind = EntryKind::kProbe;
+  bool is_long = false;     // Scheduling classification of the owning job.
+  JobId job = kInvalidJob;
+  TaskIndex task_index = 0;   // Valid for kTask.
+  DurationUs duration = 0;    // Valid for kTask.
+  // When the entry first joined a worker queue; survives stealing so the
+  // queueing-delay telemetry reflects total time from placement to launch.
+  SimTime enqueue_time = 0;
+
+  static QueueEntry Probe(JobId job, bool is_long) {
+    QueueEntry e;
+    e.kind = EntryKind::kProbe;
+    e.job = job;
+    e.is_long = is_long;
+    return e;
+  }
+
+  static QueueEntry Task(JobId job, TaskIndex task_index, DurationUs duration, bool is_long) {
+    QueueEntry e;
+    e.kind = EntryKind::kTask;
+    e.job = job;
+    e.task_index = task_index;
+    e.duration = duration;
+    e.is_long = is_long;
+    return e;
+  }
+};
+
+}  // namespace hawk
+
+#endif  // HAWK_CLUSTER_QUEUE_ENTRY_H_

@@ -1,0 +1,92 @@
+// Experiment outputs: per-job results, utilization samples and mechanism
+// counters. These are the raw series every figure in the paper is computed
+// from.
+#ifndef HAWK_CLUSTER_RESULTS_H_
+#define HAWK_CLUSTER_RESULTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/types.h"
+
+namespace hawk {
+
+struct JobResult {
+  JobId id = 0;
+  bool is_long = false;  // Metrics classification (noise-free).
+  SimTime submit_time = 0;
+  SimTime finish_time = 0;
+  DurationUs runtime_us = 0;  // finish - submit, includes all queueing.
+};
+
+struct RunCounters {
+  uint64_t jobs = 0;
+  uint64_t tasks_launched = 0;
+  uint64_t probes_placed = 0;
+  uint64_t probe_requests = 0;
+  uint64_t cancels = 0;
+  uint64_t central_tasks_placed = 0;
+  uint64_t steal_attempts = 0;       // Idle transitions that tried to steal.
+  uint64_t steal_victim_probes = 0;  // Random victims contacted.
+  uint64_t steal_successes = 0;      // Attempts that obtained >= 1 entry.
+  uint64_t entries_stolen = 0;
+  uint64_t events = 0;
+
+  // Queueing-delay telemetry: total time launched tasks spent between entry
+  // placement and execution start, split by scheduling class.
+  uint64_t short_tasks_started = 0;
+  uint64_t long_tasks_started = 0;
+  uint64_t short_queue_wait_us = 0;
+  uint64_t long_queue_wait_us = 0;
+
+  double AvgQueueWaitSeconds(bool long_class) const {
+    const uint64_t count = long_class ? long_tasks_started : short_tasks_started;
+    const uint64_t wait = long_class ? long_queue_wait_us : short_queue_wait_us;
+    if (count == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(wait) / static_cast<double>(count) /
+           static_cast<double>(kMicrosPerSecond);
+  }
+};
+
+struct RunResult {
+  std::vector<JobResult> jobs;
+  std::vector<double> utilization_samples;  // One per 100 s (configurable).
+  RunCounters counters;
+  SimTime makespan_us = 0;       // Completion time of the last job.
+  DurationUs total_busy_us = 0;  // Sum of worker execution time (= sum of task durations).
+
+  // Runtime samples in seconds for one job class.
+  Samples RuntimesSeconds(bool long_jobs) const {
+    Samples samples;
+    for (const JobResult& job : jobs) {
+      if (job.is_long == long_jobs) {
+        samples.Add(static_cast<double>(job.runtime_us) /
+                    static_cast<double>(kMicrosPerSecond));
+      }
+    }
+    return samples;
+  }
+
+  double MedianUtilization() const {
+    Samples samples;
+    for (const double u : utilization_samples) {
+      samples.Add(u);
+    }
+    return samples.Empty() ? 0.0 : samples.Median();
+  }
+
+  double MaxUtilization() const {
+    double max = 0.0;
+    for (const double u : utilization_samples) {
+      max = std::max(max, u);
+    }
+    return max;
+  }
+};
+
+}  // namespace hawk
+
+#endif  // HAWK_CLUSTER_RESULTS_H_

@@ -1,0 +1,40 @@
+#include "src/cluster/worker.h"
+
+namespace hawk {
+
+size_t Worker::StealableGroupBegin() const {
+  // Scan [current work, queue...]; the group starts at the first short entry
+  // observed after at least one long entry.
+  bool seen_long = CurrentIsLong();
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i].is_long) {
+      seen_long = true;
+      continue;
+    }
+    if (seen_long) {
+      return i;
+    }
+  }
+  return queue_.size();
+}
+
+bool Worker::HasStealableGroup() const { return StealableGroupBegin() < queue_.size(); }
+
+std::vector<QueueEntry> Worker::ExtractStealableGroup() {
+  const size_t begin = StealableGroupBegin();
+  std::vector<QueueEntry> stolen;
+  if (begin >= queue_.size()) {
+    return stolen;
+  }
+  size_t end = begin;
+  while (end < queue_.size() && !queue_[end].is_long) {
+    ++end;
+  }
+  stolen.assign(queue_.begin() + static_cast<std::ptrdiff_t>(begin),
+                queue_.begin() + static_cast<std::ptrdiff_t>(end));
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(begin),
+               queue_.begin() + static_cast<std::ptrdiff_t>(end));
+  return stolen;
+}
+
+}  // namespace hawk

@@ -1,0 +1,113 @@
+// A single-slot worker with one FIFO queue (paper §3.1).
+//
+// The worker is a passive data structure: the simulation driver (or the
+// threaded prototype's node monitor) owns the control flow. Each worker can
+// execute one task at a time; §4.1 notes multi-slot nodes are equivalent to
+// this model with one queue per slot, i.e. more single-slot workers.
+#ifndef HAWK_CLUSTER_WORKER_H_
+#define HAWK_CLUSTER_WORKER_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/cluster/queue_entry.h"
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace hawk {
+
+enum class WorkerState : uint8_t {
+  kIdle,        // No task running, queue drained.
+  kRequesting,  // A probe reached the head; RPC to the job's scheduler in flight.
+  kExecuting,   // Running a task.
+};
+
+class Worker {
+ public:
+  explicit Worker(WorkerId id) : id_(id) {}
+
+  WorkerId id() const { return id_; }
+  WorkerState state() const { return state_; }
+  bool Busy() const { return state_ != WorkerState::kIdle; }
+
+  // --- queue -----------------------------------------------------------
+  void Enqueue(QueueEntry entry) { queue_.push_back(entry); }
+  bool QueueEmpty() const { return queue_.empty(); }
+  size_t QueueSize() const { return queue_.size(); }
+  const std::deque<QueueEntry>& queue() const { return queue_; }
+
+  QueueEntry PopFront() {
+    HAWK_CHECK(!queue_.empty());
+    QueueEntry entry = queue_.front();
+    queue_.pop_front();
+    return entry;
+  }
+
+  // --- execution state transitions --------------------------------------
+  void BeginRequest(bool probe_is_long) {
+    HAWK_CHECK(state_ == WorkerState::kIdle);
+    state_ = WorkerState::kRequesting;
+    current_is_long_ = probe_is_long;
+  }
+
+  void BeginExecute(SimTime now, const QueueEntry& task) {
+    HAWK_CHECK(state_ != WorkerState::kExecuting);
+    HAWK_CHECK(task.kind == EntryKind::kTask);
+    state_ = WorkerState::kExecuting;
+    current_is_long_ = task.is_long;
+    executing_job_ = task.job;
+    executing_until_ = now + task.duration;
+    busy_accum_us_ += task.duration;
+  }
+
+  void FinishExecute() {
+    HAWK_CHECK(state_ == WorkerState::kExecuting);
+    state_ = WorkerState::kIdle;
+    executing_job_ = kInvalidJob;
+  }
+
+  void CancelRequest() {
+    HAWK_CHECK(state_ == WorkerState::kRequesting);
+    state_ = WorkerState::kIdle;
+  }
+
+  bool ExecutingLong() const { return state_ == WorkerState::kExecuting && current_is_long_; }
+  // True while executing or resolving a long entry; the steal scan treats an
+  // in-flight long probe like an executing long task.
+  bool CurrentIsLong() const { return Busy() && current_is_long_; }
+  JobId executing_job() const { return executing_job_; }
+  SimTime executing_until() const { return executing_until_; }
+
+  // Total microseconds of task execution accumulated (work conservation).
+  DurationUs busy_accum_us() const { return busy_accum_us_; }
+
+  // --- stealing (paper §3.6, Fig. 3) -------------------------------------
+  // Removes and returns the first consecutive group of short entries that
+  // follows a long entry in [current work, queue...] order:
+  //   a1/a2) executing a short task: the group after the first long entry in
+  //          the queue;
+  //   b1/b2) executing a long task: the first short group in the queue (the
+  //          group "immediately after that long task"), skipping any further
+  //          long entries that precede it.
+  // Returns an empty vector when there is no head-of-line blocking to relieve.
+  std::vector<QueueEntry> ExtractStealableGroup();
+
+  // True iff ExtractStealableGroup would return a non-empty group.
+  bool HasStealableGroup() const;
+
+ private:
+  // Index of the first entry of the stealable group, or queue size if none.
+  size_t StealableGroupBegin() const;
+
+  WorkerId id_;
+  WorkerState state_ = WorkerState::kIdle;
+  bool current_is_long_ = false;
+  JobId executing_job_ = kInvalidJob;
+  SimTime executing_until_ = 0;
+  DurationUs busy_accum_us_ = 0;
+  std::deque<QueueEntry> queue_;
+};
+
+}  // namespace hawk
+
+#endif  // HAWK_CLUSTER_WORKER_H_

@@ -1,0 +1,62 @@
+// Lightweight assertion macros.
+//
+// CHECK-style macros abort with a readable message on violated invariants.
+// They are enabled in all build types: the simulator's correctness arguments
+// (task conservation, FIFO discipline, partition containment) lean on them.
+#ifndef HAWK_COMMON_CHECK_H_
+#define HAWK_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace hawk {
+namespace internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line, const char* expr,
+                                   const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s %s\n", file, line, expr, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Stream collector so call sites can write CHECK(x) << "context".
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessage() { CheckFail(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace hawk
+
+#define HAWK_CHECK(cond)                                              \
+  if (cond) {                                                         \
+  } else                                                              \
+    ::hawk::internal::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define HAWK_CHECK_OP(a, b, op) HAWK_CHECK((a)op(b)) << " (" << (a) << " vs " << (b) << ") "
+
+#define HAWK_CHECK_EQ(a, b) HAWK_CHECK_OP(a, b, ==)
+#define HAWK_CHECK_NE(a, b) HAWK_CHECK_OP(a, b, !=)
+#define HAWK_CHECK_LE(a, b) HAWK_CHECK_OP(a, b, <=)
+#define HAWK_CHECK_LT(a, b) HAWK_CHECK_OP(a, b, <)
+#define HAWK_CHECK_GE(a, b) HAWK_CHECK_OP(a, b, >=)
+#define HAWK_CHECK_GT(a, b) HAWK_CHECK_OP(a, b, >)
+
+#endif  // HAWK_COMMON_CHECK_H_

@@ -1,0 +1,103 @@
+#include "src/common/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace hawk {
+namespace {
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+Flags::Flags(int argc, char** argv) {
+  program_name_ = argc > 0 ? argv[0] : "unknown";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // Bare boolean flag.
+    }
+  }
+}
+
+bool Flags::Has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string Flags::GetString(const std::string& name, const std::string& default_value) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  char* end = nullptr;
+  const int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  HAWK_CHECK(end != nullptr && *end == '\0') << "flag --" << name << " is not an integer: "
+                                             << it->second;
+  return v;
+}
+
+double Flags::GetDouble(const std::string& name, double default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  HAWK_CHECK(end != nullptr && *end == '\0') << "flag --" << name << " is not a number: "
+                                             << it->second;
+  return v;
+}
+
+bool Flags::GetBool(const std::string& name, bool default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no") {
+    return false;
+  }
+  HAWK_CHECK(false) << "flag --" << name << " is not a boolean: " << v;
+  return default_value;
+}
+
+std::vector<int64_t> Flags::GetIntList(const std::string& name,
+                                       const std::vector<int64_t>& default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  std::vector<int64_t> out;
+  std::stringstream ss(it->second);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    char* end = nullptr;
+    const int64_t v = std::strtoll(item.c_str(), &end, 10);
+    HAWK_CHECK(end != nullptr && *end == '\0')
+        << "flag --" << name << " has a non-integer element: " << item;
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace hawk

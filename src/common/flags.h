@@ -1,0 +1,45 @@
+// Minimal command-line flag parsing for example and bench binaries.
+//
+// Accepts "--name=value", "--name value", and bare "--name" for booleans.
+// Unrecognized flags abort with a usage listing, so experiment scripts fail
+// loudly instead of silently running the default configuration.
+#ifndef HAWK_COMMON_FLAGS_H_
+#define HAWK_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hawk {
+
+class Flags {
+ public:
+  // Parses argv. Aborts with a message on malformed input.
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name, const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  // Comma-separated integer list, e.g. "--sizes=1000,1500,2000".
+  std::vector<int64_t> GetIntList(const std::string& name,
+                                  const std::vector<int64_t>& default_value) const;
+
+  // Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  const std::string& program_name() const { return program_name_; }
+
+ private:
+  std::string program_name_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hawk
+
+#endif  // HAWK_COMMON_FLAGS_H_

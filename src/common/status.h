@@ -1,0 +1,64 @@
+// Lightweight error propagation for fallible, non-hot-path operations
+// (trace file I/O, configuration validation). Hot simulation paths use
+// HAWK_CHECK for invariants instead; no exceptions are used in the library.
+#ifndef HAWK_COMMON_STATUS_H_
+#define HAWK_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/common/check.h"
+
+namespace hawk {
+
+class Status {
+ public:
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) { return Status(std::move(message)); }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  Status() : ok_(true) {}
+  explicit Status(std::string message) : ok_(false), message_(std::move(message)) {}
+
+  bool ok_;
+  std::string message_;
+};
+
+// Either a value or an error message. Minimal analogue of absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : data_(std::move(value)) {}          // NOLINT: implicit by design
+  StatusOr(Status status) : data_(std::move(status)) {    // NOLINT: implicit by design
+    HAWK_CHECK(!std::get<Status>(data_).ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const {
+    HAWK_CHECK(ok()) << status().message();
+    return std::get<T>(data_);
+  }
+  T& value() {
+    HAWK_CHECK(ok()) << status().message();
+    return std::get<T>(data_);
+  }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(data_);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace hawk
+
+#endif  // HAWK_COMMON_STATUS_H_

@@ -1,0 +1,46 @@
+// Task-runtime estimation (paper §3.3, §4.8).
+//
+// Hawk estimates a job's task runtime as the average of its task runtimes —
+// in production from previous executions of the recurring job, here from the
+// trace itself. The mis-estimation experiment (Fig. 14) multiplies the
+// correct estimate by a uniform random factor from a configurable range.
+#ifndef HAWK_CORE_ESTIMATOR_H_
+#define HAWK_CORE_ESTIMATOR_H_
+
+#include "src/common/random.h"
+#include "src/common/types.h"
+#include "src/workload/job.h"
+
+namespace hawk {
+
+class Estimator {
+ public:
+  // noise range [lo, hi]; lo == hi == 1.0 yields exact estimates.
+  Estimator(double noise_lo, double noise_hi, uint64_t seed)
+      : noise_lo_(noise_lo), noise_hi_(noise_hi), rng_(seed) {
+    HAWK_CHECK_GT(noise_lo, 0.0);
+    HAWK_CHECK_LE(noise_lo, noise_hi);
+  }
+
+  // The estimate the scheduler acts on, in microseconds. Draws one noise
+  // factor per call; call once per job arrival.
+  double EstimateAvgTaskUs(const Job& job) {
+    const double exact = job.AvgTaskDurationUs();
+    if (noise_lo_ == 1.0 && noise_hi_ == 1.0) {
+      return exact;
+    }
+    return exact * rng_.Uniform(noise_lo_, noise_hi_);
+  }
+
+  // The noise-free estimate (metrics classification, Fig. 14 protocol).
+  static double ExactAvgTaskUs(const Job& job) { return job.AvgTaskDurationUs(); }
+
+ private:
+  double noise_lo_;
+  double noise_hi_;
+  Rng rng_;
+};
+
+}  // namespace hawk
+
+#endif  // HAWK_CORE_ESTIMATOR_H_

@@ -1,0 +1,81 @@
+// Configuration for the Hawk scheduler and the experiment harness.
+//
+// Defaults follow the paper's §4.1 "Parameters": probe ratio 2, steal cap 10,
+// cutoff 1129 s (Google trace), 0.5 ms one-way network delay, utilization
+// sampled every 100 s, short partition sized from the long-job task-seconds
+// share (17% for the Google trace).
+#ifndef HAWK_CORE_HAWK_CONFIG_H_
+#define HAWK_CORE_HAWK_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace hawk {
+
+// How jobs are split into long/short for scheduling and metrics.
+enum class ClassifyMode : uint8_t {
+  // Compare the (possibly noise-injected) per-job average task runtime
+  // against the cutoff — the paper's mechanism (§3.3), used for Google runs.
+  kCutoff,
+  // Use the generator's ground-truth cluster label — the paper's definition
+  // for the synthetic Cloudera/Facebook/Yahoo traces (§4.1).
+  kHint,
+};
+
+struct HawkConfig {
+  uint32_t num_workers = 1500;
+
+  // Fraction of workers reserved for short tasks only (§3.4). Hawk sizes it
+  // from the long jobs' task-seconds share; see PartitionFromMix().
+  double short_partition_fraction = 0.17;
+
+  // Long/short cutoff on estimated task runtime (§3.3).
+  DurationUs cutoff_us = SecondsToUs(1129.0);
+  ClassifyMode classify_mode = ClassifyMode::kCutoff;
+
+  // Estimate mis-estimation range (§4.8): the true average is multiplied by
+  // U(noise_lo, noise_hi). 1.0/1.0 disables noise.
+  double estimate_noise_lo = 1.0;
+  double estimate_noise_hi = 1.0;
+
+  // Sparrow-style probing (§3.5): probes per task.
+  uint32_t probe_ratio = 2;
+
+  // Randomized stealing (§3.6): max random victims contacted per idle
+  // transition. 0 disables stealing outright.
+  uint32_t steal_cap = 10;
+
+  // Extension beyond the paper: when > 0, a worker whose steal attempt found
+  // nothing retries after this interval for as long as it stays idle (the
+  // paper's design is one bounded round per idle transition). Exercised by
+  // bench_ablation_steal_retry.
+  DurationUs steal_retry_interval_us = 0;
+
+  // Feature toggles for the §4.4 component breakdown.
+  bool use_centralized_long = true;  // Off: long jobs probe the general partition.
+  bool use_partition = true;         // Off: the whole cluster is general.
+  bool use_stealing = true;
+
+  // Simulation cost model (§4.1): one-way network delay; scheduling and
+  // stealing decisions are free.
+  DurationUs net_delay_us = MillisToUs(0.5);
+
+  DurationUs util_sample_period_us = SecondsToUs(100.0);
+
+  uint64_t seed = 42;
+
+  uint32_t GeneralCount() const {
+    if (!use_partition) {
+      return num_workers;
+    }
+    const auto short_count = static_cast<uint32_t>(
+        static_cast<double>(num_workers) * short_partition_fraction);
+    // Never let the general partition vanish entirely.
+    return num_workers > short_count ? num_workers - short_count : 1;
+  }
+};
+
+}  // namespace hawk
+
+#endif  // HAWK_CORE_HAWK_CONFIG_H_

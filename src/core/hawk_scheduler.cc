@@ -1,0 +1,85 @@
+#include "src/core/hawk_scheduler.h"
+
+#include <cmath>
+
+#include "src/core/probe_placement.h"
+
+namespace hawk {
+
+void HawkPolicy::Attach(SchedulerContext* ctx) {
+  SchedulerPolicy::Attach(ctx);
+  const uint32_t general = ctx->GetCluster().GeneralCount();
+  central_queue_ = std::make_unique<WaitingTimeQueue>(general);
+  stealing_ = std::make_unique<StealingPolicy>(config_.steal_cap, ctx->SchedRng().Next());
+}
+
+void HawkPolicy::OnJobArrival(const Job& job, const JobClass& cls) {
+  const Cluster& cluster = ctx_->GetCluster();
+  if (cls.is_long_sched) {
+    if (config_.use_centralized_long) {
+      ScheduleLongCentralized(job, cls);
+    } else {
+      // Component breakdown: long jobs fall back to distributed probing, but
+      // stay confined to the general partition (§4.4).
+      ScheduleDistributed(job, cls, /*first=*/0, cluster.GeneralCount());
+    }
+    return;
+  }
+  // Short jobs probe the whole cluster: the short partition is reserved for
+  // them, and any idle general-partition worker is fair game (§3.4, §3.5).
+  ScheduleDistributed(job, cls, /*first=*/0, cluster.NumWorkers());
+}
+
+void HawkPolicy::ScheduleLongCentralized(const Job& job, const JobClass& cls) {
+  (void)cls;
+  // Canonical rounded estimate from the tracker: the same value is replayed
+  // by the start/finish feedback, keeping the backlog accounting exact.
+  const DurationUs estimate_us = ctx_->Tracker().EstimateUs(job.id);
+  for (uint32_t i = 0; i < job.NumTasks(); ++i) {
+    const auto assignment = ctx_->Tracker().TakeNextTask(job.id);
+    HAWK_CHECK(assignment.has_value());
+    const WorkerId worker = central_queue_->AssignTask(ctx_->Now(), estimate_us);
+    ctx_->PlaceTask(worker, job.id, assignment->task_index, assignment->duration,
+                    /*is_long=*/true);
+  }
+}
+
+void HawkPolicy::ScheduleDistributed(const Job& job, const JobClass& cls, WorkerId first,
+                                     uint32_t count) {
+  const uint32_t num_probes = config_.probe_ratio * job.NumTasks();
+  const std::vector<WorkerId> targets =
+      ChooseProbeTargets(ctx_->SchedRng(), first, count, num_probes);
+  for (const WorkerId w : targets) {
+    ctx_->PlaceProbe(w, job.id, cls.is_long_sched);
+  }
+}
+
+void HawkPolicy::OnTaskStart(WorkerId worker, const QueueEntry& task) {
+  // Only centrally placed (long) tasks are tracked by the waiting-time
+  // queue; short tasks are invisible to the centralized component (§3.7).
+  if (!task.is_long || !config_.use_centralized_long) {
+    return;
+  }
+  central_queue_->OnTaskStart(worker, ctx_->Now(), ctx_->Tracker().EstimateUs(task.job));
+}
+
+void HawkPolicy::OnTaskFinish(WorkerId worker, JobId job, bool is_long) {
+  (void)job;
+  if (!is_long || !config_.use_centralized_long) {
+    return;
+  }
+  central_queue_->OnTaskFinish(worker, ctx_->Now());
+}
+
+void HawkPolicy::OnWorkerIdle(WorkerId worker) {
+  if (!config_.use_stealing || config_.steal_cap == 0) {
+    return;
+  }
+  const std::vector<QueueEntry> stolen =
+      stealing_->TrySteal(ctx_->GetCluster(), worker, &ctx_->Counters());
+  if (!stolen.empty()) {
+    ctx_->DeliverStolen(worker, stolen);
+  }
+}
+
+}  // namespace hawk

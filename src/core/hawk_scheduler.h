@@ -1,0 +1,49 @@
+// The Hawk hybrid scheduler (paper §3) — the primary contribution.
+//
+// Long jobs are placed by a centralized waiting-time queue restricted to the
+// general partition; short jobs are probed Sparrow-style over the entire
+// cluster; idle workers steal blocked short work from random general-
+// partition victims. Each mechanism has a toggle so the §4.4 component
+// breakdown ("Hawk w/out centralized / partition / stealing") runs through
+// the exact same code.
+#ifndef HAWK_CORE_HAWK_SCHEDULER_H_
+#define HAWK_CORE_HAWK_SCHEDULER_H_
+
+#include <memory>
+
+#include "src/core/hawk_config.h"
+#include "src/core/stealing_policy.h"
+#include "src/core/waiting_time_queue.h"
+#include "src/scheduler/policy.h"
+
+namespace hawk {
+
+class HawkPolicy : public SchedulerPolicy {
+ public:
+  explicit HawkPolicy(const HawkConfig& config) : config_(config) {}
+
+  void Attach(SchedulerContext* ctx) override;
+
+  void OnJobArrival(const Job& job, const JobClass& cls) override;
+  void OnWorkerIdle(WorkerId worker) override;
+  void OnTaskStart(WorkerId worker, const QueueEntry& task) override;
+  void OnTaskFinish(WorkerId worker, JobId job, bool is_long) override;
+
+  std::string_view Name() const override { return "hawk"; }
+
+  const HawkConfig& config() const { return config_; }
+  const WaitingTimeQueue& waiting_times() const { return *central_queue_; }
+
+ private:
+  void ScheduleLongCentralized(const Job& job, const JobClass& cls);
+  void ScheduleDistributed(const Job& job, const JobClass& cls, WorkerId first, uint32_t count);
+
+  HawkConfig config_;
+  // Waiting-time queue over the general partition only (§3.7).
+  std::unique_ptr<WaitingTimeQueue> central_queue_;
+  std::unique_ptr<StealingPolicy> stealing_;
+};
+
+}  // namespace hawk
+
+#endif  // HAWK_CORE_HAWK_SCHEDULER_H_

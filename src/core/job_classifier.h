@@ -1,0 +1,54 @@
+// Long/short job classification (paper §3.3).
+//
+// Produces two classifications per job: the *scheduling* class, derived from
+// the (possibly noisy) runtime estimate, and the *metrics* class, derived
+// from the noise-free estimate — Fig. 14 reports runtimes "for the set of
+// jobs classified as long when no mis-estimations are present".
+#ifndef HAWK_CORE_JOB_CLASSIFIER_H_
+#define HAWK_CORE_JOB_CLASSIFIER_H_
+
+#include "src/core/estimator.h"
+#include "src/core/hawk_config.h"
+#include "src/workload/job.h"
+
+namespace hawk {
+
+struct JobClass {
+  bool is_long_sched = false;
+  bool is_long_metrics = false;
+  // The (possibly noisy) estimated task runtime the scheduler acts on, in
+  // microseconds; the centralized component charges this to workers (§3.7).
+  double estimate_us = 0.0;
+};
+
+class JobClassifier {
+ public:
+  JobClassifier(ClassifyMode mode, DurationUs cutoff_us, double noise_lo, double noise_hi,
+                uint64_t seed)
+      : mode_(mode), cutoff_us_(cutoff_us), estimator_(noise_lo, noise_hi, seed) {}
+
+  JobClass Classify(const Job& job) {
+    JobClass result;
+    result.estimate_us = estimator_.EstimateAvgTaskUs(job);
+    if (mode_ == ClassifyMode::kHint) {
+      result.is_long_sched = job.long_hint;
+      result.is_long_metrics = job.long_hint;
+      return result;
+    }
+    result.is_long_sched = result.estimate_us >= static_cast<double>(cutoff_us_);
+    result.is_long_metrics =
+        Estimator::ExactAvgTaskUs(job) >= static_cast<double>(cutoff_us_);
+    return result;
+  }
+
+  DurationUs cutoff_us() const { return cutoff_us_; }
+
+ private:
+  ClassifyMode mode_;
+  DurationUs cutoff_us_;
+  Estimator estimator_;
+};
+
+}  // namespace hawk
+
+#endif  // HAWK_CORE_JOB_CLASSIFIER_H_

@@ -1,0 +1,20 @@
+#include "src/core/partition.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace hawk {
+
+double ShortPartitionFractionFromMix(const WorkloadMix& mix, double floor, double ceiling) {
+  HAWK_CHECK_GE(floor, 0.0);
+  HAWK_CHECK_LE(floor, ceiling);
+  const double short_share = 1.0 - mix.pct_task_seconds_long / 100.0;
+  return std::clamp(short_share, floor, ceiling);
+}
+
+double ShortPartitionFractionForTrace(const Trace& trace, const LongJobPredicate& is_long) {
+  return ShortPartitionFractionFromMix(ComputeMix(trace, is_long));
+}
+
+}  // namespace hawk

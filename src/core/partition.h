@@ -1,0 +1,24 @@
+// Short-partition sizing (paper §3.4).
+//
+// "Hawk sizes the general partition based on the proportion of time that
+// cluster resources are used by long jobs", i.e. the short partition gets the
+// short jobs' task-seconds share. The paper rounds these to 17% (Google),
+// 9% (Cloudera), 2% (Facebook) and 2% (Yahoo).
+#ifndef HAWK_CORE_PARTITION_H_
+#define HAWK_CORE_PARTITION_H_
+
+#include "src/workload/trace_stats.h"
+
+namespace hawk {
+
+// Short-partition fraction from a measured workload mix: 1 - long task-second
+// share, clamped to [floor, ceiling] so neither partition vanishes.
+double ShortPartitionFractionFromMix(const WorkloadMix& mix, double floor = 0.01,
+                                     double ceiling = 0.5);
+
+// Convenience: compute the mix and derive the fraction in one step.
+double ShortPartitionFractionForTrace(const Trace& trace, const LongJobPredicate& is_long);
+
+}  // namespace hawk
+
+#endif  // HAWK_CORE_PARTITION_H_

@@ -1,0 +1,43 @@
+// Probe target selection for batch probing (paper §2.3, §3.5).
+//
+// A job with t tasks sends `ratio * t` probes to workers chosen uniformly at
+// random *without replacement* from the eligible range. When the probe count
+// exceeds the eligible worker count (large jobs on small partitions), probes
+// are spread in whole rounds — every worker receives floor(p / n) probes and
+// a random distinct subset receives one more — preserving the invariant that
+// the number of probes is never smaller than the number of tasks.
+#ifndef HAWK_CORE_PROBE_PLACEMENT_H_
+#define HAWK_CORE_PROBE_PLACEMENT_H_
+
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/random.h"
+#include "src/common/types.h"
+
+namespace hawk {
+
+// Returns `num_probes` worker ids in [first, first + count).
+inline std::vector<WorkerId> ChooseProbeTargets(Rng& rng, WorkerId first, uint32_t count,
+                                                uint32_t num_probes) {
+  HAWK_CHECK_GT(count, 0u);
+  std::vector<WorkerId> targets;
+  targets.reserve(num_probes);
+  const uint32_t rounds = num_probes / count;
+  const uint32_t remainder = num_probes % count;
+  for (uint32_t r = 0; r < rounds; ++r) {
+    for (uint32_t i = 0; i < count; ++i) {
+      targets.push_back(first + i);
+    }
+  }
+  if (remainder > 0) {
+    for (const uint32_t pick : rng.SampleWithoutReplacement(count, remainder)) {
+      targets.push_back(first + pick);
+    }
+  }
+  return targets;
+}
+
+}  // namespace hawk
+
+#endif  // HAWK_CORE_PROBE_PLACEMENT_H_

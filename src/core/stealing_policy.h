@@ -1,0 +1,67 @@
+// Randomized work stealing (paper §3.6).
+//
+// When a worker runs out of work it contacts up to `cap` distinct random
+// workers and steals from the first one holding an eligible group. Both
+// general- and short-partition workers may steal, but victims are always in
+// the general partition — "that is where the head-of-line blocking is caused
+// by long jobs". What is stolen is the first consecutive group of short
+// entries after a long entry (Worker::ExtractStealableGroup, Fig. 3).
+#ifndef HAWK_CORE_STEALING_POLICY_H_
+#define HAWK_CORE_STEALING_POLICY_H_
+
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/results.h"
+#include "src/common/random.h"
+
+namespace hawk {
+
+class StealingPolicy {
+ public:
+  // `cap`: max random victims contacted per attempt (paper default 10).
+  StealingPolicy(uint32_t cap, uint64_t seed) : cap_(cap), rng_(seed) {}
+
+  uint32_t cap() const { return cap_; }
+
+  // Attempts one steal for `thief`. Victim candidates are general-partition
+  // workers other than the thief. Returns the stolen entries (empty when the
+  // attempt failed); the entries have already been removed from the victim.
+  // Updates the steal counters in `counters`.
+  std::vector<QueueEntry> TrySteal(Cluster& cluster, WorkerId thief, RunCounters* counters) {
+    std::vector<QueueEntry> stolen;
+    if (cap_ == 0) {
+      return stolen;
+    }
+    counters->steal_attempts++;
+    const uint32_t general = cluster.GeneralCount();
+    // Candidate pool: general partition, minus the thief when it is inside.
+    const uint32_t pool = cluster.InGeneralPartition(thief) ? general - 1 : general;
+    if (pool == 0) {
+      return stolen;
+    }
+    const uint32_t contacts = std::min(cap_, pool);
+    const std::vector<uint32_t> picks = rng_.SampleWithoutReplacement(pool, contacts);
+    for (const uint32_t pick : picks) {
+      // Skip over the thief's slot to map pool index -> worker id.
+      const WorkerId victim =
+          (cluster.InGeneralPartition(thief) && pick >= thief) ? pick + 1 : pick;
+      counters->steal_victim_probes++;
+      stolen = cluster.worker(victim).ExtractStealableGroup();
+      if (!stolen.empty()) {
+        counters->steal_successes++;
+        counters->entries_stolen += stolen.size();
+        return stolen;
+      }
+    }
+    return stolen;
+  }
+
+ private:
+  uint32_t cap_;
+  Rng rng_;
+};
+
+}  // namespace hawk
+
+#endif  // HAWK_CORE_STEALING_POLICY_H_

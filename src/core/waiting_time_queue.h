@@ -1,0 +1,151 @@
+// Centralized long-job placement (paper §3.7).
+//
+// The centralized component keeps a priority queue of <worker, waiting time>
+// sorted by waiting time: "the sum of the estimated execution time for all
+// long tasks in that server's queue plus the remaining estimated execution
+// time of any long task that currently may be executing". Each task of a new
+// long job goes to the head (minimum waiting time) and the queue is updated
+// after every assignment.
+//
+// The scheduler's view stays "timely and fairly accurate" (§3.7) because —
+// exactly as in the Spark implementation, where node monitors report to the
+// scheduler — it receives task start and finish notifications and
+// re-synchronizes its estimate with reality at each one:
+//   waiting(w, now) = backlog(w) + remaining(w, now)
+//   backlog(w)   = sum of estimates of tasks assigned to w, not yet started
+//   remaining(w) = max(0, exec_drain(w) - now), exec_drain set to now + est
+//                  when a task starts and to now when it finishes.
+// Between notifications the stored key — an absolute estimated drain time —
+// is constant, so waiting times decay with the clock at no bookkeeping cost
+// while the set ordering stays valid. Start notifications also absorb delays
+// the scheduler cannot see directly (e.g. short tasks interleaved ahead of a
+// long task on a general-partition worker): the backlog simply starts later.
+#ifndef HAWK_CORE_WAITING_TIME_QUEUE_H_
+#define HAWK_CORE_WAITING_TIME_QUEUE_H_
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace hawk {
+
+class WaitingTimeQueue {
+ public:
+  // Tracks workers [0, num_workers); all start with zero waiting time.
+  explicit WaitingTimeQueue(uint32_t num_workers) {
+    HAWK_CHECK_GT(num_workers, 0u);
+    backlog_.assign(num_workers, 0);
+    exec_drain_.assign(num_workers, 0);
+    executing_.assign(num_workers, 0);
+    key_.assign(num_workers, 0);
+    key_executing_bit_.assign(num_workers, 0);
+    for (uint32_t w = 0; w < num_workers; ++w) {
+      ordered_.insert(Key{0, 0, w});
+    }
+  }
+
+  uint32_t NumWorkers() const { return static_cast<uint32_t>(backlog_.size()); }
+
+  // Assigns one task with estimated runtime `estimate_us` to the worker with
+  // the minimum waiting time and adds the estimate to its backlog. Ties are
+  // broken by lowest worker id (deterministic).
+  WorkerId AssignTask(SimTime now, DurationUs estimate_us) {
+    HAWK_CHECK_GE(estimate_us, 0);
+    // Stored keys only age downward relative to reality (a key is a lower
+    // bound on the fresh key), so refreshing heads until the minimum is
+    // fresh yields the exact minimum-waiting worker. Fast path: every fresh
+    // key is >= now, and a drained head (no backlog, nothing executing) has
+    // fresh key exactly `now` — it is a global minimum without any refresh,
+    // which keeps assignments O(log n) on mostly-idle clusters. (Ties among
+    // drained workers then resolve least-recently-drained first.)
+    while (true) {
+      const WorkerId head = ordered_.begin()->worker;
+      if (backlog_[head] == 0 && executing_[head] == 0) {
+        break;
+      }
+      const SimTime fresh = std::max(now, exec_drain_[head]) + backlog_[head];
+      if (fresh == key_[head]) {
+        break;
+      }
+      Reindex(head, now);
+    }
+    const WorkerId worker = ordered_.begin()->worker;
+    backlog_[worker] += estimate_us;
+    Reindex(worker, now);
+    return worker;
+  }
+
+  // Notification: a tracked task with estimate `estimate_us` began executing
+  // on `worker`. Must match a prior AssignTask estimate.
+  void OnTaskStart(WorkerId worker, SimTime now, DurationUs estimate_us) {
+    HAWK_CHECK_LT(worker, backlog_.size());
+    HAWK_CHECK_GE(backlog_[worker], estimate_us) << "start without matching assignment";
+    backlog_[worker] -= estimate_us;
+    exec_drain_[worker] = now + estimate_us;
+    executing_[worker] = 1;
+    Reindex(worker, now);
+  }
+
+  // Notification: the tracked task executing on `worker` finished.
+  void OnTaskFinish(WorkerId worker, SimTime now) {
+    HAWK_CHECK_LT(worker, backlog_.size());
+    exec_drain_[worker] = now;
+    executing_[worker] = 0;
+    Reindex(worker, now);
+  }
+
+  // Estimated waiting time of `worker` at `now` (§3.7 definition).
+  DurationUs WaitingTime(WorkerId worker, SimTime now) const {
+    HAWK_CHECK_LT(worker, backlog_.size());
+    return backlog_[worker] + std::max<DurationUs>(0, exec_drain_[worker] - now);
+  }
+
+  DurationUs BacklogEstimate(WorkerId worker) const {
+    HAWK_CHECK_LT(worker, backlog_.size());
+    return backlog_[worker];
+  }
+
+ private:
+  // Ordering: primary key is the absolute time at which the worker's known
+  // long work would drain (max(now, exec_drain) + backlog — constant between
+  // notifications). Among equal drains — notably workers whose estimated
+  // waiting hit zero — prefer workers that are NOT currently executing a
+  // tracked task: an overdue task (running past its estimate) has zero
+  // *estimated* remaining time, but a genuinely free worker is still the
+  // better home for a new task. Final tie-break: lowest id (deterministic).
+  struct Key {
+    SimTime drain;
+    uint8_t executing;
+    WorkerId worker;
+    bool operator<(const Key& other) const {
+      if (drain != other.drain) {
+        return drain < other.drain;
+      }
+      if (executing != other.executing) {
+        return executing < other.executing;
+      }
+      return worker < other.worker;
+    }
+  };
+
+  void Reindex(WorkerId worker, SimTime now) {
+    ordered_.erase(Key{key_[worker], key_executing_bit_[worker], worker});
+    key_[worker] = std::max(now, exec_drain_[worker]) + backlog_[worker];
+    key_executing_bit_[worker] = executing_[worker];
+    ordered_.insert(Key{key_[worker], key_executing_bit_[worker], worker});
+  }
+
+  std::set<Key> ordered_;
+  std::vector<SimTime> key_;
+  std::vector<uint8_t> key_executing_bit_;  // Executing flag as stored in the key.
+  std::vector<DurationUs> backlog_;
+  std::vector<SimTime> exec_drain_;
+  std::vector<uint8_t> executing_;
+};
+
+}  // namespace hawk
+
+#endif  // HAWK_CORE_WAITING_TIME_QUEUE_H_

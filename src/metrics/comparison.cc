@@ -1,0 +1,52 @@
+#include "src/metrics/comparison.h"
+
+#include "src/common/check.h"
+#include "src/common/histogram.h"
+
+namespace hawk {
+namespace {
+
+ClassComparison CompareClass(const RunResult& treatment, const RunResult& baseline,
+                             bool long_jobs) {
+  ClassComparison cmp;
+  Samples treat;
+  Samples base;
+  size_t improved = 0;
+  for (size_t i = 0; i < treatment.jobs.size(); ++i) {
+    const JobResult& t = treatment.jobs[i];
+    const JobResult& b = baseline.jobs[i];
+    HAWK_CHECK_EQ(t.id, b.id) << "comparing runs from different traces";
+    if (t.is_long != long_jobs) {
+      continue;
+    }
+    treat.Add(static_cast<double>(t.runtime_us));
+    base.Add(static_cast<double>(b.runtime_us));
+    if (t.runtime_us <= b.runtime_us) {
+      ++improved;
+    }
+  }
+  cmp.jobs = treat.Count();
+  if (cmp.jobs == 0) {
+    return cmp;
+  }
+  cmp.p50_ratio = treat.Percentile(50.0) / base.Percentile(50.0);
+  cmp.p90_ratio = treat.Percentile(90.0) / base.Percentile(90.0);
+  cmp.avg_ratio = treat.Mean() / base.Mean();
+  cmp.fraction_improved_or_equal =
+      static_cast<double>(improved) / static_cast<double>(cmp.jobs);
+  return cmp;
+}
+
+}  // namespace
+
+RunComparison CompareRuns(const RunResult& treatment, const RunResult& baseline) {
+  HAWK_CHECK_EQ(treatment.jobs.size(), baseline.jobs.size());
+  RunComparison cmp;
+  cmp.short_jobs = CompareClass(treatment, baseline, /*long_jobs=*/false);
+  cmp.long_jobs = CompareClass(treatment, baseline, /*long_jobs=*/true);
+  cmp.treatment_median_util = treatment.MedianUtilization();
+  cmp.baseline_median_util = baseline.MedianUtilization();
+  return cmp;
+}
+
+}  // namespace hawk

@@ -1,0 +1,34 @@
+// Run-to-run comparison metrics (the y-axes of the paper's figures).
+//
+// The paper reports Hawk normalized to a baseline: ratio of the 50th (or
+// 90th) percentile job runtime, per job class; plus, for Fig. 5c, the
+// fraction of jobs Hawk improves (runtime better than or equal to the
+// baseline's for the same job) and the ratio of average runtimes.
+#ifndef HAWK_METRICS_COMPARISON_H_
+#define HAWK_METRICS_COMPARISON_H_
+
+#include "src/cluster/results.h"
+
+namespace hawk {
+
+struct ClassComparison {
+  double p50_ratio = 0.0;  // treatment p50 / baseline p50; < 1 means better.
+  double p90_ratio = 0.0;
+  double avg_ratio = 0.0;                 // Fig. 5c: average job runtime ratio.
+  double fraction_improved_or_equal = 0;  // Fig. 5c: per-job comparison.
+  size_t jobs = 0;
+};
+
+struct RunComparison {
+  ClassComparison short_jobs;
+  ClassComparison long_jobs;
+  double treatment_median_util = 0.0;
+  double baseline_median_util = 0.0;
+};
+
+// Both runs must come from the same trace (same job ids and classes).
+RunComparison CompareRuns(const RunResult& treatment, const RunResult& baseline);
+
+}  // namespace hawk
+
+#endif  // HAWK_METRICS_COMPARISON_H_

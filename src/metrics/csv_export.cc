@@ -1,0 +1,38 @@
+#include "src/metrics/csv_export.h"
+
+#include <fstream>
+
+namespace hawk {
+
+Status WriteJobResultsCsv(const std::string& path, const RunResult& result) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Error("cannot open for writing: " + path);
+  }
+  out << "job_id,is_long,submit_us,finish_us,runtime_us\n";
+  for (const JobResult& job : result.jobs) {
+    out << job.id << ',' << (job.is_long ? 1 : 0) << ',' << job.submit_time << ','
+        << job.finish_time << ',' << job.runtime_us << '\n';
+  }
+  if (!out) {
+    return Status::Error("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Status WriteUtilizationCsv(const std::string& path, const RunResult& result) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Error("cannot open for writing: " + path);
+  }
+  out << "sample_index,utilization\n";
+  for (size_t i = 0; i < result.utilization_samples.size(); ++i) {
+    out << i << ',' << result.utilization_samples[i] << '\n';
+  }
+  if (!out) {
+    return Status::Error("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace hawk

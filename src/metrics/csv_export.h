@@ -1,0 +1,21 @@
+// CSV export of experiment outputs, for plotting the figures with external
+// tools. One row per job (results) or per sample (utilization).
+#ifndef HAWK_METRICS_CSV_EXPORT_H_
+#define HAWK_METRICS_CSV_EXPORT_H_
+
+#include <string>
+
+#include "src/cluster/results.h"
+#include "src/common/status.h"
+
+namespace hawk {
+
+// Columns: job_id,is_long,submit_us,finish_us,runtime_us
+Status WriteJobResultsCsv(const std::string& path, const RunResult& result);
+
+// Columns: sample_index,utilization
+Status WriteUtilizationCsv(const std::string& path, const RunResult& result);
+
+}  // namespace hawk
+
+#endif  // HAWK_METRICS_CSV_EXPORT_H_

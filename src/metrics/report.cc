@@ -1,0 +1,71 @@
+#include "src/metrics/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace hawk {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  HAWK_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << std::string(widths[c] - cells[c].size(), ' ') << cells[c];
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  size_t total = headers_.size() > 0 ? 2 * (headers_.size() - 1) : 0;
+  for (const size_t w : widths) {
+    total += w;
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string Table::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::Pct(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, value * 100.0);
+  return buf;
+}
+
+void PrintCdf(const std::string& title, const Samples& samples, size_t points) {
+  std::printf("%s (n=%zu)\n", title.c_str(), samples.Count());
+  if (samples.Empty()) {
+    std::printf("  (empty)\n");
+    return;
+  }
+  for (const auto& [value, cum] : samples.CdfSeries(points)) {
+    std::printf("  %14.3f  %6.2f%%\n", value, cum * 100.0);
+  }
+}
+
+}  // namespace hawk

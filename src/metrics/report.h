@@ -1,0 +1,38 @@
+// ASCII rendering helpers for bench output: aligned tables and CDF plots,
+// so each bench binary prints the same rows/series as the paper's tables
+// and figures.
+#ifndef HAWK_METRICS_REPORT_H_
+#define HAWK_METRICS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+
+namespace hawk {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with right-aligned, padded columns.
+  std::string ToString() const;
+  void Print() const;
+
+  static std::string Num(double value, int precision = 3);
+  static std::string Pct(double value, int precision = 2);  // value in [0,1] -> "12.34%"
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints "value cumulative%" pairs for a CDF at the given number of points,
+// matching the series behind the paper's CDF figures.
+void PrintCdf(const std::string& title, const Samples& samples, size_t points = 20);
+
+}  // namespace hawk
+
+#endif  // HAWK_METRICS_REPORT_H_

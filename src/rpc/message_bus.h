@@ -1,0 +1,95 @@
+// In-process RPC message bus with latency injection — the Thrift stand-in
+// for the prototype runtime (paper §3.8).
+//
+// Endpoints register handlers under integer addresses. Senders enqueue
+// serialized payloads; a delivery thread dispatches each message to its
+// destination handler after the configured network latency. Handlers run on
+// the delivery thread, mirroring a Thrift server's worker; replies are just
+// messages sent back to the caller's address. One-way messages plus
+// request/response correlation ids cover everything the node monitors and
+// schedulers need.
+#ifndef HAWK_RPC_MESSAGE_BUS_H_
+#define HAWK_RPC_MESSAGE_BUS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace hawk {
+namespace rpc {
+
+using Address = uint32_t;
+
+struct BusMessage {
+  Address from = 0;
+  Address to = 0;
+  uint32_t type = 0;  // Application-defined message type tag.
+  std::vector<uint8_t> payload;
+};
+
+class MessageBus {
+ public:
+  // `latency` is the injected one-way delivery delay (wall clock).
+  explicit MessageBus(std::chrono::microseconds latency, uint32_t delivery_threads = 2);
+  ~MessageBus();
+
+  MessageBus(const MessageBus&) = delete;
+  MessageBus& operator=(const MessageBus&) = delete;
+
+  using Handler = std::function<void(const BusMessage&)>;
+
+  // Registers the handler for `address`. Must happen before messages are
+  // sent to that address. Not thread-safe against concurrent Send.
+  void Register(Address address, Handler handler);
+
+  // Enqueues a message for delivery after the bus latency. Thread-safe.
+  void Send(Address from, Address to, uint32_t type, std::vector<uint8_t> payload);
+
+  // Blocks until every message enqueued so far has been delivered.
+  void Drain();
+
+  // Stops delivery threads; undelivered messages are dropped.
+  void Shutdown();
+
+  uint64_t MessagesDelivered() const;
+
+ private:
+  struct Pending {
+    std::chrono::steady_clock::time_point deliver_at;
+    uint64_t seq;
+    BusMessage message;
+    bool operator>(const Pending& other) const {
+      if (deliver_at != other.deliver_at) {
+        return deliver_at > other.deliver_at;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  void DeliveryLoop();
+
+  const std::chrono::microseconds latency_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable drained_cv_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue_;
+  std::unordered_map<Address, Handler> handlers_;
+  std::vector<std::thread> threads_;
+  uint64_t next_seq_ = 0;
+  uint64_t delivered_ = 0;
+  uint32_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace rpc
+}  // namespace hawk
+
+#endif  // HAWK_RPC_MESSAGE_BUS_H_

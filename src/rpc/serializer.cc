@@ -1,0 +1,78 @@
+#include "src/rpc/serializer.h"
+
+namespace hawk {
+namespace rpc {
+
+void Writer::WriteString(const std::string& s) {
+  WriteU32(static_cast<uint32_t>(s.size()));
+  WriteRaw(s.data(), s.size());
+}
+
+void Writer::WriteU32Vector(const std::vector<uint32_t>& v) {
+  WriteU32(static_cast<uint32_t>(v.size()));
+  for (const uint32_t x : v) {
+    WriteU32(x);
+  }
+}
+
+void Writer::WriteI64Vector(const std::vector<int64_t>& v) {
+  WriteU32(static_cast<uint32_t>(v.size()));
+  for (const int64_t x : v) {
+    WriteI64(x);
+  }
+}
+
+uint8_t Reader::ReadU8() {
+  uint8_t v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+uint32_t Reader::ReadU32() {
+  uint32_t v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+uint64_t Reader::ReadU64() {
+  uint64_t v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+int64_t Reader::ReadI64() {
+  int64_t v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+std::string Reader::ReadString() {
+  const uint32_t size = ReadU32();
+  HAWK_CHECK_LE(pos_ + size, buf_.size()) << "rpc string truncated";
+  std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), size);
+  pos_ += size;
+  return s;
+}
+
+std::vector<uint32_t> Reader::ReadU32Vector() {
+  const uint32_t size = ReadU32();
+  std::vector<uint32_t> v;
+  v.reserve(size);
+  for (uint32_t i = 0; i < size; ++i) {
+    v.push_back(ReadU32());
+  }
+  return v;
+}
+
+std::vector<int64_t> Reader::ReadI64Vector() {
+  const uint32_t size = ReadU32();
+  std::vector<int64_t> v;
+  v.reserve(size);
+  for (uint32_t i = 0; i < size; ++i) {
+    v.push_back(ReadI64());
+  }
+  return v;
+}
+
+}  // namespace rpc
+}  // namespace hawk

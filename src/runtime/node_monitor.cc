@@ -1,0 +1,239 @@
+#include "src/runtime/node_monitor.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/check.h"
+
+namespace hawk {
+namespace runtime {
+
+NodeMonitor::NodeMonitor(rpc::Address address, const NodeMonitorConfig& config,
+                         rpc::MessageBus* bus, uint64_t seed)
+    : address_(address), config_(config), bus_(bus), rng_(seed) {
+  HAWK_CHECK(bus != nullptr);
+  HAWK_CHECK_LT(address, config.num_nodes);
+}
+
+NodeMonitor::~NodeMonitor() { Stop(); }
+
+void NodeMonitor::Start() {
+  bus_->Register(address_, [this](const rpc::BusMessage& m) { HandleMessage(m); });
+  executor_ = std::thread([this] { ExecutorLoop(); });
+}
+
+void NodeMonitor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+  }
+  exec_cv_.notify_all();
+  if (executor_.joinable()) {
+    executor_.join();
+  }
+}
+
+void NodeMonitor::HandleMessage(const rpc::BusMessage& message) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopping_) {
+    return;
+  }
+  switch (message.type) {
+    case kProbe: {
+      Entry entry;
+      entry.is_probe = true;
+      entry.probe = ProbeMsg::Decode(message.payload);
+      queue_.push_back(entry);
+      steal_round_exhausted_ = false;  // New work: future idleness may steal again.
+      Advance(lock);
+      break;
+    }
+    case kTaskPlace: {
+      Entry entry;
+      entry.is_probe = false;
+      entry.task = TaskMsg::Decode(message.payload);
+      queue_.push_back(entry);
+      steal_round_exhausted_ = false;
+      Advance(lock);
+      break;
+    }
+    case kTaskGrant: {
+      HAWK_CHECK(state_ == State::kRequesting);
+      exec_task_ = TaskMsg::Decode(message.payload);
+      state_ = State::kExecuting;
+      current_is_long_ = exec_task_.is_long;
+      has_exec_task_ = true;
+      exec_cv_.notify_all();
+      break;
+    }
+    case kTaskCancel: {
+      HAWK_CHECK(state_ == State::kRequesting);
+      state_ = State::kIdle;
+      Advance(lock);
+      break;
+    }
+    case kStealRequest: {
+      const StealRequestMsg request = StealRequestMsg::Decode(message.payload);
+      StealResponseMsg response;
+      response.probes = ExtractStealableLocked();
+      bus_->Send(address_, request.thief, kStealResponse, response.Encode());
+      break;
+    }
+    case kStealResponse: {
+      const StealResponseMsg response = StealResponseMsg::Decode(message.payload);
+      steal_in_flight_ = false;
+      if (!response.probes.empty()) {
+        entries_stolen_.fetch_add(response.probes.size(), std::memory_order_relaxed);
+        steal_victims_.clear();  // Round succeeded; stop contacting victims.
+        steal_round_exhausted_ = false;
+        for (const ProbeMsg& probe : response.probes) {
+          Entry entry;
+          entry.is_probe = true;
+          entry.probe = probe;
+          queue_.push_back(entry);
+        }
+      } else if (steal_victims_.empty()) {
+        // Round over with nothing stolen: stay idle until new work appears
+        // ("whenever a server is out of tasks" is one bounded round, §3.6).
+        steal_round_exhausted_ = true;
+      }
+      Advance(lock);
+      break;
+    }
+    default:
+      HAWK_CHECK(false) << "node monitor got unexpected message type " << message.type;
+  }
+}
+
+void NodeMonitor::Advance(std::unique_lock<std::mutex>& lock) {
+  (void)lock;
+  if (state_ != State::kIdle) {
+    return;
+  }
+  if (queue_.empty()) {
+    if (config_.stealing_enabled && config_.steal_cap > 0) {
+      TryStealLocked();
+    }
+    return;
+  }
+  const Entry entry = queue_.front();
+  queue_.pop_front();
+  if (entry.is_probe) {
+    // Late binding: ask the owning frontend for a task; kTaskGrant or
+    // kTaskCancel moves the state machine on.
+    state_ = State::kRequesting;
+    current_is_long_ = false;  // Probes carry short work in the prototype.
+    JobRefMsg request;
+    request.job = entry.probe.job;
+    request.sender = address_;
+    bus_->Send(address_, entry.probe.frontend, kTaskRequest, request.Encode());
+    return;
+  }
+  state_ = State::kExecuting;
+  current_is_long_ = entry.task.is_long;
+  exec_task_ = entry.task;
+  has_exec_task_ = true;
+  if (entry.task.is_long) {
+    JobRefMsg started;
+    started.job = entry.task.job;
+    started.sender = address_;
+    bus_->Send(address_, entry.task.owner, kTaskStarted, started.Encode());
+  }
+  exec_cv_.notify_all();
+}
+
+void NodeMonitor::TryStealLocked() {
+  if (steal_in_flight_ || steal_round_exhausted_) {
+    return;
+  }
+  if (steal_victims_.empty()) {
+    // Start a new round: pick up to `cap` distinct random general-partition
+    // victims (excluding ourselves).
+    const uint32_t pool =
+        address_ < config_.general_count ? config_.general_count - 1 : config_.general_count;
+    if (pool == 0) {
+      return;
+    }
+    const uint32_t contacts = std::min(config_.steal_cap, pool);
+    for (const uint32_t pick : rng_.SampleWithoutReplacement(pool, contacts)) {
+      const rpc::Address victim =
+          (address_ < config_.general_count && pick >= address_) ? pick + 1 : pick;
+      steal_victims_.push_back(victim);
+    }
+    steals_attempted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const rpc::Address victim = steal_victims_.back();
+  steal_victims_.pop_back();
+  steal_in_flight_ = true;
+  StealRequestMsg request;
+  request.thief = address_;
+  bus_->Send(address_, victim, kStealRequest, request.Encode());
+}
+
+std::vector<ProbeMsg> NodeMonitor::ExtractStealableLocked() {
+  // Mirror of Worker::ExtractStealableGroup (Fig. 3): first consecutive group
+  // of short entries (probes) following a long entry in [current, queue...].
+  std::vector<ProbeMsg> stolen;
+  bool seen_long = state_ != State::kIdle && current_is_long_;
+  size_t begin = queue_.size();
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    const bool is_long = !queue_[i].is_probe && queue_[i].task.is_long;
+    if (is_long) {
+      seen_long = true;
+      continue;
+    }
+    if (seen_long) {
+      begin = i;
+      break;
+    }
+  }
+  size_t end = begin;
+  while (end < queue_.size() && queue_[end].is_probe) {
+    ++end;
+  }
+  for (size_t i = begin; i < end; ++i) {
+    stolen.push_back(queue_[i].probe);
+  }
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(begin),
+               queue_.begin() + static_cast<std::ptrdiff_t>(end));
+  return stolen;
+}
+
+void NodeMonitor::ExecutorLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    exec_cv_.wait(lock, [this] { return stopping_ || has_exec_task_; });
+    if (stopping_) {
+      return;
+    }
+    const TaskMsg task = exec_task_;
+    has_exec_task_ = false;
+    executing_.store(true, std::memory_order_relaxed);
+    lock.unlock();
+
+    // The paper's prototype runs sleep tasks whose durations are the scaled
+    // trace durations.
+    std::this_thread::sleep_for(std::chrono::microseconds(task.duration_us));
+
+    busy_us_.fetch_add(task.duration_us, std::memory_order_relaxed);
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    executing_.store(false, std::memory_order_relaxed);
+
+    TaskMsg done = task;
+    bus_->Send(address_, task.owner, kTaskDone, done.Encode());
+
+    lock.lock();
+    if (stopping_) {
+      return;
+    }
+    HAWK_CHECK(state_ == State::kExecuting);
+    state_ = State::kIdle;
+    Advance(lock);
+  }
+}
+
+}  // namespace runtime
+}  // namespace hawk

@@ -1,0 +1,104 @@
+// Node monitor: the per-worker agent of the prototype runtime (paper §3.8).
+//
+// Holds the worker's FIFO queue of probes and tasks, executes one task at a
+// time on a dedicated executor thread (tasks are sleeps, as in the paper's
+// prototype), performs Sparrow-style late binding over RPC, and implements
+// both sides of randomized work stealing: as a thief when it runs out of
+// work, and as a victim serving steal requests against its queue.
+#ifndef HAWK_RUNTIME_NODE_MONITOR_H_
+#define HAWK_RUNTIME_NODE_MONITOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/types.h"
+#include "src/rpc/message_bus.h"
+#include "src/runtime/proto_messages.h"
+
+namespace hawk {
+namespace runtime {
+
+struct NodeMonitorConfig {
+  uint32_t num_nodes = 100;
+  uint32_t general_count = 83;  // Nodes [0, general_count) form the general partition.
+  uint32_t steal_cap = 10;      // 0 disables stealing.
+  bool stealing_enabled = true;
+};
+
+class NodeMonitor {
+ public:
+  NodeMonitor(rpc::Address address, const NodeMonitorConfig& config, rpc::MessageBus* bus,
+              uint64_t seed);
+  ~NodeMonitor();
+
+  NodeMonitor(const NodeMonitor&) = delete;
+  NodeMonitor& operator=(const NodeMonitor&) = delete;
+
+  // Registers the bus handler. Call before any traffic.
+  void Start();
+  // Stops the executor thread; pending queue entries are dropped.
+  void Stop();
+
+  bool ExecutingNow() const { return executing_.load(std::memory_order_relaxed); }
+
+  // Counters (racy reads are fine; read after Drain for exact values).
+  uint64_t tasks_executed() const { return tasks_executed_.load(std::memory_order_relaxed); }
+  uint64_t steals_attempted() const { return steals_attempted_.load(std::memory_order_relaxed); }
+  uint64_t entries_stolen() const { return entries_stolen_.load(std::memory_order_relaxed); }
+  DurationUs busy_us() const { return busy_us_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    bool is_probe = true;
+    ProbeMsg probe;  // Valid for probes.
+    TaskMsg task;    // Valid for tasks.
+  };
+
+  enum class State : uint8_t { kIdle, kRequesting, kExecuting };
+
+  void HandleMessage(const rpc::BusMessage& message);
+  void ExecutorLoop();
+
+  // Advances the queue state machine. Caller holds mu_.
+  void Advance(std::unique_lock<std::mutex>& lock);
+  // Starts or continues a steal round. Caller holds mu_.
+  void TryStealLocked();
+  // Victim side: extract the first consecutive short group after a long
+  // entry (probes are short; placed tasks are long). Caller holds mu_.
+  std::vector<ProbeMsg> ExtractStealableLocked();
+
+  const rpc::Address address_;
+  const NodeMonitorConfig config_;
+  rpc::MessageBus* bus_;
+  Rng rng_;
+
+  std::mutex mu_;
+  std::condition_variable exec_cv_;
+  std::deque<Entry> queue_;
+  State state_ = State::kIdle;
+  bool current_is_long_ = false;
+  bool steal_in_flight_ = false;
+  bool steal_round_exhausted_ = false;  // Round failed; wait for new work.
+  std::vector<rpc::Address> steal_victims_;  // Remaining victims this round.
+  bool has_exec_task_ = false;
+  TaskMsg exec_task_;
+  bool stopping_ = false;
+
+  std::atomic<bool> executing_{false};
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> steals_attempted_{0};
+  std::atomic<uint64_t> entries_stolen_{0};
+  std::atomic<int64_t> busy_us_{0};
+
+  std::thread executor_;
+};
+
+}  // namespace runtime
+}  // namespace hawk
+
+#endif  // HAWK_RUNTIME_NODE_MONITOR_H_

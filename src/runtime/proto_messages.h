@@ -1,0 +1,180 @@
+// Wire messages for the prototype runtime (paper §3.8).
+//
+// The prototype's node monitors and schedulers communicate exclusively
+// through serialized messages on the rpc::MessageBus, mirroring the paper's
+// Thrift RPC between Sparrow node monitors. Each struct has Encode/Decode
+// against src/rpc/serializer.h.
+#ifndef HAWK_RUNTIME_PROTO_MESSAGES_H_
+#define HAWK_RUNTIME_PROTO_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/rpc/message_bus.h"
+#include "src/rpc/serializer.h"
+
+namespace hawk {
+namespace runtime {
+
+enum MessageType : uint32_t {
+  kJobSubmit = 1,     // submitter -> frontend/backend: a job with task durations
+  kProbe = 2,         // frontend -> node monitor: enqueue a reservation
+  kTaskRequest = 3,   // node monitor -> frontend: probe reached queue head
+  kTaskGrant = 4,     // frontend -> node monitor: run this task
+  kTaskCancel = 5,    // frontend -> node monitor: job has no tasks left
+  kTaskPlace = 6,     // backend -> node monitor: enqueue a concrete (long) task
+  kTaskStarted = 7,   // node monitor -> backend: long task began executing
+  kTaskDone = 8,      // node monitor -> owner scheduler: task finished
+  kStealRequest = 9,  // node monitor -> node monitor: try to steal short work
+  kStealResponse = 10  // victim -> thief: stolen probes (possibly none)
+};
+
+struct JobSubmitMsg {
+  JobId job = 0;
+  bool is_long = false;
+  int64_t estimate_us = 0;
+  std::vector<int64_t> task_durations_us;
+
+  std::vector<uint8_t> Encode() const {
+    rpc::Writer w;
+    w.WriteU32(job);
+    w.WriteBool(is_long);
+    w.WriteI64(estimate_us);
+    w.WriteI64Vector(task_durations_us);
+    return w.Take();
+  }
+  static JobSubmitMsg Decode(const std::vector<uint8_t>& buf) {
+    rpc::Reader r(buf);
+    JobSubmitMsg m;
+    m.job = r.ReadU32();
+    m.is_long = r.ReadBool();
+    m.estimate_us = r.ReadI64();
+    m.task_durations_us = r.ReadI64Vector();
+    return m;
+  }
+};
+
+// kProbe. Also the unit stolen between node monitors: a probe retains its
+// owning frontend so the thief's task request goes to the right scheduler.
+struct ProbeMsg {
+  JobId job = 0;
+  rpc::Address frontend = 0;
+
+  std::vector<uint8_t> Encode() const {
+    rpc::Writer w;
+    w.WriteU32(job);
+    w.WriteU32(frontend);
+    return w.Take();
+  }
+  static ProbeMsg Decode(const std::vector<uint8_t>& buf) {
+    rpc::Reader r(buf);
+    ProbeMsg m;
+    m.job = r.ReadU32();
+    m.frontend = r.ReadU32();
+    return m;
+  }
+};
+
+// kTaskRequest / kTaskStarted / kTaskCancel: job + the sender's address.
+struct JobRefMsg {
+  JobId job = 0;
+  rpc::Address sender = 0;
+
+  std::vector<uint8_t> Encode() const {
+    rpc::Writer w;
+    w.WriteU32(job);
+    w.WriteU32(sender);
+    return w.Take();
+  }
+  static JobRefMsg Decode(const std::vector<uint8_t>& buf) {
+    rpc::Reader r(buf);
+    JobRefMsg m;
+    m.job = r.ReadU32();
+    m.sender = r.ReadU32();
+    return m;
+  }
+};
+
+// kTaskGrant / kTaskPlace / kTaskDone.
+struct TaskMsg {
+  JobId job = 0;
+  TaskIndex task_index = 0;
+  int64_t duration_us = 0;
+  bool is_long = false;
+  rpc::Address owner = 0;  // Scheduler to notify on completion.
+
+  std::vector<uint8_t> Encode() const {
+    rpc::Writer w;
+    w.WriteU32(job);
+    w.WriteU32(task_index);
+    w.WriteI64(duration_us);
+    w.WriteBool(is_long);
+    w.WriteU32(owner);
+    return w.Take();
+  }
+  static TaskMsg Decode(const std::vector<uint8_t>& buf) {
+    rpc::Reader r(buf);
+    TaskMsg m;
+    m.job = r.ReadU32();
+    m.task_index = r.ReadU32();
+    m.duration_us = r.ReadI64();
+    m.is_long = r.ReadBool();
+    m.owner = r.ReadU32();
+    return m;
+  }
+};
+
+// kStealRequest: thief's address. kStealResponse: batch of stolen probes.
+struct StealRequestMsg {
+  rpc::Address thief = 0;
+
+  std::vector<uint8_t> Encode() const {
+    rpc::Writer w;
+    w.WriteU32(thief);
+    return w.Take();
+  }
+  static StealRequestMsg Decode(const std::vector<uint8_t>& buf) {
+    rpc::Reader r(buf);
+    StealRequestMsg m;
+    m.thief = r.ReadU32();
+    return m;
+  }
+};
+
+struct StealResponseMsg {
+  std::vector<ProbeMsg> probes;
+
+  std::vector<uint8_t> Encode() const {
+    rpc::Writer w;
+    w.WriteU32(static_cast<uint32_t>(probes.size()));
+    for (const ProbeMsg& p : probes) {
+      w.WriteU32(p.job);
+      w.WriteU32(p.frontend);
+    }
+    return w.Take();
+  }
+  static StealResponseMsg Decode(const std::vector<uint8_t>& buf) {
+    rpc::Reader r(buf);
+    StealResponseMsg m;
+    const uint32_t count = r.ReadU32();
+    m.probes.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      ProbeMsg p;
+      p.job = r.ReadU32();
+      p.frontend = r.ReadU32();
+      m.probes.push_back(p);
+    }
+    return m;
+  }
+};
+
+// Address plan: node monitors get [0, num_nodes), frontends get
+// kFrontendBase + i, the backend gets kBackendAddress.
+inline constexpr rpc::Address kFrontendBase = 1'000'000;
+inline constexpr rpc::Address kBackendAddress = 2'000'000;
+
+}  // namespace runtime
+}  // namespace hawk
+
+#endif  // HAWK_RUNTIME_PROTO_MESSAGES_H_

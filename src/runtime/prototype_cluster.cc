@@ -1,0 +1,173 @@
+#include "src/runtime/prototype_cluster.h"
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <unordered_map>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+#include "src/common/random.h"
+#include "src/runtime/node_monitor.h"
+#include "src/runtime/proto_messages.h"
+#include "src/runtime/schedulers.h"
+
+namespace hawk {
+namespace runtime {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool IsLongJob(const Job& job, const PrototypeConfig& config) {
+  if (config.cutoff_us == 0) {
+    return job.long_hint;
+  }
+  return job.AvgTaskDurationUs() >= static_cast<double>(config.cutoff_us);
+}
+
+}  // namespace
+
+RunResult RunPrototype(const Trace& trace, const PrototypeConfig& config) {
+  HAWK_CHECK_GT(config.num_nodes, 0u);
+  HAWK_CHECK_GT(config.num_frontends, 0u);
+  const bool hawk_mode = config.mode == PrototypeMode::kHawk;
+  const uint32_t general_count =
+      hawk_mode ? std::max<uint32_t>(
+                      1, config.num_nodes -
+                             static_cast<uint32_t>(config.num_nodes *
+                                                   config.short_partition_fraction))
+                : config.num_nodes;
+
+  rpc::MessageBus bus(config.bus_latency, config.bus_threads);
+  CompletionSink sink;
+  sink.ExpectJobs(trace.NumJobs());
+
+  // Node monitors (bus addresses 0..num_nodes-1).
+  NodeMonitorConfig nm_config;
+  nm_config.num_nodes = config.num_nodes;
+  nm_config.general_count = general_count;
+  nm_config.steal_cap = config.steal_cap;
+  nm_config.stealing_enabled = hawk_mode;
+  std::vector<std::unique_ptr<NodeMonitor>> monitors;
+  monitors.reserve(config.num_nodes);
+  Rng seeder(config.seed);
+  for (uint32_t n = 0; n < config.num_nodes; ++n) {
+    monitors.push_back(std::make_unique<NodeMonitor>(n, nm_config, &bus, seeder.Next()));
+  }
+
+  // Distributed frontends; short jobs probe the whole cluster in Hawk mode
+  // (§3.5) and in Sparrow mode.
+  std::vector<std::unique_ptr<DistributedFrontend>> frontends;
+  frontends.reserve(config.num_frontends);
+  for (uint32_t f = 0; f < config.num_frontends; ++f) {
+    frontends.push_back(std::make_unique<DistributedFrontend>(
+        kFrontendBase + f, /*probe_first=*/0, /*probe_count=*/config.num_nodes,
+        config.probe_ratio, &bus, &sink, seeder.Next()));
+  }
+
+  std::unique_ptr<CentralBackend> backend;
+  if (hawk_mode) {
+    backend = std::make_unique<CentralBackend>(kBackendAddress, general_count, &bus, &sink);
+  }
+
+  for (auto& monitor : monitors) {
+    monitor->Start();
+  }
+  for (auto& frontend : frontends) {
+    frontend->Start();
+  }
+  if (backend != nullptr) {
+    backend->Start();
+  }
+
+  // Utilization sampler thread (the wall-clock analogue of the simulator's
+  // 100 s snapshots).
+  std::atomic<bool> sampling{true};
+  std::vector<double> utilization_samples;
+  std::thread sampler([&] {
+    while (sampling.load(std::memory_order_relaxed)) {
+      uint32_t executing = 0;
+      for (const auto& monitor : monitors) {
+        if (monitor->ExecutingNow()) {
+          ++executing;
+        }
+      }
+      utilization_samples.push_back(static_cast<double>(executing) /
+                                    static_cast<double>(config.num_nodes));
+      std::this_thread::sleep_for(config.util_sample_period);
+    }
+  });
+
+  // Submit jobs in real time following the trace's submission schedule.
+  const Clock::time_point start = Clock::now();
+  std::unordered_map<JobId, Clock::time_point> submit_times;
+  submit_times.reserve(trace.NumJobs());
+  std::unordered_map<JobId, bool> is_long_map;
+  is_long_map.reserve(trace.NumJobs());
+  {
+    uint32_t next_frontend = 0;
+    for (const Job& job : trace.jobs()) {
+      const Clock::time_point due = start + std::chrono::microseconds(job.submit_time);
+      std::this_thread::sleep_until(due);
+      const bool is_long = IsLongJob(job, config);
+      JobSubmitMsg submit;
+      submit.job = job.id;
+      submit.is_long = is_long;
+      submit.estimate_us = static_cast<int64_t>(std::llround(job.AvgTaskDurationUs()));
+      submit.task_durations_us.assign(job.task_durations.begin(), job.task_durations.end());
+      submit_times.emplace(job.id, Clock::now());
+      is_long_map.emplace(job.id, is_long);
+      if (is_long && hawk_mode) {
+        bus.Send(kBackendAddress, kBackendAddress, kJobSubmit, submit.Encode());
+      } else {
+        const rpc::Address frontend = kFrontendBase + (next_frontend++ % config.num_frontends);
+        bus.Send(frontend, frontend, kJobSubmit, submit.Encode());
+      }
+    }
+  }
+
+  const bool completed = sink.AwaitAll(config.timeout);
+  if (!completed) {
+    HAWK_LOG(Error) << "prototype run timed out; results are partial";
+  }
+  bus.Drain();
+
+  sampling.store(false, std::memory_order_relaxed);
+  sampler.join();
+  for (auto& monitor : monitors) {
+    monitor->Stop();
+  }
+  bus.Shutdown();
+
+  // Assemble a RunResult in the simulator's shape (times relative to start).
+  RunResult result;
+  result.utilization_samples = std::move(utilization_samples);
+  for (const auto& completion : sink.TakeAll()) {
+    JobResult job_result;
+    job_result.id = completion.job;
+    job_result.is_long = is_long_map.at(completion.job);
+    const auto submit_at = submit_times.at(completion.job);
+    job_result.submit_time =
+        std::chrono::duration_cast<std::chrono::microseconds>(submit_at - start).count();
+    job_result.finish_time = std::chrono::duration_cast<std::chrono::microseconds>(
+                                 completion.finished_at - start)
+                                 .count();
+    job_result.runtime_us = job_result.finish_time - job_result.submit_time;
+    result.makespan_us = std::max(result.makespan_us, job_result.finish_time);
+    result.jobs.push_back(job_result);
+  }
+  std::sort(result.jobs.begin(), result.jobs.end(),
+            [](const JobResult& a, const JobResult& b) { return a.id < b.id; });
+
+  result.counters.jobs = result.jobs.size();
+  for (const auto& monitor : monitors) {
+    result.counters.tasks_launched += monitor->tasks_executed();
+    result.counters.steal_attempts += monitor->steals_attempted();
+    result.counters.entries_stolen += monitor->entries_stolen();
+  }
+  result.counters.events = bus.MessagesDelivered();
+  return result;
+}
+
+}  // namespace runtime
+}  // namespace hawk

@@ -1,0 +1,58 @@
+// The prototype cluster harness (paper §4.10): N node monitors, a set of
+// distributed scheduler frontends, and (for Hawk) one centralized backend,
+// all communicating over the latency-injecting RPC bus. Tasks are sleeps
+// whose durations come from a (typically 1000x down-scaled) trace; jobs are
+// submitted in real time following the trace's submission times.
+//
+// This is the in-process equivalent of the paper's 100-node Spark deployment
+// with 1 centralized and 10 distributed schedulers: the full scheduling and
+// stealing control plane runs with real concurrency and real messaging; only
+// the physical network and the Spark executor are replaced (sleep tasks are
+// what the paper ran too).
+#ifndef HAWK_RUNTIME_PROTOTYPE_CLUSTER_H_
+#define HAWK_RUNTIME_PROTOTYPE_CLUSTER_H_
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/results.h"
+#include "src/workload/trace.h"
+
+namespace hawk {
+namespace runtime {
+
+enum class PrototypeMode : uint8_t {
+  kSparrow,  // Frontends only; whole cluster; no partition, no stealing.
+  kHawk,     // Frontends for short jobs + centralized backend for long jobs,
+             // short partition, randomized stealing.
+};
+
+struct PrototypeConfig {
+  PrototypeMode mode = PrototypeMode::kHawk;
+  uint32_t num_nodes = 100;
+  uint32_t num_frontends = 10;
+  double short_partition_fraction = 0.17;
+  DurationUs cutoff_us = 0;  // Jobs with avg task runtime >= cutoff are long.
+  uint32_t probe_ratio = 2;
+  uint32_t steal_cap = 10;
+  // One-way RPC latency injected by the bus (wall clock).
+  std::chrono::microseconds bus_latency{500};
+  uint32_t bus_threads = 3;
+  // Utilization sampling period (wall clock; the scaled analogue of 100 s).
+  std::chrono::microseconds util_sample_period{100'000};
+  // Hard cap on a run (safety for stuck runs).
+  std::chrono::milliseconds timeout{120'000};
+  uint64_t seed = 42;
+};
+
+// Runs `trace` (already time-scaled to wall-clock-friendly durations) on the
+// prototype and returns the same RunResult shape the simulator produces, so
+// benches can compare prototype and simulation directly. Job classification
+// uses `long_hint` when cutoff_us == 0, otherwise the cutoff.
+RunResult RunPrototype(const Trace& trace, const PrototypeConfig& config);
+
+}  // namespace runtime
+}  // namespace hawk
+
+#endif  // HAWK_RUNTIME_PROTOTYPE_CLUSTER_H_

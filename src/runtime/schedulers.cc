@@ -1,0 +1,187 @@
+#include "src/runtime/schedulers.h"
+
+#include "src/common/check.h"
+#include "src/core/probe_placement.h"
+
+namespace hawk {
+namespace runtime {
+
+// --- CompletionSink ---------------------------------------------------------
+
+void CompletionSink::ExpectJobs(size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  expected_ = count;
+  completions_.clear();
+  completions_.reserve(count);
+}
+
+void CompletionSink::Record(JobId job, bool is_long) {
+  std::lock_guard<std::mutex> lock(mu_);
+  completions_.push_back(Completion{job, is_long, std::chrono::steady_clock::now()});
+  if (completions_.size() >= expected_) {
+    cv_.notify_all();
+  }
+}
+
+bool CompletionSink::AwaitAll(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, timeout, [this] { return completions_.size() >= expected_; });
+}
+
+std::vector<CompletionSink::Completion> CompletionSink::TakeAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::move(completions_);
+}
+
+// --- DistributedFrontend ----------------------------------------------------
+
+DistributedFrontend::DistributedFrontend(rpc::Address address, uint32_t probe_first,
+                                         uint32_t probe_count, uint32_t probe_ratio,
+                                         rpc::MessageBus* bus, CompletionSink* sink,
+                                         uint64_t seed)
+    : address_(address),
+      probe_first_(probe_first),
+      probe_count_(probe_count),
+      probe_ratio_(probe_ratio),
+      bus_(bus),
+      sink_(sink),
+      rng_(seed) {
+  HAWK_CHECK(bus != nullptr);
+  HAWK_CHECK(sink != nullptr);
+  HAWK_CHECK_GT(probe_count, 0u);
+}
+
+void DistributedFrontend::Start() {
+  bus_->Register(address_, [this](const rpc::BusMessage& m) { HandleMessage(m); });
+}
+
+void DistributedFrontend::HandleMessage(const rpc::BusMessage& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (message.type) {
+    case kJobSubmit: {
+      const JobSubmitMsg submit = JobSubmitMsg::Decode(message.payload);
+      JobState state;
+      state.durations_us = submit.task_durations_us;
+      state.is_long = submit.is_long;
+      const auto num_tasks = static_cast<uint32_t>(state.durations_us.size());
+      HAWK_CHECK(jobs_.emplace(submit.job, std::move(state)).second);
+      ++jobs_handled_;
+      const std::vector<WorkerId> targets =
+          ChooseProbeTargets(rng_, probe_first_, probe_count_, probe_ratio_ * num_tasks);
+      ProbeMsg probe;
+      probe.job = submit.job;
+      probe.frontend = address_;
+      for (const WorkerId target : targets) {
+        bus_->Send(address_, target, kProbe, probe.Encode());
+      }
+      break;
+    }
+    case kTaskRequest: {
+      const JobRefMsg request = JobRefMsg::Decode(message.payload);
+      const auto it = jobs_.find(request.job);
+      // Unknown job: it already completed and was garbage-collected, but
+      // surplus probes for it are still queued somewhere. Cancel them.
+      if (it == jobs_.end() || it->second.next_unassigned >= it->second.durations_us.size()) {
+        JobRefMsg cancel;
+        cancel.job = request.job;
+        cancel.sender = address_;
+        ++cancels_sent_;
+        bus_->Send(address_, request.sender, kTaskCancel, cancel.Encode());
+        break;
+      }
+      JobState& state = it->second;
+      TaskMsg grant;
+      grant.job = request.job;
+      grant.task_index = state.next_unassigned;
+      grant.duration_us = state.durations_us[state.next_unassigned];
+      grant.is_long = state.is_long;
+      grant.owner = address_;
+      ++state.next_unassigned;
+      bus_->Send(address_, request.sender, kTaskGrant, grant.Encode());
+      break;
+    }
+    case kTaskDone: {
+      const TaskMsg done = TaskMsg::Decode(message.payload);
+      const auto it = jobs_.find(done.job);
+      HAWK_CHECK(it != jobs_.end());
+      JobState& state = it->second;
+      ++state.finished;
+      if (state.finished == state.durations_us.size()) {
+        sink_->Record(done.job, state.is_long);
+        jobs_.erase(it);
+      }
+      break;
+    }
+    default:
+      HAWK_CHECK(false) << "frontend got unexpected message type " << message.type;
+  }
+}
+
+// --- CentralBackend ---------------------------------------------------------
+
+CentralBackend::CentralBackend(rpc::Address address, uint32_t general_count,
+                               rpc::MessageBus* bus, CompletionSink* sink)
+    : address_(address),
+      bus_(bus),
+      sink_(sink),
+      waiting_(general_count),
+      epoch_(std::chrono::steady_clock::now()) {
+  HAWK_CHECK(bus != nullptr);
+  HAWK_CHECK(sink != nullptr);
+}
+
+void CentralBackend::Start() {
+  bus_->Register(address_, [this](const rpc::BusMessage& m) { HandleMessage(m); });
+}
+
+void CentralBackend::HandleMessage(const rpc::BusMessage& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (message.type) {
+    case kJobSubmit: {
+      const JobSubmitMsg submit = JobSubmitMsg::Decode(message.payload);
+      JobState state;
+      state.unfinished = static_cast<uint32_t>(submit.task_durations_us.size());
+      state.estimate_us = submit.estimate_us;
+      HAWK_CHECK(jobs_.emplace(submit.job, state).second);
+      ++jobs_handled_;
+      const SimTime now = NowUs();
+      for (uint32_t i = 0; i < submit.task_durations_us.size(); ++i) {
+        const WorkerId worker = waiting_.AssignTask(now, submit.estimate_us);
+        TaskMsg place;
+        place.job = submit.job;
+        place.task_index = i;
+        place.duration_us = submit.task_durations_us[i];
+        place.is_long = true;
+        place.owner = address_;
+        bus_->Send(address_, worker, kTaskPlace, place.Encode());
+      }
+      break;
+    }
+    case kTaskStarted: {
+      const JobRefMsg started = JobRefMsg::Decode(message.payload);
+      const auto it = jobs_.find(started.job);
+      HAWK_CHECK(it != jobs_.end());
+      waiting_.OnTaskStart(started.sender, NowUs(), it->second.estimate_us);
+      break;
+    }
+    case kTaskDone: {
+      const TaskMsg done = TaskMsg::Decode(message.payload);
+      // The sender is a node monitor; its bus address is its worker id.
+      waiting_.OnTaskFinish(message.from, NowUs());
+      const auto it = jobs_.find(done.job);
+      HAWK_CHECK(it != jobs_.end());
+      JobState& state = it->second;
+      --state.unfinished;
+      if (state.unfinished == 0) {
+        sink_->Record(done.job, /*is_long=*/true);
+        jobs_.erase(it);
+      }
+      break;
+    }
+    default:
+      HAWK_CHECK(false) << "backend got unexpected message type " << message.type;
+  }
+}
+
+}  // namespace runtime
+}  // namespace hawk

@@ -1,0 +1,125 @@
+// Prototype schedulers (paper §3.8, §4.10): distributed frontends handling
+// short jobs via batch probing and one centralized backend placing long jobs
+// with the waiting-time queue. The prototype uses "1 centralized and 10
+// distributed schedulers" for its 100-node runs.
+#ifndef HAWK_RUNTIME_SCHEDULERS_H_
+#define HAWK_RUNTIME_SCHEDULERS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/types.h"
+#include "src/core/waiting_time_queue.h"
+#include "src/rpc/message_bus.h"
+#include "src/runtime/proto_messages.h"
+
+namespace hawk {
+namespace runtime {
+
+// Collects wall-clock job completions from all schedulers.
+class CompletionSink {
+ public:
+  struct Completion {
+    JobId job = 0;
+    bool is_long = false;
+    std::chrono::steady_clock::time_point finished_at;
+  };
+
+  void ExpectJobs(size_t count);
+  void Record(JobId job, bool is_long);
+  // Blocks until all expected jobs completed or the deadline passes; returns
+  // true on completion.
+  bool AwaitAll(std::chrono::milliseconds timeout);
+  std::vector<Completion> TakeAll();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t expected_ = 0;
+  std::vector<Completion> completions_;
+};
+
+// A distributed scheduler frontend: owns the jobs submitted to it, places
+// `probe_ratio * t` probes over the whole cluster (or a sub-range, for the
+// split-cluster setup), and late-binds tasks on request.
+class DistributedFrontend {
+ public:
+  DistributedFrontend(rpc::Address address, uint32_t probe_first, uint32_t probe_count,
+                      uint32_t probe_ratio, rpc::MessageBus* bus, CompletionSink* sink,
+                      uint64_t seed);
+
+  void Start();
+
+  uint64_t jobs_handled() const { return jobs_handled_; }
+  uint64_t cancels_sent() const { return cancels_sent_; }
+
+ private:
+  struct JobState {
+    std::vector<int64_t> durations_us;
+    uint32_t next_unassigned = 0;
+    uint32_t finished = 0;
+    bool is_long = false;
+  };
+
+  void HandleMessage(const rpc::BusMessage& message);
+
+  const rpc::Address address_;
+  const uint32_t probe_first_;
+  const uint32_t probe_count_;
+  const uint32_t probe_ratio_;
+  rpc::MessageBus* bus_;
+  CompletionSink* sink_;
+
+  std::mutex mu_;
+  Rng rng_;
+  std::unordered_map<JobId, JobState> jobs_;
+  uint64_t jobs_handled_ = 0;
+  uint64_t cancels_sent_ = 0;
+};
+
+// The centralized backend: places every task of a long job on the general-
+// partition node with the minimum estimated waiting time; task start/finish
+// reports from the node monitors keep the estimates synchronized (§3.7).
+class CentralBackend {
+ public:
+  CentralBackend(rpc::Address address, uint32_t general_count, rpc::MessageBus* bus,
+                 CompletionSink* sink);
+
+  void Start();
+
+  uint64_t jobs_handled() const { return jobs_handled_; }
+
+ private:
+  struct JobState {
+    uint32_t unfinished = 0;
+    int64_t estimate_us = 0;
+  };
+
+  void HandleMessage(const rpc::BusMessage& message);
+
+  const rpc::Address address_;
+  rpc::MessageBus* bus_;
+  CompletionSink* sink_;
+
+  std::mutex mu_;
+  WaitingTimeQueue waiting_;
+  std::unordered_map<JobId, JobState> jobs_;
+  std::chrono::steady_clock::time_point epoch_;
+  uint64_t jobs_handled_ = 0;
+
+  SimTime NowUs() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+};
+
+}  // namespace runtime
+}  // namespace hawk
+
+#endif  // HAWK_RUNTIME_SCHEDULERS_H_

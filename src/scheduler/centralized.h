@@ -1,0 +1,47 @@
+// Fully centralized baseline (paper §4.5).
+//
+// Applies the §3.7 waiting-time algorithm to *all* jobs over the whole
+// cluster: every task of an arriving job is placed on the worker with the
+// minimum estimated waiting time, which is then charged with the job's
+// estimated task runtime. No partitioning, no stealing.
+#ifndef HAWK_SCHEDULER_CENTRALIZED_H_
+#define HAWK_SCHEDULER_CENTRALIZED_H_
+
+#include <memory>
+
+#include "src/core/waiting_time_queue.h"
+#include "src/scheduler/policy.h"
+
+namespace hawk {
+
+class CentralizedPolicy : public SchedulerPolicy {
+ public:
+  void Attach(SchedulerContext* ctx) override {
+    SchedulerPolicy::Attach(ctx);
+    queue_ = std::make_unique<WaitingTimeQueue>(ctx->GetCluster().NumWorkers());
+  }
+
+  void OnJobArrival(const Job& job, const JobClass& cls) override;
+
+  // Node-monitor feedback keeps the waiting-time view synchronized: the
+  // baseline tracks every task (it schedules everything centrally).
+  void OnTaskStart(WorkerId worker, const QueueEntry& task) override {
+    queue_->OnTaskStart(worker, ctx_->Now(), ctx_->Tracker().EstimateUs(task.job));
+  }
+  void OnTaskFinish(WorkerId worker, JobId job, bool is_long) override {
+    (void)job;
+    (void)is_long;
+    queue_->OnTaskFinish(worker, ctx_->Now());
+  }
+
+  std::string_view Name() const override { return "centralized"; }
+
+  const WaitingTimeQueue& waiting_times() const { return *queue_; }
+
+ private:
+  std::unique_ptr<WaitingTimeQueue> queue_;
+};
+
+}  // namespace hawk
+
+#endif  // HAWK_SCHEDULER_CENTRALIZED_H_

@@ -1,0 +1,219 @@
+#include "src/scheduler/driver.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hawk {
+
+SimulationDriver::SimulationDriver(const Trace* trace, const HawkConfig& config,
+                                   uint32_t general_count, SchedulerPolicy* policy)
+    : trace_(trace),
+      config_(config),
+      policy_(policy),
+      cluster_(config.num_workers, general_count),
+      tracker_(trace),
+      classifier_(config.classify_mode, config.cutoff_us, config.estimate_noise_lo,
+                  config.estimate_noise_hi, Rng(config.seed).Next()),
+      sched_rng_(Rng(config.seed ^ 0x5DEECE66DULL).Next()) {
+  HAWK_CHECK(trace != nullptr);
+  HAWK_CHECK(policy != nullptr);
+  retry_pending_.assign(config.num_workers, 0);
+  policy_->Attach(this);
+}
+
+void SimulationDriver::PlaceProbe(WorkerId worker, JobId job, bool is_long) {
+  result_.counters.probes_placed++;
+  events_.Push(now_ + config_.net_delay_us,
+               SimEvent{SimEvent::Type::kProbeArrive, is_long, worker, job, 0, 0});
+}
+
+void SimulationDriver::PlaceTask(WorkerId worker, JobId job, TaskIndex task_index,
+                                 DurationUs duration, bool is_long) {
+  result_.counters.central_tasks_placed++;
+  events_.Push(now_ + config_.net_delay_us, SimEvent{SimEvent::Type::kTaskArrive, is_long,
+                                                     worker, job, task_index, duration});
+}
+
+void SimulationDriver::DeliverStolen(WorkerId thief, const std::vector<QueueEntry>& entries) {
+  Worker& w = cluster_.worker(thief);
+  for (const QueueEntry& entry : entries) {
+    w.Enqueue(entry);
+  }
+  // No dispatch here: the thief is inside its own TryDispatch pass, which
+  // re-examines the queue when OnWorkerIdle returns.
+}
+
+RunResult SimulationDriver::Run() {
+  for (const Job& job : trace_->jobs()) {
+    events_.Push(job.submit_time,
+                 SimEvent{SimEvent::Type::kJobArrival, false, kInvalidWorker, job.id, 0, 0});
+  }
+  if (trace_->NumJobs() > 0) {
+    events_.Push(config_.util_sample_period_us,
+                 SimEvent{SimEvent::Type::kUtilSample, false, kInvalidWorker, kInvalidJob, 0, 0});
+  }
+  while (!events_.Empty()) {
+    auto entry = events_.Pop();
+    HAWK_CHECK_GE(entry.at, now_);
+    now_ = entry.at;
+    result_.counters.events++;
+    Dispatch(entry.payload);
+  }
+  HAWK_CHECK(tracker_.AllJobsFinished())
+      << "simulation drained with " << trace_->NumJobs() - tracker_.jobs_finished()
+      << " unfinished jobs";
+  CollectResults();
+  return std::move(result_);
+}
+
+void SimulationDriver::Dispatch(const SimEvent& ev) {
+  switch (ev.type) {
+    case SimEvent::Type::kJobArrival: {
+      const Job& job = trace_->job(ev.job);
+      const JobClass cls = classifier_.Classify(job);
+      tracker_.SetClassification(
+          job.id, cls.is_long_sched, cls.is_long_metrics,
+          static_cast<DurationUs>(std::llround(std::max(0.0, cls.estimate_us))));
+      result_.counters.jobs++;
+      policy_->OnJobArrival(job, cls);
+      break;
+    }
+    case SimEvent::Type::kProbeArrive: {
+      QueueEntry entry = QueueEntry::Probe(ev.job, ev.is_long);
+      entry.enqueue_time = now_;
+      cluster_.worker(ev.worker).Enqueue(entry);
+      TryDispatch(ev.worker);
+      break;
+    }
+    case SimEvent::Type::kTaskArrive: {
+      QueueEntry entry = QueueEntry::Task(ev.job, ev.task_index, ev.duration, ev.is_long);
+      entry.enqueue_time = now_;
+      cluster_.worker(ev.worker).Enqueue(entry);
+      TryDispatch(ev.worker);
+      break;
+    }
+    case SimEvent::Type::kRequestResolve: {
+      Worker& w = cluster_.worker(ev.worker);
+      HAWK_CHECK(w.state() == WorkerState::kRequesting);
+      w.CancelRequest();
+      const auto assignment = tracker_.TakeNextTask(ev.job);
+      if (assignment.has_value()) {
+        result_.counters.tasks_launched++;
+        RecordQueueWait(ev.is_long, now_ - ev.aux);
+        QueueEntry task =
+            QueueEntry::Task(ev.job, assignment->task_index, assignment->duration, ev.is_long);
+        task.enqueue_time = ev.aux;
+        StartExecute(ev.worker, task);
+      } else {
+        result_.counters.cancels++;
+        TryDispatch(ev.worker);
+      }
+      break;
+    }
+    case SimEvent::Type::kTaskComplete: {
+      Worker& w = cluster_.worker(ev.worker);
+      w.FinishExecute();
+      tracker_.OnTaskFinished(ev.job, now_);
+      policy_->OnTaskFinish(ev.worker, ev.job, ev.is_long);
+      TryDispatch(ev.worker);
+      break;
+    }
+    case SimEvent::Type::kUtilSample: {
+      result_.utilization_samples.push_back(cluster_.Utilization());
+      if (!tracker_.AllJobsFinished()) {
+        events_.Push(now_ + config_.util_sample_period_us,
+                     SimEvent{SimEvent::Type::kUtilSample, false, kInvalidWorker, kInvalidJob,
+                              0, 0, 0});
+      }
+      break;
+    }
+    case SimEvent::Type::kIdleRetry: {
+      retry_pending_[ev.worker] = 0;
+      if (!cluster_.worker(ev.worker).Busy()) {
+        TryDispatch(ev.worker);
+      }
+      break;
+    }
+  }
+}
+
+void SimulationDriver::RecordQueueWait(bool is_long, DurationUs wait_us) {
+  if (is_long) {
+    result_.counters.long_tasks_started++;
+    result_.counters.long_queue_wait_us += static_cast<uint64_t>(wait_us);
+  } else {
+    result_.counters.short_tasks_started++;
+    result_.counters.short_queue_wait_us += static_cast<uint64_t>(wait_us);
+  }
+}
+
+void SimulationDriver::TryDispatch(WorkerId worker) {
+  Worker& w = cluster_.worker(worker);
+  if (w.Busy()) {
+    return;
+  }
+  while (true) {
+    if (w.QueueEmpty()) {
+      // One stealing opportunity per pass; a successful steal appends
+      // entries, a failed one leaves the queue empty and the worker idle.
+      policy_->OnWorkerIdle(worker);
+      if (w.QueueEmpty()) {
+        // Steal-retry extension: optionally re-notify the worker later if it
+        // is still idle (the paper's design stops at one round).
+        if (config_.steal_retry_interval_us > 0 && retry_pending_[worker] == 0 &&
+            !tracker_.AllJobsFinished()) {
+          retry_pending_[worker] = 1;
+          events_.Push(now_ + config_.steal_retry_interval_us,
+                       SimEvent{SimEvent::Type::kIdleRetry, false, worker, kInvalidJob, 0, 0,
+                                0});
+        }
+        return;
+      }
+    }
+    const QueueEntry entry = w.PopFront();
+    if (entry.kind == EntryKind::kTask) {
+      result_.counters.tasks_launched++;
+      RecordQueueWait(entry.is_long, now_ - entry.enqueue_time);
+      StartExecute(worker, entry);
+      return;
+    }
+    // Late binding: the worker asks the job's scheduler for a task; the
+    // answer (task or cancel) arrives after one round trip.
+    w.BeginRequest(entry.is_long);
+    result_.counters.probe_requests++;
+    events_.Push(now_ + 2 * config_.net_delay_us,
+                 SimEvent{SimEvent::Type::kRequestResolve, entry.is_long, worker, entry.job, 0,
+                          0, entry.enqueue_time});
+    return;
+  }
+}
+
+void SimulationDriver::StartExecute(WorkerId worker, const QueueEntry& task) {
+  // Partition containment (§3.4): long tasks never execute in the short
+  // partition, under any scheduler or ablation.
+  HAWK_CHECK(!task.is_long || cluster_.InGeneralPartition(worker))
+      << "long task on short-partition worker " << worker;
+  Worker& w = cluster_.worker(worker);
+  w.BeginExecute(now_, task);
+  policy_->OnTaskStart(worker, task);
+  events_.Push(now_ + task.duration, SimEvent{SimEvent::Type::kTaskComplete, task.is_long,
+                                              worker, task.job, task.task_index, 0});
+}
+
+void SimulationDriver::CollectResults() {
+  result_.total_busy_us = cluster_.TotalBusyUs();
+  result_.jobs.reserve(trace_->NumJobs());
+  for (const Job& job : trace_->jobs()) {
+    JobResult r;
+    r.id = job.id;
+    r.is_long = tracker_.IsLongMetrics(job.id);
+    r.submit_time = job.submit_time;
+    r.finish_time = tracker_.FinishTime(job.id);
+    HAWK_CHECK_GE(r.finish_time, r.submit_time);
+    r.runtime_us = r.finish_time - r.submit_time;
+    result_.makespan_us = std::max(result_.makespan_us, r.finish_time);
+    result_.jobs.push_back(r);
+  }
+}
+
+}  // namespace hawk

@@ -1,0 +1,97 @@
+// Event-driven simulation of a cluster run (the paper's evaluation vehicle).
+//
+// The driver replays a trace against a cluster under a SchedulerPolicy and
+// produces a RunResult. Cost model (paper §4.1): one-way network delay of
+// 0.5 ms for probe/task placement, one RTT for a late-binding task request,
+// zero cost for scheduling decisions and stealing. Workers are single-slot
+// FIFO servers.
+//
+// Event flow per worker:
+//   probe/task arrives -> TryDispatch: pop entries; a task starts executing,
+//   a probe blocks the worker for one RTT (kRequesting) and resolves to the
+//   job's next unlaunched task or to a cancel; when the queue drains the
+//   policy gets an OnWorkerIdle callback and may refill it by stealing.
+#ifndef HAWK_SCHEDULER_DRIVER_H_
+#define HAWK_SCHEDULER_DRIVER_H_
+
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/job_tracker.h"
+#include "src/cluster/results.h"
+#include "src/core/hawk_config.h"
+#include "src/core/job_classifier.h"
+#include "src/scheduler/policy.h"
+#include "src/sim/event_queue.h"
+#include "src/workload/trace.h"
+
+namespace hawk {
+
+class SimulationDriver : public SchedulerContext {
+ public:
+  // `general_count` defines the partition split (pass num_workers for
+  // unpartitioned baselines). The trace and policy must outlive the driver.
+  SimulationDriver(const Trace* trace, const HawkConfig& config, uint32_t general_count,
+                   SchedulerPolicy* policy);
+
+  // Runs the whole trace to completion and returns per-job results (ordered
+  // by job id), utilization samples and counters.
+  RunResult Run();
+
+  // --- SchedulerContext ----------------------------------------------------
+  SimTime Now() const override { return now_; }
+  Rng& SchedRng() override { return sched_rng_; }
+  Cluster& GetCluster() override { return cluster_; }
+  JobTracker& Tracker() override { return tracker_; }
+  RunCounters& Counters() override { return result_.counters; }
+  void PlaceProbe(WorkerId worker, JobId job, bool is_long) override;
+  void PlaceTask(WorkerId worker, JobId job, TaskIndex task_index, DurationUs duration,
+                 bool is_long) override;
+  void DeliverStolen(WorkerId thief, const std::vector<QueueEntry>& entries) override;
+
+ private:
+  struct SimEvent {
+    enum class Type : uint8_t {
+      kJobArrival,
+      kProbeArrive,
+      kTaskArrive,
+      kRequestResolve,
+      kTaskComplete,
+      kUtilSample,
+      kIdleRetry,  // Steal-retry extension: re-notify a still-idle worker.
+    };
+    Type type;
+    bool is_long = false;
+    WorkerId worker = kInvalidWorker;
+    JobId job = kInvalidJob;
+    TaskIndex task_index = 0;
+    DurationUs duration = 0;
+    SimTime aux = 0;  // Entry enqueue time, for queueing-delay telemetry.
+  };
+
+  void Dispatch(const SimEvent& ev);
+  void RecordQueueWait(bool is_long, DurationUs wait_us);
+  // Advances an idle worker: pops queue entries until it is executing,
+  // waiting on a task request, or idle with an empty queue (after giving the
+  // policy one stealing opportunity per pass over an empty queue).
+  void TryDispatch(WorkerId worker);
+  void StartExecute(WorkerId worker, const QueueEntry& task);
+  void CollectResults();
+
+  const Trace* trace_;
+  HawkConfig config_;
+  SchedulerPolicy* policy_;
+  Cluster cluster_;
+  JobTracker tracker_;
+  JobClassifier classifier_;
+  Rng sched_rng_;
+  sim::EventQueue<SimEvent> events_;
+  SimTime now_ = 0;
+  RunResult result_;
+  // Steal-retry extension: one outstanding retry per worker.
+  std::vector<uint8_t> retry_pending_;
+};
+
+}  // namespace hawk
+
+#endif  // HAWK_SCHEDULER_DRIVER_H_

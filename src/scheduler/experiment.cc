@@ -1,0 +1,53 @@
+#include "src/scheduler/experiment.h"
+
+#include <memory>
+
+#include "src/common/check.h"
+#include "src/core/hawk_scheduler.h"
+#include "src/scheduler/centralized.h"
+#include "src/scheduler/driver.h"
+#include "src/scheduler/split.h"
+#include "src/scheduler/sparrow.h"
+
+namespace hawk {
+
+std::string_view SchedulerKindName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kSparrow:
+      return "sparrow";
+    case SchedulerKind::kCentralized:
+      return "centralized";
+    case SchedulerKind::kHawk:
+      return "hawk";
+    case SchedulerKind::kSplit:
+      return "split";
+  }
+  return "?";
+}
+
+RunResult RunScheduler(const Trace& trace, const HawkConfig& config, SchedulerKind kind) {
+  std::unique_ptr<SchedulerPolicy> policy;
+  uint32_t general_count = config.num_workers;
+  switch (kind) {
+    case SchedulerKind::kSparrow:
+      policy = std::make_unique<SparrowPolicy>(config.probe_ratio);
+      break;
+    case SchedulerKind::kCentralized:
+      policy = std::make_unique<CentralizedPolicy>();
+      break;
+    case SchedulerKind::kHawk:
+      policy = std::make_unique<HawkPolicy>(config);
+      general_count = config.GeneralCount();
+      break;
+    case SchedulerKind::kSplit:
+      policy = std::make_unique<SplitClusterPolicy>(config.probe_ratio);
+      general_count = config.GeneralCount();
+      HAWK_CHECK_LT(general_count, config.num_workers)
+          << "split cluster requires a non-empty short partition";
+      break;
+  }
+  SimulationDriver driver(&trace, config, general_count, policy.get());
+  return driver.Run();
+}
+
+}  // namespace hawk

@@ -1,0 +1,29 @@
+// One-call experiment entry points used by benches, examples and tests.
+#ifndef HAWK_SCHEDULER_EXPERIMENT_H_
+#define HAWK_SCHEDULER_EXPERIMENT_H_
+
+#include <string_view>
+
+#include "src/cluster/results.h"
+#include "src/core/hawk_config.h"
+#include "src/workload/trace.h"
+
+namespace hawk {
+
+enum class SchedulerKind : uint8_t {
+  kSparrow,      // Fully distributed baseline (§2.3).
+  kCentralized,  // Fully centralized baseline (§4.5).
+  kHawk,         // The hybrid scheduler (§3); honors the config toggles.
+  kSplit,        // Disjoint long/short partitions (§4.6).
+};
+
+std::string_view SchedulerKindName(SchedulerKind kind);
+
+// Simulates `trace` under the given scheduler and returns the run results.
+// The partition split is taken from the config for Hawk and Split; Sparrow
+// and Centralized always see the whole cluster as one partition.
+RunResult RunScheduler(const Trace& trace, const HawkConfig& config, SchedulerKind kind);
+
+}  // namespace hawk
+
+#endif  // HAWK_SCHEDULER_EXPERIMENT_H_

@@ -1,0 +1,81 @@
+// Scheduler policy interface.
+//
+// A policy decides *where* probes and tasks go; the simulation driver owns
+// *when* things happen (network delays, queue mechanics, late binding) and
+// exposes the minimal placement API below. The same policies are reused by
+// the threaded prototype runtime through an equivalent context.
+#ifndef HAWK_SCHEDULER_POLICY_H_
+#define HAWK_SCHEDULER_POLICY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/job_tracker.h"
+#include "src/cluster/results.h"
+#include "src/common/random.h"
+#include "src/core/job_classifier.h"
+#include "src/workload/job.h"
+
+namespace hawk {
+
+class SchedulerContext {
+ public:
+  virtual ~SchedulerContext() = default;
+
+  virtual SimTime Now() const = 0;
+  virtual Rng& SchedRng() = 0;
+  virtual Cluster& GetCluster() = 0;
+  virtual JobTracker& Tracker() = 0;
+  virtual RunCounters& Counters() = 0;
+
+  // Sends a probe for `job` to `worker`; arrives after one network delay.
+  virtual void PlaceProbe(WorkerId worker, JobId job, bool is_long) = 0;
+
+  // Sends a concrete task to `worker`; arrives after one network delay.
+  virtual void PlaceTask(WorkerId worker, JobId job, TaskIndex task_index, DurationUs duration,
+                         bool is_long) = 0;
+
+  // Appends stolen entries to the thief's queue. Only call for the worker the
+  // current OnWorkerIdle() notification is about; the driver re-examines that
+  // queue when the notification returns (stealing is free in the simulation
+  // cost model, §4.1).
+  virtual void DeliverStolen(WorkerId thief, const std::vector<QueueEntry>& entries) = 0;
+};
+
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+
+  virtual void Attach(SchedulerContext* ctx) { ctx_ = ctx; }
+
+  // A job arrived; `cls` carries the scheduling and metrics classifications
+  // and the (possibly noisy) runtime estimate.
+  virtual void OnJobArrival(const Job& job, const JobClass& cls) = 0;
+
+  // `worker` ran out of work (empty queue, nothing executing). Policies may
+  // steal here via DeliverStolen().
+  virtual void OnWorkerIdle(WorkerId worker) { (void)worker; }
+
+  // Execution feedback — in the real system, node monitors report these to
+  // the schedulers; centralized components use them to keep their waiting-
+  // time view synchronized with reality (§3.7).
+  virtual void OnTaskStart(WorkerId worker, const QueueEntry& task) {
+    (void)worker;
+    (void)task;
+  }
+  virtual void OnTaskFinish(WorkerId worker, JobId job, bool is_long) {
+    (void)worker;
+    (void)job;
+    (void)is_long;
+  }
+
+  virtual std::string_view Name() const = 0;
+
+ protected:
+  SchedulerContext* ctx_ = nullptr;
+};
+
+}  // namespace hawk
+
+#endif  // HAWK_SCHEDULER_POLICY_H_

@@ -1,0 +1,17 @@
+#include "src/scheduler/sparrow.h"
+
+#include "src/core/probe_placement.h"
+
+namespace hawk {
+
+void SparrowPolicy::OnJobArrival(const Job& job, const JobClass& cls) {
+  const uint32_t num_workers = ctx_->GetCluster().NumWorkers();
+  const uint32_t num_probes = probe_ratio_ * job.NumTasks();
+  const std::vector<WorkerId> targets =
+      ChooseProbeTargets(ctx_->SchedRng(), /*first=*/0, num_workers, num_probes);
+  for (const WorkerId w : targets) {
+    ctx_->PlaceProbe(w, job.id, cls.is_long_sched);
+  }
+}
+
+}  // namespace hawk

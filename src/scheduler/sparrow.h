@@ -1,0 +1,27 @@
+// Sparrow: fully distributed scheduling with batch probing (paper §2.3).
+//
+// Every job is scheduled the same way: `probe_ratio * t` probes to random
+// workers across the whole cluster; tasks are late-bound when probes reach
+// queue heads. This is the paper's primary baseline.
+#ifndef HAWK_SCHEDULER_SPARROW_H_
+#define HAWK_SCHEDULER_SPARROW_H_
+
+#include "src/scheduler/policy.h"
+
+namespace hawk {
+
+class SparrowPolicy : public SchedulerPolicy {
+ public:
+  explicit SparrowPolicy(uint32_t probe_ratio = 2) : probe_ratio_(probe_ratio) {}
+
+  void OnJobArrival(const Job& job, const JobClass& cls) override;
+
+  std::string_view Name() const override { return "sparrow"; }
+
+ private:
+  uint32_t probe_ratio_;
+};
+
+}  // namespace hawk
+
+#endif  // HAWK_SCHEDULER_SPARROW_H_

@@ -1,0 +1,34 @@
+#include "src/scheduler/split.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/core/probe_placement.h"
+
+namespace hawk {
+
+void SplitClusterPolicy::OnJobArrival(const Job& job, const JobClass& cls) {
+  const Cluster& cluster = ctx_->GetCluster();
+  if (cls.is_long_sched) {
+    const DurationUs estimate_us = ctx_->Tracker().EstimateUs(job.id);
+    for (uint32_t i = 0; i < job.NumTasks(); ++i) {
+      const auto assignment = ctx_->Tracker().TakeNextTask(job.id);
+      HAWK_CHECK(assignment.has_value());
+      const WorkerId worker = queue_->AssignTask(ctx_->Now(), estimate_us);
+      ctx_->PlaceTask(worker, job.id, assignment->task_index, assignment->duration,
+                      /*is_long=*/true);
+    }
+    return;
+  }
+  // Short jobs are confined to the short partition.
+  const uint32_t short_count = cluster.ShortPartitionCount();
+  HAWK_CHECK_GT(short_count, 0u) << "split cluster requires a short partition";
+  const uint32_t num_probes = probe_ratio_ * job.NumTasks();
+  const std::vector<WorkerId> targets =
+      ChooseProbeTargets(ctx_->SchedRng(), cluster.GeneralCount(), short_count, num_probes);
+  for (const WorkerId w : targets) {
+    ctx_->PlaceProbe(w, job.id, /*is_long=*/false);
+  }
+}
+
+}  // namespace hawk

@@ -1,0 +1,53 @@
+// Split-cluster baseline (paper §4.6).
+//
+// The cluster is split into two disjoint partitions: a long partition
+// (workers [0, general_count), centralized scheduling) and a short partition
+// (the rest, distributed Sparrow-style scheduling). Unlike Hawk there is no
+// general partition — short jobs cannot use idle long-partition workers —
+// and there is no stealing.
+#ifndef HAWK_SCHEDULER_SPLIT_H_
+#define HAWK_SCHEDULER_SPLIT_H_
+
+#include <memory>
+
+#include "src/core/waiting_time_queue.h"
+#include "src/scheduler/policy.h"
+
+namespace hawk {
+
+class SplitClusterPolicy : public SchedulerPolicy {
+ public:
+  explicit SplitClusterPolicy(uint32_t probe_ratio = 2) : probe_ratio_(probe_ratio) {}
+
+  void Attach(SchedulerContext* ctx) override {
+    SchedulerPolicy::Attach(ctx);
+    queue_ = std::make_unique<WaitingTimeQueue>(ctx->GetCluster().GeneralCount());
+  }
+
+  void OnJobArrival(const Job& job, const JobClass& cls) override;
+
+  // Waiting-time feedback for the centrally scheduled long partition.
+  void OnTaskStart(WorkerId worker, const QueueEntry& task) override {
+    if (!task.is_long) {
+      return;
+    }
+    queue_->OnTaskStart(worker, ctx_->Now(), ctx_->Tracker().EstimateUs(task.job));
+  }
+  void OnTaskFinish(WorkerId worker, JobId job, bool is_long) override {
+    (void)job;
+    if (!is_long) {
+      return;
+    }
+    queue_->OnTaskFinish(worker, ctx_->Now());
+  }
+
+  std::string_view Name() const override { return "split-cluster"; }
+
+ private:
+  uint32_t probe_ratio_;
+  std::unique_ptr<WaitingTimeQueue> queue_;
+};
+
+}  // namespace hawk
+
+#endif  // HAWK_SCHEDULER_SPLIT_H_

@@ -1,0 +1,71 @@
+// Binary-heap event queue for discrete-event simulation.
+//
+// Events are ordered by (time, sequence number): the sequence number makes
+// simultaneous events pop in insertion order, which keeps runs deterministic
+// and independent of heap internals. The payload type is a template parameter
+// so the scheduler driver can use a compact POD event on its hot path while
+// tests and the generic Simulation wrapper use callback payloads.
+#ifndef HAWK_SIM_EVENT_QUEUE_H_
+#define HAWK_SIM_EVENT_QUEUE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace hawk {
+namespace sim {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Entry {
+    SimTime at;
+    uint64_t seq;
+    Payload payload;
+  };
+
+  void Push(SimTime at, Payload payload) {
+    HAWK_CHECK_GE(at, 0);
+    heap_.push_back(Entry{at, next_seq_++, std::move(payload)});
+    std::push_heap(heap_.begin(), heap_.end(), Later);
+  }
+
+  bool Empty() const { return heap_.empty(); }
+  size_t Size() const { return heap_.size(); }
+
+  const Entry& Peek() const {
+    HAWK_CHECK(!heap_.empty());
+    return heap_.front();
+  }
+
+  Entry Pop() {
+    HAWK_CHECK(!heap_.empty());
+    std::pop_heap(heap_.begin(), heap_.end(), Later);
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
+    return entry;
+  }
+
+  void Clear() { heap_.clear(); }
+
+ private:
+  // std::push_heap builds a max-heap; "Later" puts the earliest entry on top.
+  static bool Later(const Entry& a, const Entry& b) {
+    if (a.at != b.at) {
+      return a.at > b.at;
+    }
+    return a.seq > b.seq;
+  }
+
+  std::vector<Entry> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace sim
+}  // namespace hawk
+
+#endif  // HAWK_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,45 @@
+#include "src/sim/simulation.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace hawk {
+namespace sim {
+
+void Simulation::ScheduleAt(SimTime at, Callback fn) {
+  HAWK_CHECK_GE(at, now_) << "scheduling into the past";
+  queue_.Push(at, std::move(fn));
+}
+
+void Simulation::ScheduleAfter(DurationUs delay, Callback fn) {
+  HAWK_CHECK_GE(delay, 0);
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+uint64_t Simulation::Run() {
+  uint64_t count = 0;
+  while (!queue_.Empty()) {
+    auto entry = queue_.Pop();
+    HAWK_CHECK_GE(entry.at, now_);
+    now_ = entry.at;
+    entry.payload();
+    ++count;
+  }
+  return count;
+}
+
+uint64_t Simulation::RunUntil(SimTime deadline) {
+  uint64_t count = 0;
+  while (!queue_.Empty() && queue_.Peek().at <= deadline) {
+    auto entry = queue_.Pop();
+    now_ = entry.at;
+    entry.payload();
+    ++count;
+  }
+  now_ = std::max(now_, deadline);
+  return count;
+}
+
+}  // namespace sim
+}  // namespace hawk

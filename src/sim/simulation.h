@@ -1,0 +1,49 @@
+// Callback-based simulation loop.
+//
+// A thin convenience layer over EventQueue for components that do not need
+// the driver's POD-event hot path: tests, examples, and workload replay.
+// Guarantees: the clock never moves backwards, and events scheduled for the
+// same instant fire in scheduling order.
+#ifndef HAWK_SIM_SIMULATION_H_
+#define HAWK_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/types.h"
+#include "src/sim/event_queue.h"
+
+namespace hawk {
+namespace sim {
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `at` (>= Now()).
+  void ScheduleAt(SimTime at, Callback fn);
+
+  // Schedules `fn` to run `delay` after Now().
+  void ScheduleAfter(DurationUs delay, Callback fn);
+
+  // Runs events until the queue is empty. Returns the number of events run.
+  uint64_t Run();
+
+  // Runs events with time <= deadline. Events beyond the deadline stay queued;
+  // the clock is advanced to the deadline. Returns the number of events run.
+  uint64_t RunUntil(SimTime deadline);
+
+  bool Empty() const { return queue_.Empty(); }
+  size_t PendingEvents() const { return queue_.Size(); }
+
+ private:
+  SimTime now_ = 0;
+  EventQueue<Callback> queue_;
+};
+
+}  // namespace sim
+}  // namespace hawk
+
+#endif  // HAWK_SIM_SIMULATION_H_

@@ -1,0 +1,84 @@
+#include "src/workload/arrival_patterns.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace hawk {
+namespace {
+
+constexpr double kTwoPi = 6.28318530717958647692;
+
+}  // namespace
+
+void AssignDiurnalArrivals(Trace* trace, const DiurnalParams& params, Rng* rng) {
+  HAWK_CHECK(trace != nullptr);
+  HAWK_CHECK(rng != nullptr);
+  HAWK_CHECK_GT(params.mean_interarrival_us, 0);
+  HAWK_CHECK_GE(params.amplitude, 0.0);
+  HAWK_CHECK_LT(params.amplitude, 1.0);
+  HAWK_CHECK_GT(params.period_us, 0);
+
+  // Thinning (Lewis & Shedler): candidate events from a homogeneous process
+  // at the peak rate; accept with probability rate(t) / peak_rate.
+  const double base_rate = 1.0 / static_cast<double>(params.mean_interarrival_us);
+  const double peak_rate = base_rate * (1.0 + params.amplitude);
+  double t = 0.0;
+  for (Job& job : *trace->mutable_jobs()) {
+    while (true) {
+      t += rng->Exponential(1.0 / peak_rate);
+      const double phase = kTwoPi * std::fmod(t, static_cast<double>(params.period_us)) /
+                           static_cast<double>(params.period_us);
+      const double rate = base_rate * (1.0 + params.amplitude * std::sin(phase));
+      if (rng->NextDouble() * peak_rate <= rate) {
+        break;
+      }
+    }
+    job.submit_time = static_cast<SimTime>(t);
+  }
+  trace->SortAndRenumber();
+}
+
+void AssignBurstyArrivals(Trace* trace, const BurstyParams& params, Rng* rng) {
+  HAWK_CHECK(trace != nullptr);
+  HAWK_CHECK(rng != nullptr);
+  HAWK_CHECK_GT(params.mean_interarrival_us, 0);
+  HAWK_CHECK_GT(params.burst_duty, 0.0);
+  HAWK_CHECK_LE(params.burst_duty, 1.0);
+  HAWK_CHECK_GE(params.burstiness, 1.0);
+  HAWK_CHECK_LT(params.burstiness * params.burst_duty, 1.0 + 1e-9)
+      << "burst state would exceed the total arrival budget";
+
+  const double mean_rate = 1.0 / static_cast<double>(params.mean_interarrival_us);
+  const double on_rate = params.burstiness * mean_rate;
+  // Off-state rate chosen so duty*on + (1-duty)*off == mean.
+  const double off_rate = params.burst_duty >= 1.0
+                              ? mean_rate
+                              : (mean_rate - params.burst_duty * on_rate) /
+                                    (1.0 - params.burst_duty);
+  const double mean_on_us = params.burst_duty * static_cast<double>(params.cycle_us);
+  const double mean_off_us = static_cast<double>(params.cycle_us) - mean_on_us;
+
+  double t = 0.0;
+  bool in_burst = true;
+  double state_end = rng->Exponential(mean_on_us);
+  for (Job& job : *trace->mutable_jobs()) {
+    while (true) {
+      const double rate = in_burst ? on_rate : off_rate;
+      // An off-state rate of ~0 never fires; skip straight to the next state.
+      const double step = rate > 1e-18 ? rng->Exponential(1.0 / rate)
+                                       : std::numeric_limits<double>::infinity();
+      if (t + step <= state_end) {
+        t += step;
+        break;
+      }
+      t = state_end;
+      in_burst = !in_burst;
+      state_end = t + rng->Exponential(in_burst ? mean_on_us : mean_off_us);
+    }
+    job.submit_time = static_cast<SimTime>(t);
+  }
+  trace->SortAndRenumber();
+}
+
+}  // namespace hawk

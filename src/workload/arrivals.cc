@@ -1,0 +1,32 @@
+#include "src/workload/arrivals.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace hawk {
+
+void AssignPoissonArrivals(Trace* trace, DurationUs mean_interarrival_us, Rng* rng) {
+  HAWK_CHECK_GT(mean_interarrival_us, 0);
+  HAWK_CHECK(rng != nullptr);
+  SimTime now = 0;
+  for (Job& job : *trace->mutable_jobs()) {
+    now += static_cast<DurationUs>(
+        std::llround(rng->Exponential(static_cast<double>(mean_interarrival_us))));
+    job.submit_time = now;
+  }
+  trace->SortAndRenumber();
+}
+
+DurationUs MeanInterarrivalForUtilization(const Trace& trace, double target_utilization,
+                                          uint32_t num_workers) {
+  HAWK_CHECK_GT(target_utilization, 0.0);
+  HAWK_CHECK_GT(num_workers, 0u);
+  HAWK_CHECK_GT(trace.NumJobs(), 0u);
+  const double total_work = static_cast<double>(trace.TotalWorkUs());
+  const double mean = total_work / (target_utilization * static_cast<double>(num_workers) *
+                                    static_cast<double>(trace.NumJobs()));
+  return std::max<DurationUs>(1, static_cast<DurationUs>(mean));
+}
+
+}  // namespace hawk

@@ -1,0 +1,28 @@
+// Job arrival processes (paper §4.1).
+//
+// The paper draws job inter-arrival times from a Poisson process whose mean
+// is the experiment's load knob; utilization is then varied either by scaling
+// the cluster (simulation sweeps) or by scaling the inter-arrival mean
+// relative to the mean task runtime (prototype runs).
+#ifndef HAWK_WORKLOAD_ARRIVALS_H_
+#define HAWK_WORKLOAD_ARRIVALS_H_
+
+#include "src/common/random.h"
+#include "src/common/types.h"
+#include "src/workload/trace.h"
+
+namespace hawk {
+
+// Overwrites submission times with a Poisson process of the given mean
+// inter-arrival; the first job arrives after one draw. Re-sorts and renumbers.
+void AssignPoissonArrivals(Trace* trace, DurationUs mean_interarrival_us, Rng* rng);
+
+// Mean inter-arrival that yields `target_utilization` of `num_workers` busy on
+// average over the submission window:
+//   utilization = total_work / (num_jobs * mean_interarrival * num_workers)
+DurationUs MeanInterarrivalForUtilization(const Trace& trace, double target_utilization,
+                                          uint32_t num_workers);
+
+}  // namespace hawk
+
+#endif  // HAWK_WORKLOAD_ARRIVALS_H_

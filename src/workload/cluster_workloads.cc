@@ -1,0 +1,119 @@
+#include "src/workload/cluster_workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/random.h"
+#include "src/workload/arrivals.h"
+
+namespace hawk {
+
+ClusterWorkloadParams ClouderaParams(uint32_t num_jobs, uint64_t seed) {
+  // Target (Table 1): 5.02% long jobs, 92.79% task-seconds in long jobs.
+  ClusterWorkloadParams params;
+  params.name = "cloudera-c";
+  params.clusters = {
+      {0.9498, 25.0, 40.0},    // short
+      {0.0250, 120.0, 600.0},  // long: map-heavy batch
+      {0.0150, 400.0, 1200.0}, // long: large scans
+      {0.0102, 250.0, 1000.0}, // long: mixed
+  };
+  params.num_jobs = num_jobs;
+  params.seed = seed;
+  return params;
+}
+
+ClusterWorkloadParams FacebookParams(uint32_t num_jobs, uint64_t seed) {
+  // Target (Table 1): 2.01% long jobs, 99.79% task-seconds in long jobs.
+  ClusterWorkloadParams params;
+  params.name = "facebook-2010";
+  params.clusters = {
+      {0.9799, 15.0, 20.0},      // short
+      {0.0120, 300.0, 5000.0},   // long
+      {0.0061, 2000.0, 8000.0},  // long: very large jobs
+      {0.0020, 6000.0, 2000.0},  // long: many-task jobs
+  };
+  params.num_jobs = num_jobs;
+  params.seed = seed;
+  return params;
+}
+
+ClusterWorkloadParams YahooParams(uint32_t num_jobs, uint64_t seed) {
+  // Target (Table 1): 9.41% long jobs, 98.31% task-seconds in long jobs.
+  ClusterWorkloadParams params;
+  params.name = "yahoo-2011";
+  params.clusters = {
+      {0.9059, 40.0, 30.0},     // short
+      {0.0600, 200.0, 1500.0},  // long
+      {0.0341, 700.0, 1900.0},  // long
+  };
+  params.num_jobs = num_jobs;
+  params.seed = seed;
+  return params;
+}
+
+Trace GenerateClusterWorkload(const ClusterWorkloadParams& params) {
+  HAWK_CHECK_GT(params.num_jobs, 0u);
+  HAWK_CHECK_GE(params.clusters.size(), 2u) << "need a short cluster and at least one long";
+  double total_weight = 0.0;
+  for (const WorkloadCluster& c : params.clusters) {
+    HAWK_CHECK_GT(c.weight, 0.0);
+    total_weight += c.weight;
+  }
+  HAWK_CHECK_GT(total_weight, 0.0);
+
+  Rng rng(params.seed);
+  Trace trace;
+  for (uint32_t i = 0; i < params.num_jobs; ++i) {
+    // Pick a cluster by weight.
+    double pick = rng.NextDouble() * total_weight;
+    size_t cluster_idx = 0;
+    for (; cluster_idx + 1 < params.clusters.size(); ++cluster_idx) {
+      pick -= params.clusters[cluster_idx].weight;
+      if (pick < 0.0) {
+        break;
+      }
+    }
+    const WorkloadCluster& cluster = params.clusters[cluster_idx];
+
+    Job job;
+    job.long_hint = cluster_idx != 0;
+    const uint32_t num_tasks = static_cast<uint32_t>(std::clamp<double>(
+        std::lround(1.0 + rng.Exponential(cluster.tasks_centroid)), 1.0,
+        static_cast<double>(params.tasks_cap)));
+    const double mean_dur_s =
+        std::clamp(rng.Exponential(cluster.dur_centroid_s), 0.5, params.dur_cap_s);
+    job.task_durations.reserve(num_tasks);
+    for (uint32_t t = 0; t < num_tasks; ++t) {
+      // The paper's recipe: Gaussian with stddev = 2 * mean, excluding
+      // negative values.
+      const double dur_s = rng.PositiveGaussian(mean_dur_s, 2.0 * mean_dur_s);
+      job.task_durations.push_back(SecondsToUs(dur_s));
+    }
+    trace.Add(std::move(job));
+  }
+  trace.SortAndRenumber();
+  return trace;
+}
+
+Trace GenerateMotivationTrace(uint32_t num_jobs, double scale, uint64_t seed) {
+  HAWK_CHECK_GT(num_jobs, 0u);
+  HAWK_CHECK_GT(scale, 0.0);
+  Rng rng(seed);
+  Trace trace;
+  const uint32_t long_tasks =
+      std::max<uint32_t>(1, static_cast<uint32_t>(std::lround(1000.0 * scale)));
+  for (uint32_t i = 0; i < num_jobs; ++i) {
+    Job job;
+    job.long_hint = rng.NextDouble() < 0.05;
+    const uint32_t num_tasks = job.long_hint ? long_tasks : 100;
+    const DurationUs dur = job.long_hint ? SecondsToUs(20000.0) : SecondsToUs(100.0);
+    job.task_durations.assign(num_tasks, dur);
+    trace.Add(std::move(job));
+  }
+  AssignPoissonArrivals(&trace, SecondsToUs(50.0), &rng);
+  return trace;
+}
+
+}  // namespace hawk

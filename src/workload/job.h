@@ -1,0 +1,55 @@
+// Job and task model (paper §3.1).
+//
+// A job is a set of tasks that can run in parallel on different workers; a
+// job completes only once all of its tasks have finished. Trace tuples are
+// (jobID, submission time, number of tasks, duration of each task), matching
+// the simulator input format described in §4.1.
+#ifndef HAWK_WORKLOAD_JOB_H_
+#define HAWK_WORKLOAD_JOB_H_
+
+#include <numeric>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace hawk {
+
+struct Job {
+  JobId id = 0;
+  SimTime submit_time = 0;
+  // Actual duration of each task. The estimated task runtime for the job is
+  // the average of these (paper §3.3), optionally perturbed by an Estimator.
+  std::vector<DurationUs> task_durations;
+  // Ground-truth generator label: true when the job was drawn from a "long"
+  // mixture component / k-means cluster. Used for metrics on the synthetic
+  // Cloudera/Facebook/Yahoo traces where the paper defines long jobs by
+  // cluster membership rather than by cutoff.
+  bool long_hint = false;
+
+  uint32_t NumTasks() const { return static_cast<uint32_t>(task_durations.size()); }
+
+  // Total work in the job, in microseconds ("task-seconds" in the paper).
+  DurationUs TotalWorkUs() const {
+    return std::accumulate(task_durations.begin(), task_durations.end(), DurationUs{0});
+  }
+
+  // The paper's per-job runtime estimate: average task runtime (§3.3).
+  double AvgTaskDurationUs() const {
+    HAWK_CHECK(!task_durations.empty());
+    return static_cast<double>(TotalWorkUs()) / static_cast<double>(task_durations.size());
+  }
+
+  DurationUs MaxTaskDurationUs() const {
+    HAWK_CHECK(!task_durations.empty());
+    DurationUs max = 0;
+    for (const DurationUs d : task_durations) {
+      max = std::max(max, d);
+    }
+    return max;
+  }
+};
+
+}  // namespace hawk
+
+#endif  // HAWK_WORKLOAD_JOB_H_

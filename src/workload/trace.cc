@@ -1,0 +1,100 @@
+#include "src/workload/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hawk {
+
+void Trace::SortAndRenumber() {
+  std::stable_sort(jobs_.begin(), jobs_.end(),
+                   [](const Job& a, const Job& b) { return a.submit_time < b.submit_time; });
+  for (size_t i = 0; i < jobs_.size(); ++i) {
+    jobs_[i].id = static_cast<JobId>(i);
+  }
+}
+
+uint64_t Trace::TotalTasks() const {
+  uint64_t total = 0;
+  for (const Job& job : jobs_) {
+    total += job.NumTasks();
+  }
+  return total;
+}
+
+DurationUs Trace::TotalWorkUs() const {
+  DurationUs total = 0;
+  for (const Job& job : jobs_) {
+    total += job.TotalWorkUs();
+  }
+  return total;
+}
+
+SimTime Trace::SpanUs() const {
+  SimTime span = 0;
+  for (const Job& job : jobs_) {
+    span = std::max(span, job.submit_time);
+  }
+  return span;
+}
+
+Status Trace::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Error("cannot open for writing: " + path);
+  }
+  out << "# hawk trace v1: job_id submit_us long_hint num_tasks dur_us...\n";
+  for (const Job& job : jobs_) {
+    out << job.id << ' ' << job.submit_time << ' ' << (job.long_hint ? 1 : 0) << ' '
+        << job.NumTasks();
+    for (const DurationUs d : job.task_durations) {
+      out << ' ' << d;
+    }
+    out << '\n';
+  }
+  if (!out) {
+    return Status::Error("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<Trace> Trace::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::Error("cannot open for reading: " + path);
+  }
+  Trace trace;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream ss(line);
+    Job job;
+    uint32_t long_hint = 0;
+    uint32_t num_tasks = 0;
+    if (!(ss >> job.id >> job.submit_time >> long_hint >> num_tasks)) {
+      return Status::Error("malformed header at " + path + ":" + std::to_string(line_number));
+    }
+    if (num_tasks == 0) {
+      return Status::Error("job with zero tasks at " + path + ":" + std::to_string(line_number));
+    }
+    job.long_hint = long_hint != 0;
+    job.task_durations.reserve(num_tasks);
+    for (uint32_t i = 0; i < num_tasks; ++i) {
+      DurationUs d = 0;
+      if (!(ss >> d) || d < 0) {
+        return Status::Error("malformed duration at " + path + ":" + std::to_string(line_number));
+      }
+      job.task_durations.push_back(d);
+    }
+    trace.Add(std::move(job));
+  }
+  trace.SortAndRenumber();
+  return trace;
+}
+
+}  // namespace hawk

@@ -1,0 +1,50 @@
+// Trace container and text-format serialization.
+//
+// File format, one job per line:
+//   job_id submit_us long_hint num_tasks dur_us_1 ... dur_us_n
+// Lines starting with '#' are comments. Jobs are kept sorted by submission
+// time; Load validates monotonicity and task counts.
+#ifndef HAWK_WORKLOAD_TRACE_H_
+#define HAWK_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/workload/job.h"
+
+namespace hawk {
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<Job> jobs) : jobs_(std::move(jobs)) { SortAndRenumber(); }
+
+  void Add(Job job) { jobs_.push_back(std::move(job)); }
+
+  // Sorts by submission time and reassigns dense ids [0, n). Call after
+  // building or mutating a trace by hand.
+  void SortAndRenumber();
+
+  size_t NumJobs() const { return jobs_.size(); }
+  const Job& job(size_t i) const { return jobs_[i]; }
+  const std::vector<Job>& jobs() const { return jobs_; }
+  std::vector<Job>* mutable_jobs() { return &jobs_; }
+
+  uint64_t TotalTasks() const;
+  // Sum of all task durations across all jobs, in microseconds.
+  DurationUs TotalWorkUs() const;
+  // Time of the last submission (0 for an empty trace).
+  SimTime SpanUs() const;
+
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<Trace> LoadFromFile(const std::string& path);
+
+ private:
+  std::vector<Job> jobs_;
+};
+
+}  // namespace hawk
+
+#endif  // HAWK_WORKLOAD_TRACE_H_

@@ -1,0 +1,72 @@
+#include "src/workload/trace_stats.h"
+
+namespace hawk {
+
+LongJobPredicate LongByHint() {
+  return [](const Job& job) { return job.long_hint; };
+}
+
+LongJobPredicate LongByCutoff(DurationUs cutoff_us) {
+  return [cutoff_us](const Job& job) {
+    return job.AvgTaskDurationUs() >= static_cast<double>(cutoff_us);
+  };
+}
+
+WorkloadMix ComputeMix(const Trace& trace, const LongJobPredicate& is_long) {
+  WorkloadMix mix;
+  mix.total_jobs = trace.NumJobs();
+  double long_work = 0.0;
+  double short_work = 0.0;
+  double long_avg_dur_sum = 0.0;
+  double short_avg_dur_sum = 0.0;
+  for (const Job& job : trace.jobs()) {
+    mix.total_tasks += job.NumTasks();
+    const double work = static_cast<double>(job.TotalWorkUs());
+    if (is_long(job)) {
+      ++mix.long_jobs;
+      mix.long_tasks += job.NumTasks();
+      long_work += work;
+      long_avg_dur_sum += job.AvgTaskDurationUs();
+    } else {
+      short_work += work;
+      short_avg_dur_sum += job.AvgTaskDurationUs();
+    }
+  }
+  const double total_work = long_work + short_work;
+  if (mix.total_jobs > 0) {
+    mix.pct_long_jobs = 100.0 * static_cast<double>(mix.long_jobs) /
+                        static_cast<double>(mix.total_jobs);
+  }
+  if (total_work > 0.0) {
+    mix.pct_task_seconds_long = 100.0 * long_work / total_work;
+  }
+  if (mix.total_tasks > 0) {
+    mix.pct_tasks_long =
+        100.0 * static_cast<double>(mix.long_tasks) / static_cast<double>(mix.total_tasks);
+  }
+  const size_t short_jobs = mix.total_jobs - mix.long_jobs;
+  if (mix.long_jobs > 0 && short_jobs > 0 && short_avg_dur_sum > 0.0) {
+    const double long_mean = long_avg_dur_sum / static_cast<double>(mix.long_jobs);
+    const double short_mean = short_avg_dur_sum / static_cast<double>(short_jobs);
+    mix.avg_task_duration_ratio = long_mean / short_mean;
+  }
+  return mix;
+}
+
+WorkloadCdfs ComputeCdfs(const Trace& trace, const LongJobPredicate& is_long) {
+  WorkloadCdfs cdfs;
+  for (const Job& job : trace.jobs()) {
+    const double avg_dur_s = job.AvgTaskDurationUs() / static_cast<double>(kMicrosPerSecond);
+    const double num_tasks = static_cast<double>(job.NumTasks());
+    if (is_long(job)) {
+      cdfs.long_avg_task_duration_s.Add(avg_dur_s);
+      cdfs.long_tasks_per_job.Add(num_tasks);
+    } else {
+      cdfs.short_avg_task_duration_s.Add(avg_dur_s);
+      cdfs.short_tasks_per_job.Add(num_tasks);
+    }
+  }
+  return cdfs;
+}
+
+}  // namespace hawk

@@ -1,0 +1,49 @@
+// Trace-level statistics: the numbers behind Tables 1 & 2, the §2.1 text
+// statistics, and the CDF series of Figure 4.
+#ifndef HAWK_WORKLOAD_TRACE_STATS_H_
+#define HAWK_WORKLOAD_TRACE_STATS_H_
+
+#include <functional>
+#include <string>
+
+#include "src/common/histogram.h"
+#include "src/workload/trace.h"
+
+namespace hawk {
+
+// Predicate deciding whether a job counts as long for reporting purposes.
+// Two standard choices: ground-truth generator label (cluster membership,
+// used for the synthetic Cloudera/Facebook/Yahoo traces) or an average-task-
+// duration cutoff (used for the Google trace, default 1129 s).
+using LongJobPredicate = std::function<bool(const Job&)>;
+
+LongJobPredicate LongByHint();
+LongJobPredicate LongByCutoff(DurationUs cutoff_us);
+
+struct WorkloadMix {
+  size_t total_jobs = 0;
+  size_t long_jobs = 0;
+  uint64_t total_tasks = 0;
+  uint64_t long_tasks = 0;
+  double pct_long_jobs = 0.0;          // Table 1, column 2.
+  double pct_task_seconds_long = 0.0;  // Table 1, column 3.
+  double pct_tasks_long = 0.0;         // §2.1: 28% for Google.
+  double avg_task_duration_ratio = 0.0;  // §2.1: long avg / short avg (7.34x for Google).
+};
+
+WorkloadMix ComputeMix(const Trace& trace, const LongJobPredicate& is_long);
+
+// Per-class distributions for Figure 4: average task duration per job
+// (seconds) and number of tasks per job.
+struct WorkloadCdfs {
+  Samples long_avg_task_duration_s;   // Fig. 4a
+  Samples short_avg_task_duration_s;  // Fig. 4b
+  Samples long_tasks_per_job;         // Fig. 4c
+  Samples short_tasks_per_job;        // Fig. 4d
+};
+
+WorkloadCdfs ComputeCdfs(const Trace& trace, const LongJobPredicate& is_long);
+
+}  // namespace hawk
+
+#endif  // HAWK_WORKLOAD_TRACE_STATS_H_

@@ -1,0 +1,263 @@
+// Tests for the cluster substrate: worker FIFO discipline and execution
+// state machine, the Fig. 3 steal-group extraction rule, partition layout,
+// utilization accounting, and late-binding job tracking.
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/job_tracker.h"
+#include "src/cluster/worker.h"
+#include "src/workload/google_trace.h"
+
+namespace hawk {
+namespace {
+
+QueueEntry ShortProbe(JobId job) { return QueueEntry::Probe(job, /*is_long=*/false); }
+QueueEntry LongTask(JobId job) { return QueueEntry::Task(job, 0, 1000, /*is_long=*/true); }
+QueueEntry ShortTask(JobId job) { return QueueEntry::Task(job, 0, 10, /*is_long=*/false); }
+
+TEST(WorkerTest, FifoOrder) {
+  Worker w(0);
+  w.Enqueue(ShortProbe(1));
+  w.Enqueue(ShortProbe(2));
+  w.Enqueue(ShortProbe(3));
+  EXPECT_EQ(w.PopFront().job, 1u);
+  EXPECT_EQ(w.PopFront().job, 2u);
+  EXPECT_EQ(w.PopFront().job, 3u);
+  EXPECT_TRUE(w.QueueEmpty());
+}
+
+TEST(WorkerTest, ExecutionStateMachine) {
+  Worker w(0);
+  EXPECT_EQ(w.state(), WorkerState::kIdle);
+  EXPECT_FALSE(w.Busy());
+
+  w.BeginRequest(/*probe_is_long=*/false);
+  EXPECT_EQ(w.state(), WorkerState::kRequesting);
+  EXPECT_TRUE(w.Busy());
+  w.CancelRequest();
+  EXPECT_EQ(w.state(), WorkerState::kIdle);
+
+  w.BeginExecute(100, ShortTask(7));
+  EXPECT_EQ(w.state(), WorkerState::kExecuting);
+  EXPECT_EQ(w.executing_job(), 7u);
+  EXPECT_EQ(w.executing_until(), 110);
+  w.FinishExecute();
+  EXPECT_EQ(w.state(), WorkerState::kIdle);
+  EXPECT_EQ(w.busy_accum_us(), 10);
+}
+
+TEST(WorkerTest, BusyAccumulates) {
+  Worker w(0);
+  for (int i = 0; i < 5; ++i) {
+    w.BeginExecute(i * 100, QueueEntry::Task(1, 0, 25, false));
+    w.FinishExecute();
+  }
+  EXPECT_EQ(w.busy_accum_us(), 125);
+}
+
+// --- Fig. 3 steal-group extraction -----------------------------------------
+
+TEST(StealScanTest, CaseA1_ExecutingShortGroupAfterLongInQueue) {
+  // a1) executing short; queue = [L, S, S] -> steal the two shorts.
+  Worker w(0);
+  w.BeginExecute(0, ShortTask(1));
+  w.Enqueue(LongTask(2));
+  w.Enqueue(ShortProbe(3));
+  w.Enqueue(ShortProbe(4));
+  const auto stolen = w.ExtractStealableGroup();
+  ASSERT_EQ(stolen.size(), 2u);
+  EXPECT_EQ(stolen[0].job, 3u);
+  EXPECT_EQ(stolen[1].job, 4u);
+  EXPECT_EQ(w.QueueSize(), 1u);  // Long entry stays.
+}
+
+TEST(StealScanTest, CaseA2_GroupEndsAtNextLong) {
+  // a2) executing short; queue = [S, L, S, L, S] -> steal only the first
+  // group after the first long (one entry).
+  Worker w(0);
+  w.BeginExecute(0, ShortTask(1));
+  w.Enqueue(ShortProbe(2));
+  w.Enqueue(LongTask(3));
+  w.Enqueue(ShortProbe(4));
+  w.Enqueue(LongTask(5));
+  w.Enqueue(ShortProbe(6));
+  const auto stolen = w.ExtractStealableGroup();
+  ASSERT_EQ(stolen.size(), 1u);
+  EXPECT_EQ(stolen[0].job, 4u);
+  // Queue keeps [S(2), L(3), L(5), S(6)].
+  EXPECT_EQ(w.QueueSize(), 4u);
+}
+
+TEST(StealScanTest, CaseB1_ExecutingLongStealsHeadGroup) {
+  // b1) executing long; queue = [S, S, L] -> steal the head shorts.
+  Worker w(0);
+  w.BeginExecute(0, LongTask(1));
+  w.Enqueue(ShortProbe(2));
+  w.Enqueue(ShortProbe(3));
+  w.Enqueue(LongTask(4));
+  const auto stolen = w.ExtractStealableGroup();
+  ASSERT_EQ(stolen.size(), 2u);
+  EXPECT_EQ(stolen[0].job, 2u);
+  EXPECT_EQ(stolen[1].job, 3u);
+}
+
+TEST(StealScanTest, CaseB2_ExecutingLongQueueStartsLong) {
+  // b2) executing long; queue = [L, S, S] -> steal the shorts after the
+  // queued long.
+  Worker w(0);
+  w.BeginExecute(0, LongTask(1));
+  w.Enqueue(LongTask(2));
+  w.Enqueue(ShortProbe(3));
+  w.Enqueue(ShortProbe(4));
+  const auto stolen = w.ExtractStealableGroup();
+  ASSERT_EQ(stolen.size(), 2u);
+  EXPECT_EQ(stolen[0].job, 3u);
+}
+
+TEST(StealScanTest, NoLongInvolvedNothingStolen) {
+  // Executing short with only short entries: no head-of-line blocking by a
+  // long task, nothing eligible.
+  Worker w(0);
+  w.BeginExecute(0, ShortTask(1));
+  w.Enqueue(ShortProbe(2));
+  w.Enqueue(ShortProbe(3));
+  EXPECT_FALSE(w.HasStealableGroup());
+  EXPECT_TRUE(w.ExtractStealableGroup().empty());
+  EXPECT_EQ(w.QueueSize(), 2u);
+}
+
+TEST(StealScanTest, AllLongNothingStolen) {
+  Worker w(0);
+  w.BeginExecute(0, LongTask(1));
+  w.Enqueue(LongTask(2));
+  w.Enqueue(LongTask(3));
+  EXPECT_TRUE(w.ExtractStealableGroup().empty());
+}
+
+TEST(StealScanTest, IdleWorkerWithBlockedQueue) {
+  // Worker not executing (e.g. between dispatches): queue = [L, S] -> the
+  // short after the long is eligible.
+  Worker w(0);
+  w.Enqueue(LongTask(1));
+  w.Enqueue(ShortProbe(2));
+  const auto stolen = w.ExtractStealableGroup();
+  ASSERT_EQ(stolen.size(), 1u);
+  EXPECT_EQ(stolen[0].job, 2u);
+}
+
+TEST(StealScanTest, RequestingShortProbeDoesNotCountAsLong) {
+  // Worker resolving a short probe; queue all short: nothing eligible.
+  Worker w(0);
+  w.BeginRequest(/*probe_is_long=*/false);
+  w.Enqueue(ShortProbe(2));
+  EXPECT_TRUE(w.ExtractStealableGroup().empty());
+}
+
+TEST(StealScanTest, RequestingLongProbeCountsAsLong) {
+  // In the no-centralized ablation, long jobs probe too; an in-flight long
+  // probe blocks the head shorts just like an executing long task.
+  Worker w(0);
+  w.BeginRequest(/*probe_is_long=*/true);
+  w.Enqueue(ShortProbe(2));
+  const auto stolen = w.ExtractStealableGroup();
+  ASSERT_EQ(stolen.size(), 1u);
+  EXPECT_EQ(stolen[0].job, 2u);
+}
+
+TEST(StealScanTest, ExtractIsRepeatable) {
+  // After stealing the first group, the next group becomes eligible.
+  Worker w(0);
+  w.BeginExecute(0, LongTask(1));
+  w.Enqueue(ShortProbe(2));
+  w.Enqueue(LongTask(3));
+  w.Enqueue(ShortProbe(4));
+  EXPECT_EQ(w.ExtractStealableGroup().size(), 1u);
+  EXPECT_EQ(w.ExtractStealableGroup().size(), 1u);
+  EXPECT_TRUE(w.ExtractStealableGroup().empty());
+  EXPECT_EQ(w.QueueSize(), 1u);  // Only L(3) remains.
+}
+
+// --- Cluster ----------------------------------------------------------------
+
+TEST(ClusterTest, PartitionLayout) {
+  Cluster cluster(100, 83);
+  EXPECT_EQ(cluster.NumWorkers(), 100u);
+  EXPECT_EQ(cluster.GeneralCount(), 83u);
+  EXPECT_EQ(cluster.ShortPartitionCount(), 17u);
+  EXPECT_TRUE(cluster.InGeneralPartition(0));
+  EXPECT_TRUE(cluster.InGeneralPartition(82));
+  EXPECT_FALSE(cluster.InGeneralPartition(83));
+  EXPECT_FALSE(cluster.InGeneralPartition(99));
+}
+
+TEST(ClusterTest, UtilizationCountsExecutingOnly) {
+  Cluster cluster(4, 4);
+  EXPECT_DOUBLE_EQ(cluster.Utilization(), 0.0);
+  cluster.worker(0).BeginExecute(0, ShortTask(1));
+  cluster.worker(1).BeginRequest(false);  // Requesting is not "used".
+  EXPECT_DOUBLE_EQ(cluster.Utilization(), 0.25);
+  cluster.worker(2).BeginExecute(0, LongTask(2));
+  EXPECT_DOUBLE_EQ(cluster.Utilization(), 0.5);
+}
+
+TEST(ClusterTest, TotalBusyAggregates) {
+  Cluster cluster(3, 3);
+  cluster.worker(0).BeginExecute(0, QueueEntry::Task(1, 0, 100, false));
+  cluster.worker(0).FinishExecute();
+  cluster.worker(2).BeginExecute(0, QueueEntry::Task(2, 0, 50, false));
+  cluster.worker(2).FinishExecute();
+  EXPECT_EQ(cluster.TotalBusyUs(), 150);
+}
+
+// --- JobTracker --------------------------------------------------------------
+
+Trace TwoJobTrace() {
+  Trace trace;
+  Job a;
+  a.task_durations = {100, 200, 300};
+  Job b;
+  b.task_durations = {50};
+  trace.Add(a);
+  trace.Add(b);
+  trace.SortAndRenumber();
+  return trace;
+}
+
+TEST(JobTrackerTest, HandsOutTasksExactlyOnceInOrder) {
+  const Trace trace = TwoJobTrace();
+  JobTracker tracker(&trace);
+  auto t0 = tracker.TakeNextTask(0);
+  auto t1 = tracker.TakeNextTask(0);
+  auto t2 = tracker.TakeNextTask(0);
+  ASSERT_TRUE(t0 && t1 && t2);
+  EXPECT_EQ(t0->task_index, 0u);
+  EXPECT_EQ(t0->duration, 100);
+  EXPECT_EQ(t2->duration, 300);
+  EXPECT_FALSE(tracker.TakeNextTask(0).has_value());  // Cancels from here on.
+  EXPECT_TRUE(tracker.AllTasksAssigned(0));
+}
+
+TEST(JobTrackerTest, CompletionDetection) {
+  const Trace trace = TwoJobTrace();
+  JobTracker tracker(&trace);
+  EXPECT_FALSE(tracker.OnTaskFinished(0, 10));
+  EXPECT_FALSE(tracker.OnTaskFinished(0, 20));
+  EXPECT_FALSE(tracker.AllJobsFinished());
+  EXPECT_TRUE(tracker.OnTaskFinished(0, 30));
+  EXPECT_TRUE(tracker.JobFinished(0));
+  EXPECT_EQ(tracker.FinishTime(0), 30);
+  EXPECT_TRUE(tracker.OnTaskFinished(1, 40));
+  EXPECT_TRUE(tracker.AllJobsFinished());
+}
+
+TEST(JobTrackerTest, ClassificationAndEstimateStorage) {
+  const Trace trace = TwoJobTrace();
+  JobTracker tracker(&trace);
+  tracker.SetClassification(0, /*is_long_sched=*/true, /*is_long_metrics=*/false, 12345);
+  EXPECT_TRUE(tracker.IsLongSched(0));
+  EXPECT_FALSE(tracker.IsLongMetrics(0));
+  EXPECT_EQ(tracker.EstimateUs(0), 12345);
+}
+
+}  // namespace
+}  // namespace hawk

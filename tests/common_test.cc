@@ -1,0 +1,303 @@
+// Unit tests for src/common: RNG determinism and distribution sanity,
+// sample/percentile math, flag parsing, status propagation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/common/flags.h"
+#include "src/common/histogram.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace hawk {
+namespace {
+
+TEST(TypesTest, SecondsRoundTrip) {
+  EXPECT_EQ(SecondsToUs(1.0), 1'000'000);
+  EXPECT_EQ(SecondsToUs(0.5), 500'000);
+  EXPECT_EQ(MillisToUs(0.5), 500);
+  EXPECT_DOUBLE_EQ(UsToSeconds(2'500'000), 2.5);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, ExponentialMeanConverges) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(40.0);
+  }
+  EXPECT_NEAR(sum / n, 40.0, 0.5);
+}
+
+TEST(RngTest, GaussianMomentsConverge) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, PositiveGaussianIsPositive) {
+  Rng rng(17);
+  // The paper's recipe uses stddev = 2 * mean: most draws need rejection.
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_GT(rng.PositiveGaussian(10.0, 20.0), 0.0);
+  }
+}
+
+TEST(RngTest, LogNormalMedianConverges) {
+  Rng rng(19);
+  std::vector<double> values;
+  const int n = 100001;
+  values.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    values.push_back(rng.LogNormalMedian(100.0, 1.0));
+  }
+  std::nth_element(values.begin(), values.begin() + n / 2, values.end());
+  EXPECT_NEAR(values[n / 2], 100.0, 3.0);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(23);
+  for (const uint32_t n : {10u, 100u, 10000u}) {
+    for (const uint32_t k : {1u, 5u, 10u}) {
+      const auto sample = rng.SampleWithoutReplacement(n, k);
+      ASSERT_EQ(sample.size(), k);
+      std::set<uint32_t> unique(sample.begin(), sample.end());
+      EXPECT_EQ(unique.size(), k);
+      for (const uint32_t v : sample) {
+        EXPECT_LT(v, n);
+      }
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(29);
+  const auto sample = rng.SampleWithoutReplacement(50, 50);
+  std::set<uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+TEST(RngTest, SampleWithoutReplacementUniformCoverage) {
+  // Every element should be picked roughly k/n of the time, in both the
+  // dense (Fisher-Yates) and sparse (Floyd) regimes.
+  for (const uint32_t n : {20u, 400u}) {
+    Rng rng(31 + n);
+    const uint32_t k = 4;
+    const int trials = 20000;
+    std::vector<int> hits(n, 0);
+    for (int t = 0; t < trials; ++t) {
+      for (const uint32_t v : rng.SampleWithoutReplacement(n, k)) {
+        hits[v]++;
+      }
+    }
+    const double expected = static_cast<double>(trials) * k / n;
+    for (const int h : hits) {
+      EXPECT_NEAR(h, expected, expected * 0.35) << "n=" << n;
+    }
+  }
+}
+
+TEST(RngTest, ForkStreamsAreIndependentAndDeterministic) {
+  Rng parent1(77);
+  Rng parent2(77);
+  Rng child1 = parent1.Fork();
+  Rng child2 = parent2.Fork();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(child1.Next(), child2.Next());
+  }
+}
+
+TEST(SamplesTest, PercentileExactValues) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(90), 90.1, 1e-9);
+}
+
+TEST(SamplesTest, SingleValue) {
+  Samples s;
+  s.Add(42.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 42.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 42.0);
+}
+
+TEST(SamplesTest, PercentileMatchesSortedReference) {
+  Rng rng(5);
+  Samples s;
+  std::vector<double> reference;
+  for (int i = 0; i < 997; ++i) {
+    const double v = rng.Exponential(10.0);
+    s.Add(v);
+    reference.push_back(v);
+  }
+  std::sort(reference.begin(), reference.end());
+  // Interpolated percentile must be bracketed by neighboring order stats.
+  for (const double pct : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    const double rank = pct / 100.0 * (reference.size() - 1);
+    const double lo = reference[static_cast<size_t>(rank)];
+    const double hi = reference[std::min(reference.size() - 1,
+                                         static_cast<size_t>(rank) + 1)];
+    const double v = s.Percentile(pct);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+TEST(SamplesTest, MeanVarianceStddev) {
+  Samples s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.Stddev(), 2.0);
+}
+
+TEST(SamplesTest, CdfAtBounds) {
+  Samples s;
+  for (int i = 1; i <= 10; ++i) {
+    s.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(s.CdfAt(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.CdfAt(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.CdfAt(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.CdfAt(100.0), 1.0);
+}
+
+TEST(SamplesTest, CdfSeriesMonotonic) {
+  Rng rng(3);
+  Samples s;
+  for (int i = 0; i < 1000; ++i) {
+    s.Add(rng.Exponential(5.0));
+  }
+  const auto series = s.CdfSeries(30);
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].first, series[i - 1].first);
+    EXPECT_GE(series[i].second, series[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(SamplesTest, AddAllMatchesAdd) {
+  Samples a;
+  Samples b;
+  const std::vector<double> values{3.0, 1.0, 2.0};
+  for (const double v : values) {
+    a.Add(v);
+  }
+  b.AddAll(values);
+  EXPECT_DOUBLE_EQ(a.Median(), b.Median());
+  EXPECT_EQ(a.Count(), b.Count());
+}
+
+TEST(FlagsTest, ParsesAllForms) {
+  const char* argv[] = {"prog",          "--alpha=3",  "--beta", "4.5", "--gamma",
+                        "--name=hello",  "positional", "--list=1,2,3"};
+  Flags flags(8, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("beta", 0.0), 4.5);
+  EXPECT_TRUE(flags.GetBool("gamma", false));
+  EXPECT_EQ(flags.GetString("name", ""), "hello");
+  EXPECT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "positional");
+  const auto list = flags.GetIntList("list", {});
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], 1);
+  EXPECT_EQ(list[2], 3);
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Flags flags(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing", 1.5), 1.5);
+  EXPECT_FALSE(flags.GetBool("missing", false));
+  EXPECT_EQ(flags.GetString("missing", "x"), "x");
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(FlagsTest, BoolExplicitValues) {
+  const char* argv[] = {"prog", "--on=true", "--off=false"};
+  Flags flags(3, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.GetBool("on", false));
+  EXPECT_FALSE(flags.GetBool("off", true));
+}
+
+TEST(StatusTest, OkAndError) {
+  EXPECT_TRUE(Status::Ok().ok());
+  const Status err = Status::Error("boom");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.message(), "boom");
+}
+
+TEST(StatusOrTest, HoldsValueOrError) {
+  StatusOr<int> v(7);
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 7);
+  StatusOr<int> e(Status::Error("nope"));
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().message(), "nope");
+}
+
+}  // namespace
+}  // namespace hawk

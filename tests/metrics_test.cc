@@ -1,0 +1,82 @@
+// Tests for the metrics library: run comparisons (the figures' y-axes) and
+// the ASCII report rendering.
+#include <gtest/gtest.h>
+
+#include "src/metrics/comparison.h"
+#include "src/metrics/report.h"
+
+namespace hawk {
+namespace {
+
+RunResult MakeRun(const std::vector<std::pair<bool, DurationUs>>& jobs,
+                  std::vector<double> util = {}) {
+  RunResult run;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    JobResult r;
+    r.id = static_cast<JobId>(i);
+    r.is_long = jobs[i].first;
+    r.submit_time = 0;
+    r.finish_time = jobs[i].second;
+    r.runtime_us = jobs[i].second;
+    run.jobs.push_back(r);
+  }
+  run.utilization_samples = std::move(util);
+  return run;
+}
+
+TEST(ComparisonTest, RatiosPerClass) {
+  // Short jobs: treatment {10, 20, 30}, baseline {20, 40, 60} -> ratios 0.5.
+  // Long job: equal -> ratio 1.
+  const RunResult treatment =
+      MakeRun({{false, 10}, {false, 20}, {false, 30}, {true, 100}}, {0.5, 0.7});
+  const RunResult baseline =
+      MakeRun({{false, 20}, {false, 40}, {false, 60}, {true, 100}}, {0.9, 0.8});
+  const RunComparison cmp = CompareRuns(treatment, baseline);
+  EXPECT_DOUBLE_EQ(cmp.short_jobs.p50_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(cmp.short_jobs.p90_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(cmp.short_jobs.avg_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(cmp.short_jobs.fraction_improved_or_equal, 1.0);
+  EXPECT_EQ(cmp.short_jobs.jobs, 3u);
+  EXPECT_DOUBLE_EQ(cmp.long_jobs.p50_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(cmp.long_jobs.fraction_improved_or_equal, 1.0);
+  EXPECT_DOUBLE_EQ(cmp.treatment_median_util, 0.6);
+  EXPECT_DOUBLE_EQ(cmp.baseline_median_util, 0.85);
+}
+
+TEST(ComparisonTest, FractionImprovedCountsPerJob) {
+  const RunResult treatment = MakeRun({{false, 10}, {false, 50}, {false, 30}, {false, 70}});
+  const RunResult baseline = MakeRun({{false, 20}, {false, 40}, {false, 30}, {false, 60}});
+  const RunComparison cmp = CompareRuns(treatment, baseline);
+  // Improved-or-equal: jobs 0 (10<=20) and 2 (30<=30) -> 0.5.
+  EXPECT_DOUBLE_EQ(cmp.short_jobs.fraction_improved_or_equal, 0.5);
+}
+
+TEST(ComparisonTest, EmptyClassYieldsZeroJobs) {
+  const RunResult treatment = MakeRun({{false, 10}});
+  const RunResult baseline = MakeRun({{false, 20}});
+  const RunComparison cmp = CompareRuns(treatment, baseline);
+  EXPECT_EQ(cmp.long_jobs.jobs, 0u);
+  EXPECT_EQ(cmp.short_jobs.jobs, 1u);
+}
+
+TEST(ReportTest, TableRendersAlignedColumns) {
+  Table table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(ReportTest, NumberFormatting) {
+  EXPECT_EQ(Table::Num(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+  EXPECT_EQ(Table::Pct(0.1234), "12.34%");
+  EXPECT_EQ(Table::Pct(0.5, 0), "50%");
+}
+
+}  // namespace
+}  // namespace hawk

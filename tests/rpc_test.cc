@@ -1,0 +1,152 @@
+// Tests for the RPC substrate: serializer round-trips and bounds checking,
+// message bus delivery, latency injection, drain semantics, and the
+// prototype's wire messages.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/rpc/message_bus.h"
+#include "src/rpc/serializer.h"
+#include "src/runtime/proto_messages.h"
+
+namespace hawk {
+namespace {
+
+TEST(SerializerTest, ScalarRoundTrip) {
+  rpc::Writer w;
+  w.WriteU8(200);
+  w.WriteU32(123456789);
+  w.WriteU64(0xDEADBEEFCAFEF00DULL);
+  w.WriteI64(-42);
+  w.WriteBool(true);
+  w.WriteBool(false);
+  const auto buf = w.Take();
+  rpc::Reader r(buf);
+  EXPECT_EQ(r.ReadU8(), 200);
+  EXPECT_EQ(r.ReadU32(), 123456789u);
+  EXPECT_EQ(r.ReadU64(), 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(r.ReadI64(), -42);
+  EXPECT_TRUE(r.ReadBool());
+  EXPECT_FALSE(r.ReadBool());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializerTest, StringAndVectorRoundTrip) {
+  rpc::Writer w;
+  w.WriteString("hello hawk");
+  w.WriteU32Vector({1, 2, 3});
+  w.WriteI64Vector({-1, 0, 1'000'000'000'000LL});
+  const auto buf = w.Take();
+  rpc::Reader r(buf);
+  EXPECT_EQ(r.ReadString(), "hello hawk");
+  EXPECT_EQ(r.ReadU32Vector(), (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_EQ(r.ReadI64Vector(), (std::vector<int64_t>{-1, 0, 1'000'000'000'000LL}));
+}
+
+TEST(SerializerTest, EmptyContainers) {
+  rpc::Writer w;
+  w.WriteString("");
+  w.WriteU32Vector({});
+  const auto buf = w.Take();
+  rpc::Reader r(buf);
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_TRUE(r.ReadU32Vector().empty());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ProtoMessagesTest, JobSubmitRoundTrip) {
+  runtime::JobSubmitMsg m;
+  m.job = 77;
+  m.is_long = true;
+  m.estimate_us = 123456;
+  m.task_durations_us = {100, 200, 300};
+  const auto decoded = runtime::JobSubmitMsg::Decode(m.Encode());
+  EXPECT_EQ(decoded.job, 77u);
+  EXPECT_TRUE(decoded.is_long);
+  EXPECT_EQ(decoded.estimate_us, 123456);
+  EXPECT_EQ(decoded.task_durations_us, m.task_durations_us);
+}
+
+TEST(ProtoMessagesTest, TaskAndStealRoundTrip) {
+  runtime::TaskMsg t;
+  t.job = 5;
+  t.task_index = 9;
+  t.duration_us = 777;
+  t.is_long = true;
+  t.owner = runtime::kBackendAddress;
+  const auto task = runtime::TaskMsg::Decode(t.Encode());
+  EXPECT_EQ(task.owner, runtime::kBackendAddress);
+  EXPECT_EQ(task.duration_us, 777);
+
+  runtime::StealResponseMsg s;
+  s.probes.push_back({1, runtime::kFrontendBase});
+  s.probes.push_back({2, runtime::kFrontendBase + 3});
+  const auto steal = runtime::StealResponseMsg::Decode(s.Encode());
+  ASSERT_EQ(steal.probes.size(), 2u);
+  EXPECT_EQ(steal.probes[1].job, 2u);
+  EXPECT_EQ(steal.probes[1].frontend, runtime::kFrontendBase + 3);
+}
+
+TEST(MessageBusTest, DeliversToRegisteredHandler) {
+  rpc::MessageBus bus(std::chrono::microseconds(0));
+  std::atomic<int> received{0};
+  bus.Register(1, [&](const rpc::BusMessage& m) {
+    EXPECT_EQ(m.from, 7u);
+    EXPECT_EQ(m.type, 42u);
+    EXPECT_EQ(m.payload.size(), 3u);
+    received.fetch_add(1);
+  });
+  bus.Send(7, 1, 42, {1, 2, 3});
+  bus.Drain();
+  EXPECT_EQ(received.load(), 1);
+  EXPECT_EQ(bus.MessagesDelivered(), 1u);
+}
+
+TEST(MessageBusTest, ManyMessagesAllDelivered) {
+  rpc::MessageBus bus(std::chrono::microseconds(0), 4);
+  std::atomic<int> received{0};
+  for (rpc::Address a = 0; a < 10; ++a) {
+    bus.Register(a, [&](const rpc::BusMessage&) { received.fetch_add(1); });
+  }
+  for (int i = 0; i < 1000; ++i) {
+    bus.Send(0, static_cast<rpc::Address>(i % 10), 1, {});
+  }
+  bus.Drain();
+  EXPECT_EQ(received.load(), 1000);
+}
+
+TEST(MessageBusTest, LatencyIsInjected) {
+  rpc::MessageBus bus(std::chrono::microseconds(20'000));  // 20 ms
+  std::atomic<bool> received{false};
+  bus.Register(1, [&](const rpc::BusMessage&) { received.store(true); });
+  const auto start = std::chrono::steady_clock::now();
+  bus.Send(0, 1, 1, {});
+  bus.Drain();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(received.load());
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 19);
+}
+
+TEST(MessageBusTest, HandlersCanSendMessages) {
+  // Ping-pong: handler for A forwards to B, which counts.
+  rpc::MessageBus bus(std::chrono::microseconds(0));
+  std::atomic<int> count{0};
+  bus.Register(1, [&](const rpc::BusMessage& m) { bus.Send(1, 2, m.type, {}); });
+  bus.Register(2, [&](const rpc::BusMessage&) { count.fetch_add(1); });
+  for (int i = 0; i < 10; ++i) {
+    bus.Send(0, 1, 1, {});
+  }
+  bus.Drain();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(MessageBusTest, ShutdownIsIdempotent) {
+  rpc::MessageBus bus(std::chrono::microseconds(0));
+  bus.Shutdown();
+  bus.Shutdown();
+}
+
+}  // namespace
+}  // namespace hawk

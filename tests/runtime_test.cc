@@ -1,0 +1,114 @@
+// End-to-end tests for the threaded prototype runtime: complete small traces
+// under both modes, verify completion, task conservation, stealing activity,
+// and agreement in shape with the simulator.
+#include <gtest/gtest.h>
+
+#include "src/metrics/comparison.h"
+#include "src/runtime/prototype_cluster.h"
+#include "src/scheduler/experiment.h"
+#include "src/workload/arrivals.h"
+#include "src/workload/google_trace.h"
+#include "src/workload/scaling.h"
+
+namespace hawk {
+namespace {
+
+// A tiny Google-like trace in milliseconds-scale time.
+Trace SmallScaledTrace(uint32_t jobs, uint64_t seed, double util, uint32_t nodes) {
+  GoogleTraceParams params;
+  params.num_jobs = jobs;
+  params.seed = seed;
+  Trace trace = CapTasksPreserveWork(GenerateGoogleTrace(params), nodes / 2);
+  // Scale total work down to ~4 wall-clock seconds.
+  const double factor = 4e6 / static_cast<double>(trace.TotalWorkUs());
+  trace = RescaleTime(trace, factor);
+  Rng rng(seed);
+  AssignPoissonArrivals(&trace, MeanInterarrivalForUtilization(trace, util, nodes), &rng);
+  return trace;
+}
+
+runtime::PrototypeConfig SmallConfig(runtime::PrototypeMode mode) {
+  runtime::PrototypeConfig config;
+  config.mode = mode;
+  config.num_nodes = 40;
+  config.num_frontends = 4;
+  config.bus_latency = std::chrono::microseconds(200);
+  config.util_sample_period = std::chrono::microseconds(20'000);
+  config.timeout = std::chrono::milliseconds(60'000);
+  return config;
+}
+
+void CheckPrototypeInvariants(const Trace& trace, const RunResult& result) {
+  ASSERT_EQ(result.jobs.size(), trace.NumJobs());
+  for (size_t i = 0; i < trace.NumJobs(); ++i) {
+    EXPECT_EQ(result.jobs[i].id, trace.job(i).id);
+    EXPECT_GE(result.jobs[i].finish_time, result.jobs[i].submit_time);
+    // Wall-clock runtime is at least the longest task's sleep.
+    EXPECT_GE(result.jobs[i].runtime_us, trace.job(i).MaxTaskDurationUs());
+  }
+  EXPECT_EQ(result.counters.tasks_launched, trace.TotalTasks());
+}
+
+TEST(PrototypeTest, HawkModeCompletesAllJobs) {
+  const Trace trace = SmallScaledTrace(30, 3, 0.8, 40);
+  const RunResult result =
+      runtime::RunPrototype(trace, SmallConfig(runtime::PrototypeMode::kHawk));
+  CheckPrototypeInvariants(trace, result);
+  EXPECT_GT(result.counters.events, trace.TotalTasks());  // RPC traffic happened.
+}
+
+TEST(PrototypeTest, SparrowModeCompletesAllJobs) {
+  const Trace trace = SmallScaledTrace(30, 5, 0.8, 40);
+  const RunResult result =
+      runtime::RunPrototype(trace, SmallConfig(runtime::PrototypeMode::kSparrow));
+  CheckPrototypeInvariants(trace, result);
+  // Sparrow mode has no backend and no stealing.
+  EXPECT_EQ(result.counters.entries_stolen, 0u);
+}
+
+TEST(PrototypeTest, StealingActivatesUnderLoad) {
+  const Trace trace = SmallScaledTrace(60, 7, 1.3, 40);
+  const RunResult result =
+      runtime::RunPrototype(trace, SmallConfig(runtime::PrototypeMode::kHawk));
+  CheckPrototypeInvariants(trace, result);
+  EXPECT_GT(result.counters.steal_attempts, 0u);
+}
+
+TEST(PrototypeTest, UtilizationSamplesCollected) {
+  const Trace trace = SmallScaledTrace(30, 9, 0.8, 40);
+  const RunResult result =
+      runtime::RunPrototype(trace, SmallConfig(runtime::PrototypeMode::kHawk));
+  EXPECT_GT(result.utilization_samples.size(), 3u);
+  for (const double u : result.utilization_samples) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(PrototypeTest, AgreesWithSimulatorInShape) {
+  // The paper's §4.10 claim at small scale: under load, the prototype and
+  // the simulator agree that Hawk substantially improves short jobs.
+  const uint32_t nodes = 40;
+  const Trace trace = SmallScaledTrace(80, 11, 1.0, nodes);
+
+  const RunResult impl_hawk =
+      runtime::RunPrototype(trace, SmallConfig(runtime::PrototypeMode::kHawk));
+  const RunResult impl_sparrow =
+      runtime::RunPrototype(trace, SmallConfig(runtime::PrototypeMode::kSparrow));
+  const RunComparison impl = CompareRuns(impl_hawk, impl_sparrow);
+
+  HawkConfig sim_config;
+  sim_config.num_workers = nodes;
+  sim_config.classify_mode = ClassifyMode::kHint;
+  sim_config.net_delay_us = 200;
+  const RunResult sim_hawk = RunScheduler(trace, sim_config, SchedulerKind::kHawk);
+  const RunResult sim_sparrow = RunScheduler(trace, sim_config, SchedulerKind::kSparrow);
+  const RunComparison sim = CompareRuns(sim_hawk, sim_sparrow);
+
+  // Qualitative agreement: both say Hawk improves short jobs at p90.
+  EXPECT_LT(impl.short_jobs.p90_ratio, 1.0);
+  EXPECT_LT(sim.short_jobs.p90_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace hawk

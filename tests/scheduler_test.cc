@@ -1,0 +1,357 @@
+// Integration tests: full simulation runs under every scheduler, checking
+// completion, work conservation, mechanism invariants, determinism, and the
+// paper's qualitative results on small workloads. Property-style sweeps are
+// parameterized over scheduler kind, workload, and seed.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/hawk_config.h"
+#include "src/metrics/comparison.h"
+#include "src/scheduler/experiment.h"
+#include "src/workload/arrivals.h"
+#include "src/workload/cluster_workloads.h"
+#include "src/workload/google_trace.h"
+#include "src/workload/scaling.h"
+
+namespace hawk {
+namespace {
+
+// A small Google-like trace calibrated to `util` on `workers`.
+Trace TestTrace(uint32_t jobs, uint32_t workers, double util, uint64_t seed) {
+  GoogleTraceParams params;
+  params.num_jobs = jobs;
+  params.seed = seed;
+  Trace trace = CapTasksPreserveWork(GenerateGoogleTrace(params), workers / 2);
+  Rng rng(seed ^ 0xF00D);
+  AssignPoissonArrivals(&trace, MeanInterarrivalForUtilization(trace, util, workers), &rng);
+  return trace;
+}
+
+HawkConfig TestConfig(uint32_t workers, uint64_t seed = 42) {
+  HawkConfig config;
+  config.num_workers = workers;
+  config.seed = seed;
+  return config;
+}
+
+void CheckInvariants(const Trace& trace, const RunResult& result) {
+  // Every job finished, no job lost.
+  ASSERT_EQ(result.jobs.size(), trace.NumJobs());
+  for (size_t i = 0; i < trace.NumJobs(); ++i) {
+    const Job& job = trace.job(i);
+    const JobResult& r = result.jobs[i];
+    EXPECT_EQ(r.id, job.id);
+    EXPECT_EQ(r.submit_time, job.submit_time);
+    EXPECT_GE(r.finish_time, r.submit_time);
+    // A job cannot finish faster than its longest task.
+    EXPECT_GE(r.runtime_us, job.MaxTaskDurationUs());
+  }
+  // Work conservation: every task executed exactly once, nothing invented.
+  EXPECT_EQ(result.counters.tasks_launched, trace.TotalTasks());
+  EXPECT_EQ(result.total_busy_us, trace.TotalWorkUs());
+  // Utilization samples well-formed.
+  for (const double u : result.utilization_samples) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+// --- Parameterized invariant sweep: scheduler x load x seed -------------------
+
+struct SweepCase {
+  SchedulerKind kind;
+  double util;
+  uint64_t seed;
+};
+
+std::string SweepName(const testing::TestParamInfo<SweepCase>& info) {
+  return std::string(SchedulerKindName(info.param.kind)) + "_util" +
+         std::to_string(static_cast<int>(info.param.util * 100)) + "_seed" +
+         std::to_string(info.param.seed);
+}
+
+class SchedulerSweepTest : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(SchedulerSweepTest, InvariantsHold) {
+  const SweepCase& param = GetParam();
+  const uint32_t workers = 400;
+  const Trace trace = TestTrace(400, workers, param.util, param.seed);
+  const RunResult result =
+      RunScheduler(trace, TestConfig(workers, param.seed), param.kind);
+  CheckInvariants(trace, result);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, SchedulerSweepTest,
+    testing::Values(SweepCase{SchedulerKind::kSparrow, 0.5, 1},
+                    SweepCase{SchedulerKind::kSparrow, 0.9, 2},
+                    SweepCase{SchedulerKind::kSparrow, 1.3, 3},
+                    SweepCase{SchedulerKind::kCentralized, 0.5, 1},
+                    SweepCase{SchedulerKind::kCentralized, 0.9, 2},
+                    SweepCase{SchedulerKind::kCentralized, 1.3, 3},
+                    SweepCase{SchedulerKind::kHawk, 0.5, 1},
+                    SweepCase{SchedulerKind::kHawk, 0.9, 2},
+                    SweepCase{SchedulerKind::kHawk, 1.3, 3},
+                    SweepCase{SchedulerKind::kSplit, 0.5, 1},
+                    SweepCase{SchedulerKind::kSplit, 0.9, 2},
+                    SweepCase{SchedulerKind::kSplit, 1.3, 3}),
+    SweepName);
+
+// --- Hawk ablation invariants ---------------------------------------------------
+
+class HawkAblationTest : public testing::TestWithParam<int> {};
+
+TEST_P(HawkAblationTest, InvariantsHoldWithTogglesOff) {
+  const int variant = GetParam();
+  const uint32_t workers = 300;
+  const Trace trace = TestTrace(300, workers, 0.9, 5);
+  HawkConfig config = TestConfig(workers);
+  config.use_centralized_long = variant != 0;
+  config.use_partition = variant != 1;
+  config.use_stealing = variant != 2;
+  const RunResult result = RunScheduler(trace, config, SchedulerKind::kHawk);
+  CheckInvariants(trace, result);
+  if (variant == 2) {
+    EXPECT_EQ(result.counters.steal_attempts, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Toggles, HawkAblationTest, testing::Values(0, 1, 2));
+
+// --- Per-scheduler behavior -------------------------------------------------------
+
+TEST(SparrowTest, ProbeCountFollowsRatio) {
+  const uint32_t workers = 200;
+  const Trace trace = TestTrace(100, workers, 0.5, 7);
+  HawkConfig config = TestConfig(workers);
+  const RunResult result = RunScheduler(trace, config, SchedulerKind::kSparrow);
+  EXPECT_EQ(result.counters.probes_placed, 2 * trace.TotalTasks());
+  // Every probe either launched a task or was cancelled.
+  EXPECT_EQ(result.counters.probe_requests,
+            result.counters.tasks_launched + result.counters.cancels);
+  EXPECT_EQ(result.counters.central_tasks_placed, 0u);
+}
+
+TEST(SparrowTest, LateBindingCancelsSurplusProbes) {
+  const uint32_t workers = 200;
+  const Trace trace = TestTrace(100, workers, 0.3, 9);
+  const RunResult result =
+      RunScheduler(trace, TestConfig(workers), SchedulerKind::kSparrow);
+  // With probe ratio 2 and a mostly idle cluster, about half the probes are
+  // cancelled.
+  EXPECT_GT(result.counters.cancels, 0u);
+  EXPECT_LE(result.counters.cancels, result.counters.probes_placed);
+}
+
+TEST(CentralizedTest, NoProbesEverythingPlaced) {
+  const uint32_t workers = 200;
+  const Trace trace = TestTrace(100, workers, 0.5, 11);
+  const RunResult result =
+      RunScheduler(trace, TestConfig(workers), SchedulerKind::kCentralized);
+  EXPECT_EQ(result.counters.probes_placed, 0u);
+  EXPECT_EQ(result.counters.central_tasks_placed, trace.TotalTasks());
+  EXPECT_EQ(result.counters.steal_attempts, 0u);
+}
+
+TEST(HawkTest, LongJobsPlacedCentrallyShortJobsProbed) {
+  const uint32_t workers = 300;
+  const Trace trace = TestTrace(300, workers, 0.8, 13);
+  const RunResult result = RunScheduler(trace, TestConfig(workers), SchedulerKind::kHawk);
+  uint64_t long_tasks = 0;
+  uint64_t short_tasks = 0;
+  const DurationUs cutoff = TestConfig(workers).cutoff_us;
+  for (const Job& job : trace.jobs()) {
+    if (job.AvgTaskDurationUs() >= static_cast<double>(cutoff)) {
+      long_tasks += job.NumTasks();
+    } else {
+      short_tasks += job.NumTasks();
+    }
+  }
+  EXPECT_EQ(result.counters.central_tasks_placed, long_tasks);
+  EXPECT_EQ(result.counters.probes_placed, 2 * short_tasks);
+}
+
+TEST(HawkTest, StealingMovesEntriesUnderLoad) {
+  const uint32_t workers = 300;
+  const Trace trace = TestTrace(400, workers, 1.1, 15);
+  const RunResult result = RunScheduler(trace, TestConfig(workers), SchedulerKind::kHawk);
+  EXPECT_GT(result.counters.steal_attempts, 0u);
+  EXPECT_GT(result.counters.steal_successes, 0u);
+  EXPECT_GT(result.counters.entries_stolen, 0u);
+  EXPECT_GE(result.counters.steal_attempts, result.counters.steal_successes);
+}
+
+TEST(HawkTest, EmptyShortPartitionFallsBackGracefully) {
+  // partition fraction 0 -> the whole cluster is general; still correct.
+  const uint32_t workers = 200;
+  const Trace trace = TestTrace(200, workers, 0.8, 17);
+  HawkConfig config = TestConfig(workers);
+  config.short_partition_fraction = 0.0;
+  const RunResult result = RunScheduler(trace, config, SchedulerKind::kHawk);
+  CheckInvariants(trace, result);
+}
+
+TEST(SplitTest, ShortJobsConfinedToShortPartition) {
+  // In the split cluster, short probes target only the short partition. With
+  // a short job whose 2t probes exceed the short partition, the round-robin
+  // overflow rule must still serve all tasks.
+  const uint32_t workers = 100;
+  Trace trace;
+  Job job;
+  job.task_durations.assign(40, SecondsToUs(10));  // 80 probes on 17 workers.
+  trace.Add(job);
+  trace.SortAndRenumber();
+  HawkConfig config = TestConfig(workers);
+  const RunResult result = RunScheduler(trace, config, SchedulerKind::kSplit);
+  CheckInvariants(trace, result);
+}
+
+// --- Determinism -------------------------------------------------------------------
+
+TEST(DeterminismTest, IdenticalSeedsIdenticalResults) {
+  const uint32_t workers = 300;
+  const Trace trace = TestTrace(300, workers, 0.9, 19);
+  for (const SchedulerKind kind :
+       {SchedulerKind::kSparrow, SchedulerKind::kCentralized, SchedulerKind::kHawk,
+        SchedulerKind::kSplit}) {
+    const RunResult a = RunScheduler(trace, TestConfig(workers, 99), kind);
+    const RunResult b = RunScheduler(trace, TestConfig(workers, 99), kind);
+    ASSERT_EQ(a.jobs.size(), b.jobs.size());
+    for (size_t i = 0; i < a.jobs.size(); ++i) {
+      EXPECT_EQ(a.jobs[i].runtime_us, b.jobs[i].runtime_us)
+          << SchedulerKindName(kind) << " job " << i;
+    }
+    EXPECT_EQ(a.counters.events, b.counters.events);
+  }
+}
+
+TEST(DeterminismTest, DifferentSeedsDifferentPlacements) {
+  const uint32_t workers = 300;
+  const Trace trace = TestTrace(300, workers, 0.9, 21);
+  const RunResult a = RunScheduler(trace, TestConfig(workers, 1), SchedulerKind::kSparrow);
+  const RunResult b = RunScheduler(trace, TestConfig(workers, 2), SchedulerKind::kSparrow);
+  size_t differing = 0;
+  for (size_t i = 0; i < a.jobs.size(); ++i) {
+    differing += a.jobs[i].runtime_us != b.jobs[i].runtime_us ? 1 : 0;
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+// --- Edge cases ---------------------------------------------------------------------
+
+TEST(EdgeCaseTest, EmptyTrace) {
+  Trace trace;
+  const RunResult result = RunScheduler(trace, TestConfig(50), SchedulerKind::kHawk);
+  EXPECT_TRUE(result.jobs.empty());
+  EXPECT_EQ(result.counters.tasks_launched, 0u);
+}
+
+TEST(EdgeCaseTest, SingleTaskJob) {
+  Trace trace;
+  Job job;
+  job.task_durations = {SecondsToUs(5)};
+  trace.Add(job);
+  trace.SortAndRenumber();
+  for (const SchedulerKind kind :
+       {SchedulerKind::kSparrow, SchedulerKind::kCentralized, SchedulerKind::kHawk}) {
+    const RunResult result = RunScheduler(trace, TestConfig(10), kind);
+    ASSERT_EQ(result.jobs.size(), 1u);
+    // Runtime = network delay + (late-binding RTT for probed paths) + 5 s.
+    EXPECT_GE(result.jobs[0].runtime_us, SecondsToUs(5));
+    EXPECT_LE(result.jobs[0].runtime_us, SecondsToUs(5) + MillisToUs(2));
+  }
+}
+
+TEST(EdgeCaseTest, SingleWorkerCluster) {
+  Trace trace;
+  for (int i = 0; i < 5; ++i) {
+    Job job;
+    job.submit_time = i * 1000;
+    job.task_durations = {SecondsToUs(1)};
+    trace.Add(job);
+  }
+  trace.SortAndRenumber();
+  HawkConfig config = TestConfig(1);
+  config.short_partition_fraction = 0.0;  // One worker: no short partition.
+  const RunResult result = RunScheduler(trace, config, SchedulerKind::kHawk);
+  CheckInvariants(trace, result);
+  // Serial execution: total makespan >= 5 tasks x 1 s.
+  EXPECT_GE(result.makespan_us, 5 * SecondsToUs(1));
+}
+
+TEST(EdgeCaseTest, JobLargerThanClusterCentralized) {
+  // 500 tasks on 50 workers: centralized placement queues 10 deep.
+  Trace trace;
+  Job job;
+  job.task_durations.assign(500, SecondsToUs(10));
+  job.long_hint = true;
+  trace.Add(job);
+  trace.SortAndRenumber();
+  HawkConfig config = TestConfig(50);
+  config.classify_mode = ClassifyMode::kHint;
+  const RunResult result = RunScheduler(trace, config, SchedulerKind::kCentralized);
+  CheckInvariants(trace, result);
+  EXPECT_GE(result.makespan_us, 10 * SecondsToUs(10));
+}
+
+TEST(EdgeCaseTest, ShortJobWithMoreProbesThanCluster) {
+  // 2t probes exceed the cluster size: round-based spreading still serves
+  // every task (invariant 7 in DESIGN.md).
+  Trace trace;
+  Job job;
+  job.task_durations.assign(60, SecondsToUs(1));  // 120 probes on 80 workers.
+  trace.Add(job);
+  trace.SortAndRenumber();
+  const RunResult result = RunScheduler(trace, TestConfig(80), SchedulerKind::kSparrow);
+  CheckInvariants(trace, result);
+}
+
+TEST(EdgeCaseTest, ZeroDurationTasks) {
+  Trace trace;
+  Job job;
+  job.task_durations.assign(10, 0);
+  trace.Add(job);
+  trace.SortAndRenumber();
+  const RunResult result = RunScheduler(trace, TestConfig(20), SchedulerKind::kHawk);
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_EQ(result.counters.tasks_launched, 10u);
+}
+
+// --- Paper-shaped results on small runs (fast sanity for the benches) -----------
+
+TEST(PaperShapeTest, HawkBeatsSparrowForShortJobsUnderLoad) {
+  const uint32_t workers = 500;
+  const Trace trace = TestTrace(800, workers, 0.95, 23);
+  const HawkConfig config = TestConfig(workers);
+  const RunResult hawk = RunScheduler(trace, config, SchedulerKind::kHawk);
+  const RunResult sparrow = RunScheduler(trace, config, SchedulerKind::kSparrow);
+  const RunComparison cmp = CompareRuns(hawk, sparrow);
+  EXPECT_LT(cmp.short_jobs.p50_ratio, 0.9);
+  EXPECT_LT(cmp.short_jobs.p90_ratio, 0.9);
+}
+
+TEST(PaperShapeTest, ConvergenceAtLowLoad) {
+  const uint32_t workers = 2000;
+  const Trace trace = TestTrace(500, workers, 0.15, 25);
+  const HawkConfig config = TestConfig(workers);
+  const RunResult hawk = RunScheduler(trace, config, SchedulerKind::kHawk);
+  const RunResult sparrow = RunScheduler(trace, config, SchedulerKind::kSparrow);
+  const RunComparison cmp = CompareRuns(hawk, sparrow);
+  EXPECT_NEAR(cmp.short_jobs.p50_ratio, 1.0, 0.1);
+  EXPECT_NEAR(cmp.long_jobs.p50_ratio, 1.0, 0.1);
+}
+
+TEST(PaperShapeTest, StealingHelpsShortJobs) {
+  const uint32_t workers = 500;
+  const Trace trace = TestTrace(800, workers, 0.95, 27);
+  HawkConfig config = TestConfig(workers);
+  const RunResult with_steal = RunScheduler(trace, config, SchedulerKind::kHawk);
+  config.use_stealing = false;
+  const RunResult without_steal = RunScheduler(trace, config, SchedulerKind::kHawk);
+  const RunComparison cmp = CompareRuns(without_steal, with_steal);
+  EXPECT_GT(cmp.short_jobs.p90_ratio, 1.1);
+}
+
+}  // namespace
+}  // namespace hawk

@@ -1,0 +1,153 @@
+// Property tests across all four workload generators and multiple seeds:
+// structural invariants every trace must satisfy, stability of the
+// calibrated statistics, and end-to-end invariants of scheduling each
+// workload under Hawk.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/hawk_config.h"
+#include "src/scheduler/experiment.h"
+#include "src/workload/arrivals.h"
+#include "src/workload/cluster_workloads.h"
+#include "src/workload/google_trace.h"
+#include "src/workload/scaling.h"
+#include "src/workload/trace_stats.h"
+
+namespace hawk {
+namespace {
+
+struct WorkloadCase {
+  const char* name;
+  uint64_t seed;
+};
+
+Trace Generate(const std::string& name, uint32_t jobs, uint64_t seed) {
+  if (name == "google") {
+    GoogleTraceParams params;
+    params.num_jobs = jobs;
+    params.seed = seed;
+    return GenerateGoogleTrace(params);
+  }
+  if (name == "cloudera") {
+    return GenerateClusterWorkload(ClouderaParams(jobs, seed));
+  }
+  if (name == "facebook") {
+    return GenerateClusterWorkload(FacebookParams(jobs, seed));
+  }
+  if (name == "yahoo") {
+    return GenerateClusterWorkload(YahooParams(jobs, seed));
+  }
+  return GenerateMotivationTrace(jobs, 0.1, seed);
+}
+
+LongJobPredicate PredicateFor(const std::string& name) {
+  if (name == "google") {
+    return LongByCutoff(SecondsToUs(1129.0));
+  }
+  return LongByHint();
+}
+
+class WorkloadPropertyTest : public testing::TestWithParam<WorkloadCase> {};
+
+TEST_P(WorkloadPropertyTest, StructuralInvariants) {
+  const auto& param = GetParam();
+  const Trace trace = Generate(param.name, 2000, param.seed);
+  ASSERT_EQ(trace.NumJobs(), 2000u);
+  for (size_t i = 0; i < trace.NumJobs(); ++i) {
+    const Job& job = trace.job(i);
+    EXPECT_EQ(job.id, i);
+    EXPECT_GE(job.NumTasks(), 1u);
+    for (const DurationUs d : job.task_durations) {
+      EXPECT_GT(d, 0);
+    }
+    if (i > 0) {
+      EXPECT_GE(job.submit_time, trace.job(i - 1).submit_time);
+    }
+  }
+  EXPECT_EQ(trace.TotalTasks(), [&] {
+    uint64_t total = 0;
+    for (const Job& job : trace.jobs()) {
+      total += job.NumTasks();
+    }
+    return total;
+  }());
+}
+
+TEST_P(WorkloadPropertyTest, GenerationIsDeterministicPerSeed) {
+  const auto& param = GetParam();
+  const Trace a = Generate(param.name, 300, param.seed);
+  const Trace b = Generate(param.name, 300, param.seed);
+  ASSERT_EQ(a.NumJobs(), b.NumJobs());
+  for (size_t i = 0; i < a.NumJobs(); ++i) {
+    EXPECT_EQ(a.job(i).task_durations, b.job(i).task_durations);
+    EXPECT_EQ(a.job(i).long_hint, b.job(i).long_hint);
+  }
+}
+
+TEST_P(WorkloadPropertyTest, MixStatisticsStableAcrossSeeds) {
+  // The calibrated Table-1 statistics should not be a single-seed fluke:
+  // compare two disjoint seeds.
+  const auto& param = GetParam();
+  const Trace a = Generate(param.name, 6000, param.seed);
+  const Trace b = Generate(param.name, 6000, param.seed + 1000);
+  const LongJobPredicate is_long = PredicateFor(param.name);
+  const WorkloadMix mix_a = ComputeMix(a, is_long);
+  const WorkloadMix mix_b = ComputeMix(b, is_long);
+  EXPECT_NEAR(mix_a.pct_long_jobs, mix_b.pct_long_jobs, 2.0) << param.name;
+  EXPECT_NEAR(mix_a.pct_task_seconds_long, mix_b.pct_task_seconds_long, 8.0) << param.name;
+}
+
+TEST_P(WorkloadPropertyTest, LongJobsDominateTaskSeconds) {
+  // The defining property of the paper's workloads (Table 1): a minority of
+  // jobs holds the majority of task-seconds.
+  const auto& param = GetParam();
+  const Trace trace = Generate(param.name, 6000, param.seed);
+  const WorkloadMix mix = ComputeMix(trace, PredicateFor(param.name));
+  EXPECT_LT(mix.pct_long_jobs, 15.0) << param.name;
+  EXPECT_GT(mix.pct_task_seconds_long, 70.0) << param.name;
+}
+
+TEST_P(WorkloadPropertyTest, CapPreservesPerJobWork) {
+  const auto& param = GetParam();
+  const Trace trace = Generate(param.name, 500, param.seed);
+  const Trace capped = CapTasksPreserveWork(trace, 64);
+  ASSERT_EQ(capped.NumJobs(), trace.NumJobs());
+  for (size_t i = 0; i < trace.NumJobs(); ++i) {
+    EXPECT_LE(capped.job(i).NumTasks(), 64u);
+    EXPECT_NEAR(static_cast<double>(capped.job(i).TotalWorkUs()) /
+                    static_cast<double>(trace.job(i).TotalWorkUs()),
+                1.0, 1e-3);
+  }
+}
+
+TEST_P(WorkloadPropertyTest, HawkRunsToCompletionOnEveryWorkload) {
+  // End-to-end: every workload schedules under Hawk with full conservation.
+  const auto& param = GetParam();
+  const uint32_t workers = 400;
+  Trace trace = CapTasksPreserveWork(Generate(param.name, 400, param.seed), workers / 2);
+  Rng rng(param.seed);
+  AssignPoissonArrivals(&trace, MeanInterarrivalForUtilization(trace, 0.85, workers), &rng);
+  HawkConfig config;
+  config.num_workers = workers;
+  config.classify_mode =
+      std::string(param.name) == "google" ? ClassifyMode::kCutoff : ClassifyMode::kHint;
+  const RunResult result = RunScheduler(trace, config, SchedulerKind::kHawk);
+  EXPECT_EQ(result.jobs.size(), trace.NumJobs());
+  EXPECT_EQ(result.counters.tasks_launched, trace.TotalTasks());
+  EXPECT_EQ(result.total_busy_us, trace.TotalWorkUs());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadPropertyTest,
+    testing::Values(WorkloadCase{"google", 1}, WorkloadCase{"google", 2},
+                    WorkloadCase{"cloudera", 1}, WorkloadCase{"cloudera", 2},
+                    WorkloadCase{"facebook", 1}, WorkloadCase{"facebook", 2},
+                    WorkloadCase{"yahoo", 1}, WorkloadCase{"yahoo", 2}),
+    [](const testing::TestParamInfo<WorkloadCase>& param_info) {
+      return std::string(param_info.param.name) + "_seed" +
+             std::to_string(param_info.param.seed);
+    });
+
+}  // namespace
+}  // namespace hawk
