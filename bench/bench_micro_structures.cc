@@ -18,7 +18,8 @@ void BM_EventQueuePushPop(benchmark::State& state) {
   for (auto _ : state) {
     hawk::sim::EventQueue<uint64_t> queue;
     for (int64_t i = 0; i < batch; ++i) {
-      queue.Push(static_cast<hawk::SimTime>(rng.NextBounded(1'000'000)), i);
+      queue.Push(static_cast<hawk::SimTime>(rng.NextBounded(1'000'000)),
+                 static_cast<uint64_t>(i));
     }
     while (!queue.Empty()) {
       benchmark::DoNotOptimize(queue.Pop());

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build everything, run the full test suite.
+#
+# Usage:
+#   scripts/check.sh              # full configure + build + ctest
+#   scripts/check.sh -L core      # extra args are forwarded to ctest
+#
+# Environment:
+#   BUILD_DIR   build directory (default: build)
+#   JOBS        parallelism (default: nproc)
+#   HAWK_WERROR ON/OFF, treat warnings as errors (default: ON)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+HAWK_WERROR="${HAWK_WERROR:-ON}"
+
+cmake -B "${BUILD_DIR}" -S . -DHAWK_WERROR="${HAWK_WERROR}"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" "$@"

@@ -1,8 +1,9 @@
 // Minimal command-line flag parsing for example and bench binaries.
 //
 // Accepts "--name=value", "--name value", and bare "--name" for booleans.
-// Unrecognized flags abort with a usage listing, so experiment scripts fail
-// loudly instead of silently running the default configuration.
+// There is no registry of valid names, so unknown flags are silently kept
+// (misspell one and you run the default configuration); malformed values
+// abort via HAWK_CHECK at the Get* call that reads them.
 #ifndef HAWK_COMMON_FLAGS_H_
 #define HAWK_COMMON_FLAGS_H_
 

@@ -80,7 +80,7 @@ Trace GenerateClusterWorkload(const ClusterWorkloadParams& params) {
     Job job;
     job.long_hint = cluster_idx != 0;
     const uint32_t num_tasks = static_cast<uint32_t>(std::clamp<double>(
-        std::lround(1.0 + rng.Exponential(cluster.tasks_centroid)), 1.0,
+        static_cast<double>(std::lround(1.0 + rng.Exponential(cluster.tasks_centroid))), 1.0,
         static_cast<double>(params.tasks_cap)));
     const double mean_dur_s =
         std::clamp(rng.Exponential(cluster.dur_centroid_s), 0.5, params.dur_cap_s);

@@ -52,8 +52,9 @@ Trace GenerateGoogleTrace(const GoogleTraceParams& params) {
     if (job.long_hint) {
       const double raw_tasks = rng.LogNormalMedian(params.long_tasks_median,
                                                    params.long_tasks_sigma);
-      const uint32_t num_tasks = static_cast<uint32_t>(std::clamp<double>(
-          std::lround(raw_tasks), 1.0, static_cast<double>(params.long_tasks_cap)));
+      const uint32_t num_tasks = static_cast<uint32_t>(
+          std::clamp<double>(static_cast<double>(std::lround(raw_tasks)), 1.0,
+                             static_cast<double>(params.long_tasks_cap)));
       const double corr =
           std::pow(static_cast<double>(num_tasks) / params.long_tasks_median,
                    params.long_corr_exponent);
@@ -64,8 +65,9 @@ Trace GenerateGoogleTrace(const GoogleTraceParams& params) {
       FillTaskDurations(&job, num_tasks, mean_dur_s, params.task_spread_sigma, &rng);
     } else {
       const double raw_tasks = 1.0 + rng.Exponential(params.short_tasks_mean);
-      const uint32_t num_tasks = static_cast<uint32_t>(std::clamp<double>(
-          std::lround(raw_tasks), 1.0, static_cast<double>(params.short_tasks_cap)));
+      const uint32_t num_tasks = static_cast<uint32_t>(
+          std::clamp<double>(static_cast<double>(std::lround(raw_tasks)), 1.0,
+                             static_cast<double>(params.short_tasks_cap)));
       const double mean_dur_s =
           std::clamp(rng.Exponential(params.short_dur_mean_s), params.short_dur_min_s,
                      params.short_dur_cap_s);

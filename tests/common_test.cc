@@ -193,7 +193,7 @@ TEST(SamplesTest, PercentileMatchesSortedReference) {
   std::sort(reference.begin(), reference.end());
   // Interpolated percentile must be bracketed by neighboring order stats.
   for (const double pct : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
-    const double rank = pct / 100.0 * (reference.size() - 1);
+    const double rank = pct / 100.0 * static_cast<double>(reference.size() - 1);
     const double lo = reference[static_cast<size_t>(rank)];
     const double hi = reference[std::min(reference.size() - 1,
                                          static_cast<size_t>(rank) + 1)];

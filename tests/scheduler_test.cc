@@ -233,7 +233,7 @@ TEST(DeterminismTest, DifferentSeedsDifferentPlacements) {
   const RunResult b = RunScheduler(trace, TestConfig(workers, 2), SchedulerKind::kSparrow);
   size_t differing = 0;
   for (size_t i = 0; i < a.jobs.size(); ++i) {
-    differing += a.jobs[i].runtime_us != b.jobs[i].runtime_us ? 1 : 0;
+    differing += a.jobs[i].runtime_us != b.jobs[i].runtime_us ? 1u : 0u;
   }
   EXPECT_GT(differing, 0u);
 }

@@ -113,7 +113,7 @@ TEST(GoogleTraceTest, HintAgreesWithCutoffClassification) {
       ++disagree;
     }
   }
-  EXPECT_LT(static_cast<double>(disagree) / trace.NumJobs(), 0.02);
+  EXPECT_LT(static_cast<double>(disagree) / static_cast<double>(trace.NumJobs()), 0.02);
 }
 
 TEST(GoogleTraceTest, TaskCountsWithinCaps) {
