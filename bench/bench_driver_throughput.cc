@@ -1,0 +1,76 @@
+// End-to-end simulation-driver throughput: events per second for every
+// scheduler on the fig-5-style Google-trace workload, at the paper's 15k-node
+// scale and at 100k nodes (both divided by the usual 1/10 simulation scale).
+// This is the repo's perf-trajectory baseline: scripts/bench.sh runs it and
+// emits BENCH_driver.json so regressions show up as a number, not a feeling.
+//
+// The trace for each cluster size is generated once and shared across
+// iterations and schedulers; only SimulationDriver::Run is timed.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <utility>
+
+#include "bench/bench_util.h"
+#include "src/scheduler/experiment.h"
+
+namespace {
+
+struct Workload {
+  hawk::Trace trace;
+  hawk::HawkConfig config;
+};
+
+// Jobs are scaled down with cluster size so the 100k-node point stays in
+// benchmark territory; the offered load is calibrated to 0.93 in both cases.
+const Workload& SharedWorkload(uint32_t paper_nodes, uint32_t jobs) {
+  static std::map<std::pair<uint32_t, uint32_t>, Workload>* cache =
+      new std::map<std::pair<uint32_t, uint32_t>, Workload>();
+  auto [it, inserted] = cache->try_emplace({paper_nodes, jobs});
+  if (inserted) {
+    const uint32_t workers = hawk::bench::SimSize(paper_nodes);
+    it->second.trace = hawk::bench::GoogleSweepTrace(jobs, /*seed=*/1, workers, workers,
+                                                     /*target_util=*/0.93);
+    it->second.config = hawk::bench::GoogleConfig(workers, /*seed=*/1);
+  }
+  return it->second;
+}
+
+void BM_DriverThroughput(benchmark::State& state, hawk::SchedulerKind kind,
+                         uint32_t paper_nodes, uint32_t jobs) {
+  const Workload& workload = SharedWorkload(paper_nodes, jobs);
+  uint64_t events = 0;
+  uint64_t tasks = 0;
+  for (auto _ : state) {
+    const hawk::RunResult result = hawk::RunScheduler(workload.trace, workload.config, kind);
+    events += result.counters.events;
+    tasks += result.counters.tasks_launched;
+    benchmark::DoNotOptimize(result.makespan_us);
+  }
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["tasks/s"] =
+      benchmark::Counter(static_cast<double>(tasks), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+}
+
+#define HAWK_DRIVER_BENCH(kind, paper_nodes, jobs)                                      \
+  BENCHMARK_CAPTURE(BM_DriverThroughput, kind##_##paper_nodes##nodes,                   \
+                    hawk::SchedulerKind::k##kind, paper_nodes, jobs)                    \
+      ->Unit(benchmark::kMillisecond)
+
+// Paper scale: 15k nodes (fig. 5 operating point).
+HAWK_DRIVER_BENCH(Sparrow, 15000, 3000);
+HAWK_DRIVER_BENCH(Centralized, 15000, 3000);
+HAWK_DRIVER_BENCH(Hawk, 15000, 3000);
+HAWK_DRIVER_BENCH(Split, 15000, 3000);
+
+// Beyond the paper: 100k nodes.
+HAWK_DRIVER_BENCH(Sparrow, 100000, 1000);
+HAWK_DRIVER_BENCH(Centralized, 100000, 1000);
+HAWK_DRIVER_BENCH(Hawk, 100000, 1000);
+HAWK_DRIVER_BENCH(Split, 100000, 1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

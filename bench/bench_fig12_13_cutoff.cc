@@ -14,7 +14,7 @@
 #include "bench/bench_util.h"
 #include "src/metrics/comparison.h"
 #include "src/metrics/report.h"
-#include "src/scheduler/experiment.h"
+#include "src/scheduler/sweep_runner.h"
 
 int main(int argc, char** argv) {
   hawk::Flags flags(argc, argv);
@@ -34,16 +34,22 @@ int main(int argc, char** argv) {
       std::to_string(jobs) + " jobs)");
   hawk::Table fig12({"cutoff (s)", "% jobs long", "p50 long", "p90 long"});
   hawk::Table fig13({"cutoff (s)", "p50 short", "p90 short"});
+  // Two sweep points per cutoff (Hawk + Sparrow baseline), fanned across the
+  // thread pool; results are identical to a serial loop. Sparrow schedules
+  // all jobs identically; the cutoff only affects which jobs are *reported*
+  // as long vs short, so it is applied to both runs of each pair.
+  std::vector<hawk::SweepPoint> points;
   for (const int64_t cutoff_s : cutoffs) {
     hawk::HawkConfig config = hawk::bench::GoogleConfig(workers, seed);
     config.cutoff_us = hawk::SecondsToUs(static_cast<double>(cutoff_s));
-    const hawk::RunResult hawk_run =
-        hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
-    // Sparrow schedules all jobs identically; the cutoff only affects which
-    // jobs are *reported* as long vs short, so it is applied to both runs.
-    const hawk::RunResult sparrow_run =
-        hawk::RunScheduler(trace, config, hawk::SchedulerKind::kSparrow);
-    const hawk::RunComparison cmp = hawk::CompareRuns(hawk_run, sparrow_run);
+    points.push_back({&trace, config, hawk::SchedulerKind::kHawk});
+    points.push_back({&trace, config, hawk::SchedulerKind::kSparrow});
+  }
+  const hawk::SweepRunner runner(static_cast<uint32_t>(flags.GetInt("threads", 0)));
+  const std::vector<hawk::RunResult> results = runner.Run(points);
+  for (size_t i = 0; i < cutoffs.size(); ++i) {
+    const int64_t cutoff_s = cutoffs[i];
+    const hawk::RunComparison cmp = hawk::CompareRuns(results[2 * i], results[2 * i + 1]);
     const double pct_long =
         100.0 * static_cast<double>(cmp.long_jobs.jobs) /
         static_cast<double>(cmp.long_jobs.jobs + cmp.short_jobs.jobs);

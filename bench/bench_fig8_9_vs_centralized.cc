@@ -13,7 +13,7 @@
 #include "bench/bench_util.h"
 #include "src/metrics/comparison.h"
 #include "src/metrics/report.h"
-#include "src/scheduler/experiment.h"
+#include "src/scheduler/sweep_runner.h"
 
 int main(int argc, char** argv) {
   hawk::Flags flags(argc, argv);
@@ -28,18 +28,25 @@ int main(int argc, char** argv) {
       hawk::bench::SimSize(static_cast<uint32_t>(paper_sizes[1])),
       flags.GetDouble("util", 0.93));
 
+  // Two sweep points per cluster size (Hawk + the centralized baseline),
+  // fanned across the thread pool; results are identical to a serial loop.
+  std::vector<hawk::SweepPoint> points;
+  for (const int64_t paper_size : paper_sizes) {
+    const uint32_t workers = hawk::bench::SimSize(static_cast<uint32_t>(paper_size));
+    const hawk::HawkConfig config = hawk::bench::GoogleConfig(workers, seed);
+    points.push_back({&trace, config, hawk::SchedulerKind::kHawk});
+    points.push_back({&trace, config, hawk::SchedulerKind::kCentralized});
+  }
+  const hawk::SweepRunner runner(static_cast<uint32_t>(flags.GetInt("threads", 0)));
+  const std::vector<hawk::RunResult> results = runner.Run(points);
+
   hawk::bench::PrintHeader("Figures 8-9: Hawk normalized to fully centralized (Google trace, " +
                            std::to_string(jobs) + " jobs)");
   hawk::Table fig8({"nodes(paper)", "p50 short", "p90 short"});
   hawk::Table fig9({"nodes(paper)", "p50 long", "p90 long"});
-  for (const int64_t paper_size : paper_sizes) {
-    const uint32_t workers = hawk::bench::SimSize(static_cast<uint32_t>(paper_size));
-    const hawk::HawkConfig config = hawk::bench::GoogleConfig(workers, seed);
-    const hawk::RunResult hawk_run =
-        hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
-    const hawk::RunResult central_run =
-        hawk::RunScheduler(trace, config, hawk::SchedulerKind::kCentralized);
-    const hawk::RunComparison cmp = hawk::CompareRuns(hawk_run, central_run);
+  for (size_t i = 0; i < paper_sizes.size(); ++i) {
+    const int64_t paper_size = paper_sizes[i];
+    const hawk::RunComparison cmp = hawk::CompareRuns(results[2 * i], results[2 * i + 1]);
     fig8.AddRow({std::to_string(paper_size), hawk::Table::Num(cmp.short_jobs.p50_ratio),
                  hawk::Table::Num(cmp.short_jobs.p90_ratio)});
     fig9.AddRow({std::to_string(paper_size), hawk::Table::Num(cmp.long_jobs.p50_ratio),

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Driver-throughput benchmark: builds the Release bench binary and emits
+# BENCH_driver.json (Google Benchmark JSON) — the repo's perf-trajectory
+# baseline. Compare events/s across commits to spot hot-path regressions.
+#
+# Usage:
+#   scripts/bench.sh                      # full run, writes BENCH_driver.json
+#   scripts/bench.sh --benchmark_filter=Hawk   # extra args forwarded to the bench
+#
+# Environment:
+#   BUILD_DIR   build directory (default: build-bench)
+#   JOBS        parallelism (default: nproc)
+#   OUT         output JSON path (default: BENCH_driver.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-bench}"
+JOBS="${JOBS:-$(nproc)}"
+OUT="${OUT:-BENCH_driver.json}"
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release -DHAWK_BUILD_TESTS=OFF \
+      -DHAWK_BUILD_EXAMPLES=OFF
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_driver_throughput
+
+"${BUILD_DIR}/bench_driver_throughput" \
+  --benchmark_out="${OUT}" --benchmark_out_format=json \
+  --benchmark_counters_tabular=true "$@"
+
+echo "Wrote ${OUT}"

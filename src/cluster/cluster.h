@@ -27,7 +27,15 @@ class Cluster {
     for (uint32_t i = 0; i < num_workers; ++i) {
       workers_.emplace_back(i);
     }
+    for (Worker& w : workers_) {
+      w.BindExecutingCounter(&executing_count_);
+    }
   }
+
+  // Workers hold a pointer to executing_count_; pinning the cluster keeps it
+  // valid for their whole lifetime.
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
 
   uint32_t NumWorkers() const { return static_cast<uint32_t>(workers_.size()); }
   uint32_t GeneralCount() const { return general_count_; }
@@ -45,16 +53,14 @@ class Cluster {
   }
 
   // Fraction of workers currently executing a task (paper's "percentage of
-  // used servers").
+  // used servers"). O(1): the count is maintained by the workers' execution
+  // state transitions instead of a full scan per utilization sample.
   double Utilization() const {
-    uint32_t executing = 0;
-    for (const Worker& w : workers_) {
-      if (w.state() == WorkerState::kExecuting) {
-        ++executing;
-      }
-    }
-    return static_cast<double>(executing) / static_cast<double>(workers_.size());
+    return static_cast<double>(executing_count_) / static_cast<double>(workers_.size());
   }
+
+  // Number of workers currently in the kExecuting state.
+  uint32_t ExecutingCount() const { return executing_count_; }
 
   // Total accumulated execution time across workers (work conservation).
   DurationUs TotalBusyUs() const {
@@ -68,6 +74,7 @@ class Cluster {
  private:
   std::vector<Worker> workers_;
   uint32_t general_count_;
+  uint32_t executing_count_ = 0;
 };
 
 }  // namespace hawk

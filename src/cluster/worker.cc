@@ -3,11 +3,21 @@
 namespace hawk {
 
 size_t Worker::StealableGroupBegin() const {
+  // O(1) screening on the composition counters: the group is made of short
+  // entries, and (unless the current work is long) needs a long entry ahead
+  // of it in the queue.
+  const size_t size = queue_.Size();
+  if (queue_short_ == 0) {
+    return size;
+  }
+  if (!CurrentIsLong() && queue_long_ == 0) {
+    return size;
+  }
   // Scan [current work, queue...]; the group starts at the first short entry
   // observed after at least one long entry.
   bool seen_long = CurrentIsLong();
-  for (size_t i = 0; i < queue_.size(); ++i) {
-    if (queue_[i].is_long) {
+  for (size_t i = 0; i < size; ++i) {
+    if (queue_.At(i).is_long) {
       seen_long = true;
       continue;
     }
@@ -15,26 +25,33 @@ size_t Worker::StealableGroupBegin() const {
       return i;
     }
   }
-  return queue_.size();
+  return size;
 }
 
-bool Worker::HasStealableGroup() const { return StealableGroupBegin() < queue_.size(); }
-
 std::vector<QueueEntry> Worker::ExtractStealableGroup() {
-  const size_t begin = StealableGroupBegin();
   std::vector<QueueEntry> stolen;
-  if (begin >= queue_.size()) {
+  const size_t begin = StealableGroupBegin();
+  if (begin >= queue_.Size()) {
     return stolen;
   }
   size_t end = begin;
-  while (end < queue_.size() && !queue_[end].is_long) {
+  while (end < queue_.Size() && !queue_.At(end).is_long) {
+    stolen.push_back(queue_.At(end));
     ++end;
   }
-  stolen.assign(queue_.begin() + static_cast<std::ptrdiff_t>(begin),
-                queue_.begin() + static_cast<std::ptrdiff_t>(end));
-  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(begin),
-               queue_.begin() + static_cast<std::ptrdiff_t>(end));
+  RemoveGroup(begin, end);
   return stolen;
+}
+
+void Worker::RemoveGroup(size_t begin, size_t end) {
+  for (size_t i = begin; i < end; ++i) {
+    if (queue_.At(i).is_long) {
+      --queue_long_;
+    } else {
+      --queue_short_;
+    }
+  }
+  queue_.EraseRange(begin, end);
 }
 
 }  // namespace hawk

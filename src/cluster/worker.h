@@ -4,14 +4,22 @@
 // threaded prototype's node monitor) owns the control flow. Each worker can
 // execute one task at a time; §4.1 notes multi-slot nodes are equivalent to
 // this model with one queue per slot, i.e. more single-slot workers.
+//
+// The queue is a power-of-two ring buffer rather than std::deque: pops and
+// pushes never touch an allocator once the ring is warm, and the steal-group
+// scan walks contiguous memory. The worker also tracks how many long/short
+// entries the queue holds so steal-victim screening is O(1) — a victim with
+// no short entries (or no long entry anywhere in [current work, queue...])
+// is rejected without scanning.
 #ifndef HAWK_CLUSTER_WORKER_H_
 #define HAWK_CLUSTER_WORKER_H_
 
-#include <deque>
+#include <cstddef>
 #include <vector>
 
 #include "src/cluster/queue_entry.h"
 #include "src/common/check.h"
+#include "src/common/ring_buffer.h"
 #include "src/common/types.h"
 
 namespace hawk {
@@ -31,15 +39,28 @@ class Worker {
   bool Busy() const { return state_ != WorkerState::kIdle; }
 
   // --- queue -----------------------------------------------------------
-  void Enqueue(QueueEntry entry) { queue_.push_back(entry); }
-  bool QueueEmpty() const { return queue_.empty(); }
-  size_t QueueSize() const { return queue_.size(); }
-  const std::deque<QueueEntry>& queue() const { return queue_; }
+  void Enqueue(const QueueEntry& entry) {
+    queue_.PushBack(entry);
+    if (entry.is_long) {
+      ++queue_long_;
+    } else {
+      ++queue_short_;
+    }
+  }
+
+  bool QueueEmpty() const { return queue_.Empty(); }
+  size_t QueueSize() const { return queue_.Size(); }
+
+  // Queue entry at FIFO position `i` (0 = next to pop).
+  const QueueEntry& QueueAt(size_t i) const { return queue_.At(i); }
 
   QueueEntry PopFront() {
-    HAWK_CHECK(!queue_.empty());
-    QueueEntry entry = queue_.front();
-    queue_.pop_front();
+    const QueueEntry entry = queue_.PopFront();
+    if (entry.is_long) {
+      --queue_long_;
+    } else {
+      --queue_short_;
+    }
     return entry;
   }
 
@@ -58,12 +79,18 @@ class Worker {
     executing_job_ = task.job;
     executing_until_ = now + task.duration;
     busy_accum_us_ += task.duration;
+    if (executing_count_ != nullptr) {
+      ++*executing_count_;
+    }
   }
 
   void FinishExecute() {
     HAWK_CHECK(state_ == WorkerState::kExecuting);
     state_ = WorkerState::kIdle;
     executing_job_ = kInvalidJob;
+    if (executing_count_ != nullptr) {
+      --*executing_count_;
+    }
   }
 
   void CancelRequest() {
@@ -81,23 +108,56 @@ class Worker {
   // Total microseconds of task execution accumulated (work conservation).
   DurationUs busy_accum_us() const { return busy_accum_us_; }
 
+  // Cluster-level accounting hook: while bound, the worker maintains
+  // *counter across kExecuting transitions so Cluster::Utilization() is O(1).
+  void BindExecutingCounter(uint32_t* counter) {
+    executing_count_ = counter;
+    if (counter != nullptr && state_ == WorkerState::kExecuting) {
+      ++*counter;
+    }
+  }
+
   // --- stealing (paper §3.6, Fig. 3) -------------------------------------
-  // Removes and returns the first consecutive group of short entries that
+  // The stealable group is the first consecutive run of short entries that
   // follows a long entry in [current work, queue...] order:
   //   a1/a2) executing a short task: the group after the first long entry in
   //          the queue;
   //   b1/b2) executing a long task: the first short group in the queue (the
   //          group "immediately after that long task"), skipping any further
   //          long entries that precede it.
-  // Returns an empty vector when there is no head-of-line blocking to relieve.
+
+  // Moves the stealable group, if any, straight onto `thief`'s queue (no
+  // intermediate buffer) and returns the number of entries moved.
+  size_t StealGroupInto(Worker* thief) {
+    const size_t begin = StealableGroupBegin();
+    if (begin >= queue_.Size()) {
+      return 0;
+    }
+    size_t end = begin;
+    while (end < queue_.Size() && !QueueAt(end).is_long) {
+      thief->Enqueue(QueueAt(end));
+      ++end;
+    }
+    RemoveGroup(begin, end);
+    return end - begin;
+  }
+
+  // Removes and returns the stealable group (empty vector when there is no
+  // head-of-line blocking to relieve). Compatibility path for tests and
+  // custom policies; the simulation hot path uses StealGroupInto.
   std::vector<QueueEntry> ExtractStealableGroup();
 
-  // True iff ExtractStealableGroup would return a non-empty group.
-  bool HasStealableGroup() const;
+  // True iff the stealable group is non-empty.
+  bool HasStealableGroup() const { return StealableGroupBegin() < queue_.Size(); }
 
  private:
-  // Index of the first entry of the stealable group, or queue size if none.
+  // Index (FIFO position) of the first entry of the stealable group, or the
+  // queue size if none. Screens on the long/short composition counters
+  // before scanning.
   size_t StealableGroupBegin() const;
+
+  // Erases queue positions [begin, end) and updates the composition counters.
+  void RemoveGroup(size_t begin, size_t end);
 
   WorkerId id_;
   WorkerState state_ = WorkerState::kIdle;
@@ -105,7 +165,12 @@ class Worker {
   JobId executing_job_ = kInvalidJob;
   SimTime executing_until_ = 0;
   DurationUs busy_accum_us_ = 0;
-  std::deque<QueueEntry> queue_;
+  uint32_t* executing_count_ = nullptr;
+
+  RingBuffer<QueueEntry> queue_;
+  // Queue composition, maintained incrementally.
+  uint32_t queue_long_ = 0;
+  uint32_t queue_short_ = 0;
 };
 
 }  // namespace hawk

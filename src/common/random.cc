@@ -1,7 +1,7 @@
 #include "src/common/random.h"
 
+#include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 namespace hawk {
 namespace {
@@ -104,36 +104,63 @@ double Rng::LogNormalMedian(double median, double sigma) {
 bool Rng::Bernoulli(double p) { return NextDouble() < p; }
 
 std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
-  HAWK_CHECK_LE(k, n);
-  if (k == 0) {
-    return {};
-  }
   std::vector<uint32_t> chosen;
-  chosen.reserve(k);
+  SampleWithoutReplacement(n, k, &chosen);
+  return chosen;
+}
+
+void Rng::SampleWithoutReplacement(uint32_t n, uint32_t k, std::vector<uint32_t>* out) {
+  HAWK_CHECK_LE(k, n);
+  out->clear();
+  if (k == 0) {
+    return;
+  }
   if (static_cast<uint64_t>(k) * 8 >= n) {
-    // Dense draw: partial Fisher-Yates over an index vector.
-    std::vector<uint32_t> indices(n);
+    // Dense draw: partial Fisher-Yates, using *out itself as the index array
+    // so no scratch allocation is needed once its capacity is warm.
+    out->resize(n);
     for (uint32_t i = 0; i < n; ++i) {
-      indices[i] = i;
+      (*out)[i] = i;
     }
     for (uint32_t i = 0; i < k; ++i) {
       const uint32_t j = i + static_cast<uint32_t>(NextBounded(n - i));
-      std::swap(indices[i], indices[j]);
+      std::swap((*out)[i], (*out)[j]);
     }
-    indices.resize(k);
-    return indices;
+    out->resize(k);
+    return;
   }
   // Sparse draw (k << n): Floyd's algorithm, O(k) expected, avoids touching
   // all n candidates. Hot path for steal-victim selection on large clusters.
-  std::unordered_set<uint32_t> seen;
-  seen.reserve(k * 2);
-  for (uint32_t i = n - k; i < n; ++i) {
-    const uint32_t j = static_cast<uint32_t>(NextBounded(i + 1));
-    if (seen.insert(j).second) {
-      chosen.push_back(j);
-    } else {
-      seen.insert(i);
-      chosen.push_back(i);
+  // Membership testing never touches the draw stream, so the structure is a
+  // pure implementation choice: a linear scan over the output for small k
+  // (steal caps), an epoch-stamped scratch array for larger k (probe
+  // batches) — both allocation-free once warm.
+  std::vector<uint32_t>& chosen = *out;
+  if (k <= 16) {
+    for (uint32_t i = n - k; i < n; ++i) {
+      const uint32_t j = static_cast<uint32_t>(NextBounded(i + 1));
+      bool have_j = false;
+      for (const uint32_t v : chosen) {
+        if (v == j) {
+          have_j = true;
+          break;
+        }
+      }
+      chosen.push_back(have_j ? i : j);
+    }
+  } else {
+    if (sample_stamp_.size() < n) {
+      sample_stamp_.resize(n, 0);
+    }
+    if (++sample_epoch_ == 0) {  // Epoch wrap: invalidate all stale stamps.
+      std::fill(sample_stamp_.begin(), sample_stamp_.end(), 0);
+      sample_epoch_ = 1;
+    }
+    for (uint32_t i = n - k; i < n; ++i) {
+      const uint32_t j = static_cast<uint32_t>(NextBounded(i + 1));
+      const uint32_t pick = sample_stamp_[j] == sample_epoch_ ? i : j;
+      sample_stamp_[pick] = sample_epoch_;
+      chosen.push_back(pick);
     }
   }
   // Floyd's produces a biased *order*; shuffle so callers that probe the
@@ -142,7 +169,6 @@ std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
     const uint32_t j = static_cast<uint32_t>(NextBounded(i));
     std::swap(chosen[i - 1], chosen[j]);
   }
-  return chosen;
 }
 
 Rng Rng::Fork() { return Rng(Next()); }

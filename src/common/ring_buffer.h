@@ -1,0 +1,108 @@
+// Power-of-two ring buffer.
+//
+// FIFO container for hot simulation paths: push/pop never touch an allocator
+// once the ring is warm, storage is contiguous (two spans at most), and
+// random access is one mask. Shared by the worker queues (src/cluster) and
+// the event queue's monotone lanes (src/sim) so the modular-index and grow
+// invariants live in exactly one place.
+#ifndef HAWK_COMMON_RING_BUFFER_H_
+#define HAWK_COMMON_RING_BUFFER_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace hawk {
+
+template <typename T>
+class RingBuffer {
+ public:
+  bool Empty() const { return size_ == 0; }
+  size_t Size() const { return size_; }
+
+  const T& Front() const {
+    HAWK_CHECK(size_ > 0);
+    return ring_[head_];
+  }
+
+  const T& Back() const {
+    HAWK_CHECK(size_ > 0);
+    return ring_[(head_ + size_ - 1) & mask_];
+  }
+
+  // Element at FIFO position `i` (0 = next to pop).
+  const T& At(size_t i) const {
+    HAWK_CHECK_LT(i, size_);
+    return ring_[(head_ + i) & mask_];
+  }
+
+  void PushBack(T value) {
+    if (size_ == ring_.size()) {
+      Grow();
+    }
+    ring_[(head_ + size_) & mask_] = std::move(value);
+    ++size_;
+  }
+
+  T PopFront() {
+    HAWK_CHECK(size_ > 0);
+    T value = std::move(ring_[head_]);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+    return value;
+  }
+
+  // Removes FIFO positions [begin, end), shifting whichever side of the gap
+  // is smaller.
+  void EraseRange(size_t begin, size_t end) {
+    HAWK_CHECK_LE(begin, end);
+    HAWK_CHECK_LE(end, size_);
+    const size_t count = end - begin;
+    if (count == 0) {
+      return;
+    }
+    if (begin <= size_ - end) {
+      // Fewer entries before the gap: shift the head side right.
+      for (size_t i = begin; i > 0; --i) {
+        ring_[(head_ + i - 1 + count) & mask_] = std::move(ring_[(head_ + i - 1) & mask_]);
+      }
+      head_ = (head_ + count) & mask_;
+    } else {
+      // Fewer entries after the gap: shift the tail side left.
+      for (size_t i = end; i < size_; ++i) {
+        ring_[(head_ + i - count) & mask_] = std::move(ring_[(head_ + i) & mask_]);
+      }
+    }
+    size_ -= count;
+  }
+
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  void Grow() {
+    const size_t new_capacity = ring_.empty() ? 8 : ring_.size() * 2;
+    std::vector<T> grown(new_capacity);
+    for (size_t i = 0; i < size_; ++i) {
+      grown[i] = std::move(ring_[(head_ + i) & mask_]);
+    }
+    ring_ = std::move(grown);
+    head_ = 0;
+    mask_ = new_capacity - 1;
+  }
+
+  // ring_.size() is always zero or a power of two; mask_ = ring_.size() - 1.
+  // Valid entries are ring_[(head_ + i) & mask_] for i in [0, size_).
+  std::vector<T> ring_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  size_t mask_ = 0;
+};
+
+}  // namespace hawk
+
+#endif  // HAWK_COMMON_RING_BUFFER_H_

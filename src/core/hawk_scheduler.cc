@@ -47,9 +47,8 @@ void HawkPolicy::ScheduleLongCentralized(const Job& job, const JobClass& cls) {
 void HawkPolicy::ScheduleDistributed(const Job& job, const JobClass& cls, WorkerId first,
                                      uint32_t count) {
   const uint32_t num_probes = config_.probe_ratio * job.NumTasks();
-  const std::vector<WorkerId> targets =
-      ChooseProbeTargets(ctx_->SchedRng(), first, count, num_probes);
-  for (const WorkerId w : targets) {
+  ChooseProbeTargetsInto(ctx_->SchedRng(), first, count, num_probes, &targets_, &picks_);
+  for (const WorkerId w : targets_) {
     ctx_->PlaceProbe(w, job.id, cls.is_long_sched);
   }
 }
@@ -75,11 +74,10 @@ void HawkPolicy::OnWorkerIdle(WorkerId worker) {
   if (!config_.use_stealing || config_.steal_cap == 0) {
     return;
   }
-  const std::vector<QueueEntry> stolen =
-      stealing_->TrySteal(ctx_->GetCluster(), worker, &ctx_->Counters());
-  if (!stolen.empty()) {
-    ctx_->DeliverStolen(worker, stolen);
-  }
+  // Stolen entries land straight on the thief's queue; the driver re-examines
+  // it when this notification returns (stealing is free in the §4.1 cost
+  // model), so no DeliverStolen round trip is needed.
+  stealing_->TryStealInto(ctx_->GetCluster(), worker, &ctx_->Counters());
 }
 
 }  // namespace hawk

@@ -42,6 +42,9 @@ class HawkPolicy : public SchedulerPolicy {
   // Waiting-time queue over the general partition only (§3.7).
   std::unique_ptr<WaitingTimeQueue> central_queue_;
   std::unique_ptr<StealingPolicy> stealing_;
+  // Probe-placement scratch, reused across job arrivals.
+  std::vector<WorkerId> targets_;
+  std::vector<uint32_t> picks_;
 };
 
 }  // namespace hawk

@@ -17,24 +17,37 @@
 
 namespace hawk {
 
-// Returns `num_probes` worker ids in [first, first + count).
-inline std::vector<WorkerId> ChooseProbeTargets(Rng& rng, WorkerId first, uint32_t count,
-                                                uint32_t num_probes) {
+// Fills `*targets` with `num_probes` worker ids in [first, first + count),
+// reusing the capacity of `*targets` and `*picks_scratch` so a warmed-up
+// policy places probes without allocating. Draw sequence matches the
+// returning overload below.
+inline void ChooseProbeTargetsInto(Rng& rng, WorkerId first, uint32_t count,
+                                   uint32_t num_probes, std::vector<WorkerId>* targets,
+                                   std::vector<uint32_t>* picks_scratch) {
   HAWK_CHECK_GT(count, 0u);
-  std::vector<WorkerId> targets;
-  targets.reserve(num_probes);
+  targets->clear();
+  targets->reserve(num_probes);
   const uint32_t rounds = num_probes / count;
   const uint32_t remainder = num_probes % count;
   for (uint32_t r = 0; r < rounds; ++r) {
     for (uint32_t i = 0; i < count; ++i) {
-      targets.push_back(first + i);
+      targets->push_back(first + i);
     }
   }
   if (remainder > 0) {
-    for (const uint32_t pick : rng.SampleWithoutReplacement(count, remainder)) {
-      targets.push_back(first + pick);
+    rng.SampleWithoutReplacement(count, remainder, picks_scratch);
+    for (const uint32_t pick : *picks_scratch) {
+      targets->push_back(first + pick);
     }
   }
+}
+
+// Returns `num_probes` worker ids in [first, first + count).
+inline std::vector<WorkerId> ChooseProbeTargets(Rng& rng, WorkerId first, uint32_t count,
+                                                uint32_t num_probes) {
+  std::vector<WorkerId> targets;
+  std::vector<uint32_t> picks;
+  ChooseProbeTargetsInto(rng, first, count, num_probes, &targets, &picks);
   return targets;
 }
 

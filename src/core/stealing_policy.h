@@ -24,42 +24,72 @@ class StealingPolicy {
 
   uint32_t cap() const { return cap_; }
 
-  // Attempts one steal for `thief`. Victim candidates are general-partition
-  // workers other than the thief. Returns the stolen entries (empty when the
-  // attempt failed); the entries have already been removed from the victim.
-  // Updates the steal counters in `counters`.
+  // Attempts one steal for `thief`, moving the first eligible victim's
+  // stealable group straight onto the thief's queue (no intermediate
+  // buffer). Victim candidates are general-partition workers other than the
+  // thief. Returns the number of entries stolen; updates the steal counters
+  // in `counters`. This is the simulation hot path: the victim sample is
+  // drawn into a reused member buffer, so a failed attempt allocates
+  // nothing.
+  size_t TryStealInto(Cluster& cluster, WorkerId thief, RunCounters* counters) {
+    Worker& thief_worker = cluster.worker(thief);
+    return ForEachVictim(cluster, thief, counters, [&cluster, &thief_worker](WorkerId victim) {
+      return cluster.worker(victim).StealGroupInto(&thief_worker);
+    });
+  }
+
+  // Compatibility path for tests and custom policies: returns the stolen
+  // entries instead of delivering them; the entries have already been
+  // removed from the victim. Same victim-selection loop as TryStealInto, so
+  // draw sequence and steal outcome are identical.
   std::vector<QueueEntry> TrySteal(Cluster& cluster, WorkerId thief, RunCounters* counters) {
     std::vector<QueueEntry> stolen;
+    ForEachVictim(cluster, thief, counters, [&cluster, &stolen](WorkerId victim) {
+      stolen = cluster.worker(victim).ExtractStealableGroup();
+      return stolen.size();
+    });
+    return stolen;
+  }
+
+ private:
+  // Shared victim-selection loop: samples up to `cap_` candidates from the
+  // general partition (excluding the thief), probes them in sample order via
+  // `try_victim(victim) -> entries stolen`, and stops at the first success.
+  // Updates the steal counters; returns the number of entries stolen.
+  template <typename TryVictim>
+  size_t ForEachVictim(Cluster& cluster, WorkerId thief, RunCounters* counters,
+                       TryVictim&& try_victim) {
     if (cap_ == 0) {
-      return stolen;
+      return 0;
     }
     counters->steal_attempts++;
     const uint32_t general = cluster.GeneralCount();
     // Candidate pool: general partition, minus the thief when it is inside.
     const uint32_t pool = cluster.InGeneralPartition(thief) ? general - 1 : general;
     if (pool == 0) {
-      return stolen;
+      return 0;
     }
     const uint32_t contacts = std::min(cap_, pool);
-    const std::vector<uint32_t> picks = rng_.SampleWithoutReplacement(pool, contacts);
-    for (const uint32_t pick : picks) {
+    rng_.SampleWithoutReplacement(pool, contacts, &picks_);
+    for (const uint32_t pick : picks_) {
       // Skip over the thief's slot to map pool index -> worker id.
       const WorkerId victim =
           (cluster.InGeneralPartition(thief) && pick >= thief) ? pick + 1 : pick;
       counters->steal_victim_probes++;
-      stolen = cluster.worker(victim).ExtractStealableGroup();
-      if (!stolen.empty()) {
+      const size_t stolen = try_victim(victim);
+      if (stolen > 0) {
         counters->steal_successes++;
-        counters->entries_stolen += stolen.size();
+        counters->entries_stolen += stolen;
         return stolen;
       }
     }
-    return stolen;
+    return 0;
   }
 
- private:
   uint32_t cap_;
   Rng rng_;
+  // Victim-sample scratch, reused across attempts.
+  std::vector<uint32_t> picks_;
 };
 
 }  // namespace hawk

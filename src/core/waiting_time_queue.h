@@ -23,7 +23,7 @@
 #ifndef HAWK_CORE_WAITING_TIME_QUEUE_H_
 #define HAWK_CORE_WAITING_TIME_QUEUE_H_
 
-#include <set>
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -42,8 +42,13 @@ class WaitingTimeQueue {
     executing_.assign(num_workers, 0);
     key_.assign(num_workers, 0);
     key_executing_bit_.assign(num_workers, 0);
+    heap_.reserve(num_workers);
+    pos_.resize(num_workers);
+    // All keys are equal (zero drain, idle), so ascending worker order is
+    // already a valid min-heap under the comparator.
     for (uint32_t w = 0; w < num_workers; ++w) {
-      ordered_.insert(Key{0, 0, w});
+      heap_.push_back(Key{0, 0, w});
+      pos_[w] = w;
     }
   }
 
@@ -62,7 +67,7 @@ class WaitingTimeQueue {
     // which keeps assignments O(log n) on mostly-idle clusters. (Ties among
     // drained workers then resolve least-recently-drained first.)
     while (true) {
-      const WorkerId head = ordered_.begin()->worker;
+      const WorkerId head = heap_.front().worker;
       if (backlog_[head] == 0 && executing_[head] == 0) {
         break;
       }
@@ -72,7 +77,7 @@ class WaitingTimeQueue {
       }
       Reindex(head, now);
     }
-    const WorkerId worker = ordered_.begin()->worker;
+    const WorkerId worker = heap_.front().worker;
     backlog_[worker] += estimate_us;
     Reindex(worker, now);
     return worker;
@@ -131,14 +136,66 @@ class WaitingTimeQueue {
     }
   };
 
+  // The priority structure is an indexed 4-ary min-heap over one Key per
+  // worker (pos_ maps worker -> heap slot): find-min is O(1), a key update
+  // is one allocation-free sift, and sift comparisons walk contiguous
+  // memory. The comparator defines a total order, so the minimum — and thus
+  // every assignment — is identical to what an ordered set would produce.
   void Reindex(WorkerId worker, SimTime now) {
-    ordered_.erase(Key{key_[worker], key_executing_bit_[worker], worker});
     key_[worker] = std::max(now, exec_drain_[worker]) + backlog_[worker];
     key_executing_bit_[worker] = executing_[worker];
-    ordered_.insert(Key{key_[worker], key_executing_bit_[worker], worker});
+    const size_t i = pos_[worker];
+    heap_[i] = Key{key_[worker], key_executing_bit_[worker], worker};
+    SiftUp(i);
+    SiftDown(pos_[worker]);
   }
 
-  std::set<Key> ordered_;
+  static constexpr size_t kArity = 4;
+
+  void Place(size_t slot, const Key& key) {
+    heap_[slot] = key;
+    pos_[key.worker] = static_cast<uint32_t>(slot);
+  }
+
+  void SiftUp(size_t i) {
+    const Key key = heap_[i];
+    while (i > 0) {
+      const size_t parent = (i - 1) / kArity;
+      if (!(key < heap_[parent])) {
+        break;
+      }
+      Place(i, heap_[parent]);
+      i = parent;
+    }
+    Place(i, key);
+  }
+
+  void SiftDown(size_t i) {
+    const size_t n = heap_.size();
+    const Key key = heap_[i];
+    while (true) {
+      const size_t first_child = i * kArity + 1;
+      if (first_child >= n) {
+        break;
+      }
+      const size_t end_child = std::min(first_child + kArity, n);
+      size_t best = first_child;
+      for (size_t c = first_child + 1; c < end_child; ++c) {
+        if (heap_[c] < heap_[best]) {
+          best = c;
+        }
+      }
+      if (!(heap_[best] < key)) {
+        break;
+      }
+      Place(i, heap_[best]);
+      i = best;
+    }
+    Place(i, key);
+  }
+
+  std::vector<Key> heap_;
+  std::vector<uint32_t> pos_;  // worker -> heap slot
   std::vector<SimTime> key_;
   std::vector<uint8_t> key_executing_bit_;  // Executing flag as stored in the key.
   std::vector<DurationUs> backlog_;

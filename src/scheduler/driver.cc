@@ -23,15 +23,15 @@ SimulationDriver::SimulationDriver(const Trace* trace, const HawkConfig& config,
 
 void SimulationDriver::PlaceProbe(WorkerId worker, JobId job, bool is_long) {
   result_.counters.probes_placed++;
-  events_.Push(now_ + config_.net_delay_us,
-               SimEvent{SimEvent::Type::kProbeArrive, is_long, worker, job, 0, 0});
+  events_.PushLane(kLaneNetDelay, now_ + config_.net_delay_us,
+                   SimEvent::ProbeArrive(worker, job, is_long));
 }
 
 void SimulationDriver::PlaceTask(WorkerId worker, JobId job, TaskIndex task_index,
                                  DurationUs duration, bool is_long) {
   result_.counters.central_tasks_placed++;
-  events_.Push(now_ + config_.net_delay_us, SimEvent{SimEvent::Type::kTaskArrive, is_long,
-                                                     worker, job, task_index, duration});
+  events_.PushLane(kLaneNetDelay, now_ + config_.net_delay_us,
+                   SimEvent::TaskArrive(worker, job, task_index, duration, is_long));
 }
 
 void SimulationDriver::DeliverStolen(WorkerId thief, const std::vector<QueueEntry>& entries) {
@@ -44,15 +44,30 @@ void SimulationDriver::DeliverStolen(WorkerId thief, const std::vector<QueueEntr
 }
 
 RunResult SimulationDriver::Run() {
-  for (const Job& job : trace_->jobs()) {
-    events_.Push(job.submit_time,
-                 SimEvent{SimEvent::Type::kJobArrival, false, kInvalidWorker, job.id, 0, 0});
+  // Job arrivals are streamed from the already-sorted trace via a cursor
+  // instead of preloading one heap event per job: the heap stays at
+  // O(in-flight events) no matter how long the trace is. Tie-breaking is
+  // preserved exactly: in the preloaded formulation every job arrival was
+  // pushed before any other event and therefore carried the lowest sequence
+  // numbers, so job arrivals won every time-tie — here the cursor side of
+  // the merge wins ties (<=) for the same effect, and dynamic events keep
+  // their relative sequence order. Pop order, and thus every result bit,
+  // is identical.
+  const std::vector<Job>& jobs = trace_->jobs();
+  size_t next_job = 0;
+  if (!jobs.empty()) {
+    events_.Push(config_.util_sample_period_us, SimEvent::UtilSample());
   }
-  if (trace_->NumJobs() > 0) {
-    events_.Push(config_.util_sample_period_us,
-                 SimEvent{SimEvent::Type::kUtilSample, false, kInvalidWorker, kInvalidJob, 0, 0});
-  }
-  while (!events_.Empty()) {
+  while (next_job < jobs.size() || !events_.Empty()) {
+    if (next_job < jobs.size() &&
+        (events_.Empty() || jobs[next_job].submit_time <= events_.PeekTime())) {
+      const Job& job = jobs[next_job++];
+      HAWK_CHECK_GE(job.submit_time, now_) << "trace must be sorted by submit time";
+      now_ = job.submit_time;
+      result_.counters.events++;
+      ArriveJob(job);
+      continue;
+    }
     auto entry = events_.Pop();
     HAWK_CHECK_GE(entry.at, now_);
     now_ = entry.at;
@@ -66,18 +81,17 @@ RunResult SimulationDriver::Run() {
   return std::move(result_);
 }
 
+void SimulationDriver::ArriveJob(const Job& job) {
+  const JobClass cls = classifier_.Classify(job);
+  tracker_.SetClassification(
+      job.id, cls.is_long_sched, cls.is_long_metrics,
+      static_cast<DurationUs>(std::llround(std::max(0.0, cls.estimate_us))));
+  result_.counters.jobs++;
+  policy_->OnJobArrival(job, cls);
+}
+
 void SimulationDriver::Dispatch(const SimEvent& ev) {
   switch (ev.type) {
-    case SimEvent::Type::kJobArrival: {
-      const Job& job = trace_->job(ev.job);
-      const JobClass cls = classifier_.Classify(job);
-      tracker_.SetClassification(
-          job.id, cls.is_long_sched, cls.is_long_metrics,
-          static_cast<DurationUs>(std::llround(std::max(0.0, cls.estimate_us))));
-      result_.counters.jobs++;
-      policy_->OnJobArrival(job, cls);
-      break;
-    }
     case SimEvent::Type::kProbeArrive: {
       QueueEntry entry = QueueEntry::Probe(ev.job, ev.is_long);
       entry.enqueue_time = now_;
@@ -86,7 +100,7 @@ void SimulationDriver::Dispatch(const SimEvent& ev) {
       break;
     }
     case SimEvent::Type::kTaskArrive: {
-      QueueEntry entry = QueueEntry::Task(ev.job, ev.task_index, ev.duration, ev.is_long);
+      QueueEntry entry = QueueEntry::Task(ev.job, ev.task_index, ev.arg, ev.is_long);
       entry.enqueue_time = now_;
       cluster_.worker(ev.worker).Enqueue(entry);
       TryDispatch(ev.worker);
@@ -99,10 +113,10 @@ void SimulationDriver::Dispatch(const SimEvent& ev) {
       const auto assignment = tracker_.TakeNextTask(ev.job);
       if (assignment.has_value()) {
         result_.counters.tasks_launched++;
-        RecordQueueWait(ev.is_long, now_ - ev.aux);
+        RecordQueueWait(ev.is_long, now_ - ev.arg);
         QueueEntry task =
             QueueEntry::Task(ev.job, assignment->task_index, assignment->duration, ev.is_long);
-        task.enqueue_time = ev.aux;
+        task.enqueue_time = ev.arg;
         StartExecute(ev.worker, task);
       } else {
         result_.counters.cancels++;
@@ -121,9 +135,7 @@ void SimulationDriver::Dispatch(const SimEvent& ev) {
     case SimEvent::Type::kUtilSample: {
       result_.utilization_samples.push_back(cluster_.Utilization());
       if (!tracker_.AllJobsFinished()) {
-        events_.Push(now_ + config_.util_sample_period_us,
-                     SimEvent{SimEvent::Type::kUtilSample, false, kInvalidWorker, kInvalidJob,
-                              0, 0, 0});
+        events_.Push(now_ + config_.util_sample_period_us, SimEvent::UtilSample());
       }
       break;
     }
@@ -163,9 +175,8 @@ void SimulationDriver::TryDispatch(WorkerId worker) {
         if (config_.steal_retry_interval_us > 0 && retry_pending_[worker] == 0 &&
             !tracker_.AllJobsFinished()) {
           retry_pending_[worker] = 1;
-          events_.Push(now_ + config_.steal_retry_interval_us,
-                       SimEvent{SimEvent::Type::kIdleRetry, false, worker, kInvalidJob, 0, 0,
-                                0});
+          events_.PushLane(kLaneStealRetry, now_ + config_.steal_retry_interval_us,
+                           SimEvent::IdleRetry(worker));
         }
         return;
       }
@@ -181,9 +192,9 @@ void SimulationDriver::TryDispatch(WorkerId worker) {
     // answer (task or cancel) arrives after one round trip.
     w.BeginRequest(entry.is_long);
     result_.counters.probe_requests++;
-    events_.Push(now_ + 2 * config_.net_delay_us,
-                 SimEvent{SimEvent::Type::kRequestResolve, entry.is_long, worker, entry.job, 0,
-                          0, entry.enqueue_time});
+    events_.PushLane(kLaneRtt, now_ + 2 * config_.net_delay_us,
+                     SimEvent::RequestResolve(worker, entry.job, entry.is_long,
+                                              entry.enqueue_time));
     return;
   }
 }
@@ -196,8 +207,8 @@ void SimulationDriver::StartExecute(WorkerId worker, const QueueEntry& task) {
   Worker& w = cluster_.worker(worker);
   w.BeginExecute(now_, task);
   policy_->OnTaskStart(worker, task);
-  events_.Push(now_ + task.duration, SimEvent{SimEvent::Type::kTaskComplete, task.is_long,
-                                              worker, task.job, task.task_index, 0});
+  events_.Push(now_ + task.duration,
+               SimEvent::TaskComplete(worker, task.job, task.task_index, task.is_long));
 }
 
 void SimulationDriver::CollectResults() {

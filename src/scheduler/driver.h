@@ -50,9 +50,12 @@ class SimulationDriver : public SchedulerContext {
   void DeliverStolen(WorkerId thief, const std::vector<QueueEntry>& entries) override;
 
  private:
+  // POD heap payload. Job arrivals are not events: the driver streams them
+  // from the (sorted) trace via a cursor, so the heap only ever holds
+  // in-flight work, not the whole future. Construct via the named factories
+  // below — they exist so call sites cannot silently swap positional fields.
   struct SimEvent {
     enum class Type : uint8_t {
-      kJobArrival,
       kProbeArrive,
       kTaskArrive,
       kRequestResolve,
@@ -60,15 +63,65 @@ class SimulationDriver : public SchedulerContext {
       kUtilSample,
       kIdleRetry,  // Steal-retry extension: re-notify a still-idle worker.
     };
-    Type type;
+    Type type = Type::kUtilSample;
     bool is_long = false;
     WorkerId worker = kInvalidWorker;
     JobId job = kInvalidJob;
     TaskIndex task_index = 0;
-    DurationUs duration = 0;
-    SimTime aux = 0;  // Entry enqueue time, for queueing-delay telemetry.
+    // Type-dependent slot: the task duration for kTaskArrive, the entry's
+    // original enqueue time for kRequestResolve (queueing-delay telemetry).
+    int64_t arg = 0;
+
+    static SimEvent ProbeArrive(WorkerId worker, JobId job, bool is_long) {
+      SimEvent e;
+      e.type = Type::kProbeArrive;
+      e.is_long = is_long;
+      e.worker = worker;
+      e.job = job;
+      return e;
+    }
+    static SimEvent TaskArrive(WorkerId worker, JobId job, TaskIndex task_index,
+                               DurationUs duration, bool is_long) {
+      SimEvent e;
+      e.type = Type::kTaskArrive;
+      e.is_long = is_long;
+      e.worker = worker;
+      e.job = job;
+      e.task_index = task_index;
+      e.arg = duration;
+      return e;
+    }
+    static SimEvent RequestResolve(WorkerId worker, JobId job, bool is_long,
+                                   SimTime enqueued_at) {
+      SimEvent e;
+      e.type = Type::kRequestResolve;
+      e.is_long = is_long;
+      e.worker = worker;
+      e.job = job;
+      e.arg = enqueued_at;
+      return e;
+    }
+    static SimEvent TaskComplete(WorkerId worker, JobId job, TaskIndex task_index,
+                                 bool is_long) {
+      SimEvent e;
+      e.type = Type::kTaskComplete;
+      e.is_long = is_long;
+      e.worker = worker;
+      e.job = job;
+      e.task_index = task_index;
+      return e;
+    }
+    static SimEvent UtilSample() { return SimEvent{}; }
+    static SimEvent IdleRetry(WorkerId worker) {
+      SimEvent e;
+      e.type = Type::kIdleRetry;
+      e.worker = worker;
+      return e;
+    }
   };
 
+  // Classifies a newly submitted job and hands it to the policy.
+  void ArriveJob(const Job& job);
   void Dispatch(const SimEvent& ev);
   void RecordQueueWait(bool is_long, DurationUs wait_us);
   // Advances an idle worker: pops queue entries until it is executing,
@@ -78,6 +131,13 @@ class SimulationDriver : public SchedulerContext {
   void StartExecute(WorkerId worker, const QueueEntry& task);
   void CollectResults();
 
+  // Fixed-delay event classes get O(1) monotone lanes in the event queue;
+  // only variable-delay events (task completions, utilization samples) pay
+  // for heap ordering.
+  static constexpr size_t kLaneNetDelay = 0;    // Probe/task delivery: +net_delay.
+  static constexpr size_t kLaneRtt = 1;         // Late-binding resolve: +2*net_delay.
+  static constexpr size_t kLaneStealRetry = 2;  // Idle retry: +steal_retry_interval.
+
   const Trace* trace_;
   HawkConfig config_;
   SchedulerPolicy* policy_;
@@ -85,7 +145,7 @@ class SimulationDriver : public SchedulerContext {
   JobTracker tracker_;
   JobClassifier classifier_;
   Rng sched_rng_;
-  sim::EventQueue<SimEvent> events_;
+  sim::MultiLaneEventQueue<SimEvent, 3> events_;
   SimTime now_ = 0;
   RunResult result_;
   // Steal-retry extension: one outstanding retry per worker.

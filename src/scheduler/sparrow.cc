@@ -7,9 +7,9 @@ namespace hawk {
 void SparrowPolicy::OnJobArrival(const Job& job, const JobClass& cls) {
   const uint32_t num_workers = ctx_->GetCluster().NumWorkers();
   const uint32_t num_probes = probe_ratio_ * job.NumTasks();
-  const std::vector<WorkerId> targets =
-      ChooseProbeTargets(ctx_->SchedRng(), /*first=*/0, num_workers, num_probes);
-  for (const WorkerId w : targets) {
+  ChooseProbeTargetsInto(ctx_->SchedRng(), /*first=*/0, num_workers, num_probes, &targets_,
+                         &picks_);
+  for (const WorkerId w : targets_) {
     ctx_->PlaceProbe(w, job.id, cls.is_long_sched);
   }
 }

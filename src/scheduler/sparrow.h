@@ -6,6 +6,8 @@
 #ifndef HAWK_SCHEDULER_SPARROW_H_
 #define HAWK_SCHEDULER_SPARROW_H_
 
+#include <vector>
+
 #include "src/scheduler/policy.h"
 
 namespace hawk {
@@ -20,6 +22,9 @@ class SparrowPolicy : public SchedulerPolicy {
 
  private:
   uint32_t probe_ratio_;
+  // Probe-placement scratch, reused across job arrivals.
+  std::vector<WorkerId> targets_;
+  std::vector<uint32_t> picks_;
 };
 
 }  // namespace hawk

@@ -24,9 +24,9 @@ void SplitClusterPolicy::OnJobArrival(const Job& job, const JobClass& cls) {
   const uint32_t short_count = cluster.ShortPartitionCount();
   HAWK_CHECK_GT(short_count, 0u) << "split cluster requires a short partition";
   const uint32_t num_probes = probe_ratio_ * job.NumTasks();
-  const std::vector<WorkerId> targets =
-      ChooseProbeTargets(ctx_->SchedRng(), cluster.GeneralCount(), short_count, num_probes);
-  for (const WorkerId w : targets) {
+  ChooseProbeTargetsInto(ctx_->SchedRng(), cluster.GeneralCount(), short_count, num_probes,
+                         &targets_, &picks_);
+  for (const WorkerId w : targets_) {
     ctx_->PlaceProbe(w, job.id, /*is_long=*/false);
   }
 }

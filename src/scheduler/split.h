@@ -46,6 +46,9 @@ class SplitClusterPolicy : public SchedulerPolicy {
  private:
   uint32_t probe_ratio_;
   std::unique_ptr<WaitingTimeQueue> queue_;
+  // Probe-placement scratch, reused across job arrivals.
+  std::vector<WorkerId> targets_;
+  std::vector<uint32_t> picks_;
 };
 
 }  // namespace hawk

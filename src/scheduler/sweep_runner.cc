@@ -1,0 +1,52 @@
+#include "src/scheduler/sweep_runner.h"
+
+#include <atomic>
+#include <thread>
+
+#include "src/common/check.h"
+
+namespace hawk {
+
+SweepRunner::SweepRunner(uint32_t num_threads) : num_threads_(num_threads) {
+  if (num_threads_ == 0) {
+    num_threads_ = std::thread::hardware_concurrency();
+  }
+  if (num_threads_ == 0) {
+    num_threads_ = 1;
+  }
+}
+
+std::vector<RunResult> SweepRunner::Run(const std::vector<SweepPoint>& points) const {
+  for (const SweepPoint& point : points) {
+    HAWK_CHECK(point.trace != nullptr);
+  }
+  std::vector<RunResult> results(points.size());
+  const uint32_t workers = std::min(num_threads_, static_cast<uint32_t>(points.size()));
+  if (workers <= 1) {
+    for (size_t i = 0; i < points.size(); ++i) {
+      results[i] = RunScheduler(*points[i].trace, points[i].config, points[i].kind);
+    }
+    return results;
+  }
+  std::atomic<size_t> cursor{0};
+  auto drain = [&points, &results, &cursor] {
+    while (true) {
+      const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= points.size()) {
+        return;
+      }
+      results[i] = RunScheduler(*points[i].trace, points[i].config, points[i].kind);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (uint32_t t = 0; t < workers; ++t) {
+    pool.emplace_back(drain);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  return results;
+}
+
+}  // namespace hawk

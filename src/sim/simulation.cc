@@ -31,7 +31,7 @@ uint64_t Simulation::Run() {
 
 uint64_t Simulation::RunUntil(SimTime deadline) {
   uint64_t count = 0;
-  while (!queue_.Empty() && queue_.Peek().at <= deadline) {
+  while (!queue_.Empty() && queue_.PeekTime() <= deadline) {
     auto entry = queue_.Pop();
     now_ = entry.at;
     entry.payload();

@@ -55,6 +55,75 @@ TEST(WorkerTest, BusyAccumulates) {
   EXPECT_EQ(w.busy_accum_us(), 125);
 }
 
+TEST(WorkerTest, FifoOrderSurvivesRingWraparound) {
+  // Drive head around the ring several times with a nonempty queue so
+  // enqueues wrap while pops drain, then check order end to end.
+  Worker w(0);
+  JobId next_in = 0;
+  JobId next_out = 0;
+  for (int i = 0; i < 5; ++i) {
+    w.Enqueue(ShortProbe(next_in++));
+  }
+  for (int round = 0; round < 100; ++round) {
+    w.Enqueue(ShortProbe(next_in++));
+    w.Enqueue(ShortProbe(next_in++));
+    EXPECT_EQ(w.PopFront().job, next_out++);
+  }
+  while (!w.QueueEmpty()) {
+    EXPECT_EQ(w.PopFront().job, next_out++);
+  }
+  EXPECT_EQ(next_out, next_in);
+}
+
+TEST(WorkerTest, StealGroupIntoMovesEntriesToThief) {
+  Worker victim(0);
+  Worker thief(1);
+  victim.BeginExecute(0, LongTask(1));
+  victim.Enqueue(ShortProbe(2));
+  victim.Enqueue(ShortProbe(3));
+  victim.Enqueue(LongTask(4));
+  EXPECT_EQ(victim.StealGroupInto(&thief), 2u);
+  ASSERT_EQ(thief.QueueSize(), 2u);
+  EXPECT_EQ(thief.PopFront().job, 2u);
+  EXPECT_EQ(thief.PopFront().job, 3u);
+  ASSERT_EQ(victim.QueueSize(), 1u);
+  EXPECT_EQ(victim.PopFront().job, 4u);
+  // Nothing left to steal: queue is a lone long entry.
+  EXPECT_EQ(victim.StealGroupInto(&thief), 0u);
+}
+
+TEST(WorkerTest, StealGroupIntoAfterWraparound) {
+  // The stealable group must be found and moved correctly even when the
+  // ring has wrapped and the group straddles the physical end of storage.
+  Worker victim(0);
+  Worker thief(1);
+  // Advance the ring head: 11 enqueues grow the ring to capacity 16, and 11
+  // pops leave the head at physical slot 11.
+  for (int i = 0; i < 11; ++i) {
+    victim.Enqueue(ShortProbe(100 + static_cast<JobId>(i)));
+  }
+  for (int i = 0; i < 11; ++i) {
+    victim.PopFront();
+  }
+  // Seven more entries fill slots 11..15 and wrap into 0..1, so the
+  // stealable group (jobs 4..8) physically straddles the storage boundary.
+  victim.BeginExecute(0, ShortTask(1));
+  victim.Enqueue(ShortProbe(2));
+  victim.Enqueue(LongTask(3));
+  for (JobId job = 4; job <= 8; ++job) {
+    victim.Enqueue(ShortProbe(job));
+  }
+  EXPECT_TRUE(victim.HasStealableGroup());
+  EXPECT_EQ(victim.StealGroupInto(&thief), 5u);
+  for (JobId job = 4; job <= 8; ++job) {
+    EXPECT_EQ(thief.PopFront().job, job);
+  }
+  EXPECT_TRUE(thief.QueueEmpty());
+  EXPECT_EQ(victim.PopFront().job, 2u);
+  EXPECT_EQ(victim.PopFront().job, 3u);
+  EXPECT_TRUE(victim.QueueEmpty());
+}
+
 // --- Fig. 3 steal-group extraction -----------------------------------------
 
 TEST(StealScanTest, CaseA1_ExecutingShortGroupAfterLongInQueue) {

@@ -1,0 +1,112 @@
+// SweepRunner: parallel experiment sweeps must be bit-identical to serial
+// RunScheduler loops — the parallelism is across self-contained runs, never
+// inside one. Also exercised under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/scheduler/sweep_runner.h"
+#include "src/workload/arrivals.h"
+#include "src/workload/cluster_workloads.h"
+
+namespace hawk {
+namespace {
+
+Trace MakeTrace(uint32_t jobs, uint64_t seed) {
+  Trace trace = GenerateClusterWorkload(FacebookParams(jobs, seed));
+  Rng arrivals_rng(seed ^ 0x1234);
+  AssignPoissonArrivals(&trace, SecondsToUs(2.0), &arrivals_rng);
+  return trace;
+}
+
+void ExpectBitIdentical(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (size_t i = 0; i < a.jobs.size(); ++i) {
+    ASSERT_EQ(a.jobs[i].id, b.jobs[i].id);
+    ASSERT_EQ(a.jobs[i].is_long, b.jobs[i].is_long);
+    ASSERT_EQ(a.jobs[i].submit_time, b.jobs[i].submit_time);
+    ASSERT_EQ(a.jobs[i].finish_time, b.jobs[i].finish_time) << "job " << i;
+    ASSERT_EQ(a.jobs[i].runtime_us, b.jobs[i].runtime_us) << "job " << i;
+  }
+  EXPECT_EQ(a.makespan_us, b.makespan_us);
+  EXPECT_EQ(a.total_busy_us, b.total_busy_us);
+  EXPECT_EQ(a.utilization_samples, b.utilization_samples);
+  EXPECT_EQ(a.counters.events, b.counters.events);
+  EXPECT_EQ(a.counters.jobs, b.counters.jobs);
+  EXPECT_EQ(a.counters.tasks_launched, b.counters.tasks_launched);
+  EXPECT_EQ(a.counters.probes_placed, b.counters.probes_placed);
+  EXPECT_EQ(a.counters.probe_requests, b.counters.probe_requests);
+  EXPECT_EQ(a.counters.cancels, b.counters.cancels);
+  EXPECT_EQ(a.counters.central_tasks_placed, b.counters.central_tasks_placed);
+  EXPECT_EQ(a.counters.steal_attempts, b.counters.steal_attempts);
+  EXPECT_EQ(a.counters.steal_victim_probes, b.counters.steal_victim_probes);
+  EXPECT_EQ(a.counters.steal_successes, b.counters.steal_successes);
+  EXPECT_EQ(a.counters.entries_stolen, b.counters.entries_stolen);
+}
+
+std::vector<SweepPoint> BuildSweep(const Trace* trace_a, const Trace* trace_b) {
+  // Scheduler x config x trace grid: all four schedulers, two cluster sizes,
+  // two traces — 16 points, more than typical thread counts.
+  std::vector<SweepPoint> points;
+  for (const Trace* trace : {trace_a, trace_b}) {
+    for (const uint32_t workers : {80u, 130u}) {
+      for (const SchedulerKind kind :
+           {SchedulerKind::kSparrow, SchedulerKind::kCentralized, SchedulerKind::kHawk,
+            SchedulerKind::kSplit}) {
+        HawkConfig config;
+        config.num_workers = workers;
+        config.classify_mode = ClassifyMode::kHint;
+        config.seed = 7;
+        points.push_back({trace, config, kind});
+      }
+    }
+  }
+  return points;
+}
+
+TEST(SweepRunnerTest, ParallelSweepBitIdenticalToSerialLoop) {
+  const Trace trace_a = MakeTrace(120, 5);
+  const Trace trace_b = MakeTrace(90, 11);
+  const std::vector<SweepPoint> points = BuildSweep(&trace_a, &trace_b);
+
+  std::vector<RunResult> serial;
+  serial.reserve(points.size());
+  for (const SweepPoint& point : points) {
+    serial.push_back(RunScheduler(*point.trace, point.config, point.kind));
+  }
+
+  const SweepRunner runner(4);
+  const std::vector<RunResult> parallel = runner.Run(points);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("sweep point " + std::to_string(i));
+    ExpectBitIdentical(serial[i], parallel[i]);
+  }
+}
+
+TEST(SweepRunnerTest, MoreThreadsThanPoints) {
+  const Trace trace = MakeTrace(60, 3);
+  HawkConfig config;
+  config.num_workers = 60;
+  config.classify_mode = ClassifyMode::kHint;
+  std::vector<SweepPoint> points = {{&trace, config, SchedulerKind::kHawk},
+                                    {&trace, config, SchedulerKind::kSparrow}};
+  const SweepRunner runner(16);
+  const std::vector<RunResult> results = runner.Run(points);
+  ASSERT_EQ(results.size(), 2u);
+  ExpectBitIdentical(results[0], RunScheduler(trace, config, SchedulerKind::kHawk));
+  ExpectBitIdentical(results[1], RunScheduler(trace, config, SchedulerKind::kSparrow));
+}
+
+TEST(SweepRunnerTest, EmptySweep) {
+  const SweepRunner runner(4);
+  EXPECT_TRUE(runner.Run({}).empty());
+}
+
+TEST(SweepRunnerTest, ZeroThreadsPicksHardwareConcurrency) {
+  const SweepRunner runner(0);
+  EXPECT_GE(runner.num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace hawk
