@@ -7,6 +7,8 @@
 // over Sparrow is not an artifact of smooth arrivals.
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/metrics/comparison.h"
@@ -38,45 +40,50 @@ int main(int argc, char** argv) {
   hawk::Table table({"arrivals", "p50 short", "p90 short", "p50 long", "p90 long",
                      "sparrow med util"});
 
-  const auto run_pattern = [&](const std::string& name, hawk::Trace trace) {
-    const hawk::RunResult hawk_run =
-        hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
-    const hawk::RunResult sparrow_run =
-        hawk::RunScheduler(trace, config, hawk::SchedulerKind::kSparrow);
-    const hawk::RunComparison cmp = hawk::CompareRuns(hawk_run, sparrow_run);
-    table.AddRow({name, hawk::Table::Num(cmp.short_jobs.p50_ratio),
-                  hawk::Table::Num(cmp.short_jobs.p90_ratio),
-                  hawk::Table::Num(cmp.long_jobs.p50_ratio),
-                  hawk::Table::Num(cmp.long_jobs.p90_ratio),
-                  hawk::Table::Pct(cmp.baseline_median_util)});
-  };
-
+  // Build the three arrival variants of the same job population, then sweep
+  // traces x {hawk, sparrow} as one declarative grid.
+  hawk::Trace poisson = base;
   {
-    hawk::Trace trace = base;
     hawk::Rng rng(seed ^ 0x1);
-    hawk::AssignPoissonArrivals(&trace, mean_interarrival, &rng);
-    run_pattern("poisson (paper)", std::move(trace));
+    hawk::AssignPoissonArrivals(&poisson, mean_interarrival, &rng);
   }
+  hawk::Trace diurnal_trace = base;
   {
-    hawk::Trace trace = base;
     hawk::Rng rng(seed ^ 0x2);
     hawk::DiurnalParams diurnal;
     diurnal.mean_interarrival_us = mean_interarrival;
     diurnal.amplitude = 0.6;
     diurnal.period_us = mean_interarrival * static_cast<hawk::DurationUs>(jobs) / 4;
-    hawk::AssignDiurnalArrivals(&trace, diurnal, &rng);
-    run_pattern("diurnal (amp 0.6)", std::move(trace));
+    hawk::AssignDiurnalArrivals(&diurnal_trace, diurnal, &rng);
   }
+  hawk::Trace bursty_trace = base;
   {
-    hawk::Trace trace = base;
     hawk::Rng rng(seed ^ 0x3);
     hawk::BurstyParams bursty;
     bursty.mean_interarrival_us = mean_interarrival;
     bursty.burst_duty = 0.3;
     bursty.burstiness = 3.0;
     bursty.cycle_us = mean_interarrival * 100;
-    hawk::AssignBurstyArrivals(&trace, bursty, &rng);
-    run_pattern("bursty (mmpp 3x)", std::move(trace));
+    hawk::AssignBurstyArrivals(&bursty_trace, bursty, &rng);
+  }
+
+  const std::vector<std::pair<std::string, const hawk::Trace*>> patterns = {
+      {"poisson (paper)", &poisson},
+      {"diurnal (amp 0.6)", &diurnal_trace},
+      {"bursty (mmpp 3x)", &bursty_trace}};
+  hawk::SweepSpec sweep(hawk::ExperimentSpec().WithConfig(config));
+  sweep.VaryTraces(patterns).VarySchedulers({"hawk", "sparrow"});
+  const std::vector<hawk::SweepRun> runs =
+      hawk::RunSweep(sweep, static_cast<uint32_t>(flags.GetInt("threads", 0)));
+
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    const hawk::RunComparison cmp =
+        hawk::CompareRuns(runs[2 * i].result, runs[2 * i + 1].result);
+    table.AddRow({patterns[i].first, hawk::Table::Num(cmp.short_jobs.p50_ratio),
+                  hawk::Table::Num(cmp.short_jobs.p90_ratio),
+                  hawk::Table::Num(cmp.long_jobs.p50_ratio),
+                  hawk::Table::Num(cmp.long_jobs.p90_ratio),
+                  hawk::Table::Pct(cmp.baseline_median_util)});
   }
   table.Print();
   return 0;

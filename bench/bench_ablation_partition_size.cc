@@ -29,21 +29,32 @@ int main(int argc, char** argv) {
   const double rule_fraction = hawk::ShortPartitionFractionForTrace(
       trace, hawk::LongByCutoff(hawk::SecondsToUs(1129.0)));
 
-  hawk::HawkConfig config = hawk::bench::GoogleConfig(workers, seed);
-  const hawk::RunResult sparrow =
-      hawk::RunScheduler(trace, config, hawk::SchedulerKind::kSparrow);
+  const hawk::HawkConfig config = hawk::bench::GoogleConfig(workers, seed);
+  const hawk::RunResult sparrow = hawk::RunExperiment(trace, config, "sparrow");
 
   hawk::bench::PrintHeader(
       "Ablation: short partition size, Hawk vs Sparrow (Google trace, 15k-equivalent "
       "nodes). Task-seconds rule gives " +
       hawk::Table::Pct(rule_fraction) + " (paper uses 17%)");
   hawk::Table table({"short partition", "p50 short", "p90 short", "p50 long", "p90 long"});
-  for (const double fraction : {0.0, 0.05, 0.10, 0.17, 0.25, 0.35, 0.50}) {
-    config.short_partition_fraction = fraction;
-    config.use_partition = fraction > 0.0;
-    const hawk::RunResult run = hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
-    const hawk::RunComparison cmp = hawk::CompareRuns(run, sparrow);
-    table.AddRow({hawk::Table::Pct(fraction, 0), hawk::Table::Num(cmp.short_jobs.p50_ratio),
+  // The fraction axis needs a paired edit (0% also disables the partition),
+  // so it is a VaryConfig axis rather than a plain field Vary.
+  const std::vector<double> fractions = {0.0, 0.05, 0.10, 0.17, 0.25, 0.35, 0.50};
+  std::vector<std::pair<std::string, hawk::SweepSpec::ConfigMutator>> points;
+  for (const double fraction : fractions) {
+    points.emplace_back(hawk::Table::Pct(fraction, 0), [fraction](hawk::HawkConfig& c) {
+      c.short_partition_fraction = fraction;
+      c.use_partition = fraction > 0.0;
+    });
+  }
+  hawk::SweepSpec sweep(hawk::ExperimentSpec("hawk").WithConfig(config).WithTrace(&trace));
+  sweep.VaryConfig("short_partition", std::move(points));
+  const std::vector<hawk::SweepRun> runs =
+      hawk::RunSweep(sweep, static_cast<uint32_t>(flags.GetInt("threads", 0)));
+  for (size_t i = 0; i < fractions.size(); ++i) {
+    const hawk::RunComparison cmp = hawk::CompareRuns(runs[i].result, sparrow);
+    table.AddRow({hawk::Table::Pct(fractions[i], 0),
+                  hawk::Table::Num(cmp.short_jobs.p50_ratio),
                   hawk::Table::Num(cmp.short_jobs.p90_ratio),
                   hawk::Table::Num(cmp.long_jobs.p50_ratio),
                   hawk::Table::Num(cmp.long_jobs.p90_ratio)});

@@ -28,19 +28,22 @@ int main(int argc, char** argv) {
   hawk::bench::PrintHeader("Ablation: probe ratio (Google trace, 15k-equivalent nodes)");
   hawk::Table table({"scheduler", "ratio", "p50 short (s)", "p90 short (s)", "p50 long (s)",
                      "probes placed"});
-  for (const auto kind : {hawk::SchedulerKind::kSparrow, hawk::SchedulerKind::kHawk}) {
-    for (const int64_t ratio : ratios) {
-      hawk::HawkConfig config = hawk::bench::GoogleConfig(workers, seed);
-      config.probe_ratio = static_cast<uint32_t>(ratio);
-      const hawk::RunResult run = hawk::RunScheduler(trace, config, kind);
-      const hawk::Samples shorts = run.RuntimesSeconds(false);
-      const hawk::Samples longs = run.RuntimesSeconds(true);
-      table.AddRow({std::string(hawk::SchedulerKindName(kind)), std::to_string(ratio),
-                    hawk::Table::Num(shorts.Percentile(50), 1),
-                    hawk::Table::Num(shorts.Percentile(90), 1),
-                    hawk::Table::Num(longs.Percentile(50), 1),
-                    std::to_string(run.counters.probes_placed)});
-    }
+  // Schedulers x probe ratios as one declarative sweep over the thread pool.
+  hawk::SweepSpec sweep(hawk::ExperimentSpec()
+                            .WithConfig(hawk::bench::GoogleConfig(workers, seed))
+                            .WithTrace(&trace));
+  sweep.VarySchedulers({"sparrow", "hawk"})
+      .Vary("probe_ratio", std::vector<double>(ratios.begin(), ratios.end()));
+  const std::vector<hawk::SweepRun> runs =
+      hawk::RunSweep(sweep, static_cast<uint32_t>(flags.GetInt("threads", 0)));
+  for (const hawk::SweepRun& run : runs) {
+    const hawk::Samples shorts = run.result.RuntimesSeconds(false);
+    const hawk::Samples longs = run.result.RuntimesSeconds(true);
+    table.AddRow({run.spec.scheduler, std::to_string(run.spec.config.probe_ratio),
+                  hawk::Table::Num(shorts.Percentile(50), 1),
+                  hawk::Table::Num(shorts.Percentile(90), 1),
+                  hawk::Table::Num(longs.Percentile(50), 1),
+                  std::to_string(run.result.counters.probes_placed)});
   }
   table.Print();
   return 0;

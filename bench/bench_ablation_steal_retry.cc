@@ -24,8 +24,8 @@ int main(int argc, char** argv) {
   const hawk::Trace trace = hawk::bench::GoogleSweepTrace(
       jobs, seed, hawk::bench::SimSize(10000), workers, flags.GetDouble("util", 0.93));
 
-  hawk::HawkConfig config = hawk::bench::GoogleConfig(workers, seed);
-  const hawk::RunResult base = hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
+  const hawk::HawkConfig config = hawk::bench::GoogleConfig(workers, seed);
+  const hawk::RunResult base = hawk::RunExperiment(trace, config, "hawk");
 
   hawk::bench::PrintHeader(
       "Ablation: steal retry interval, normalized to one-shot Hawk (Google trace, "
@@ -35,11 +35,20 @@ int main(int argc, char** argv) {
   table.AddRow({"off (paper)", "1.000", "1.000", "1.000",
                 std::to_string(base.counters.steal_victim_probes),
                 hawk::Table::Num(base.counters.AvgQueueWaitSeconds(false), 1)});
-  for (const double interval_s : {100.0, 30.0, 10.0, 3.0, 1.0}) {
-    config.steal_retry_interval_us = hawk::SecondsToUs(interval_s);
-    const hawk::RunResult run = hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
+  // The retry-interval axis as a declarative sweep over the thread pool.
+  const std::vector<double> intervals_s = {100.0, 30.0, 10.0, 3.0, 1.0};
+  std::vector<double> intervals_us;
+  for (const double interval_s : intervals_s) {
+    intervals_us.push_back(static_cast<double>(hawk::SecondsToUs(interval_s)));
+  }
+  hawk::SweepSpec sweep(hawk::ExperimentSpec("hawk").WithConfig(config).WithTrace(&trace));
+  sweep.Vary("steal_retry_interval_us", intervals_us);
+  const std::vector<hawk::SweepRun> runs =
+      hawk::RunSweep(sweep, static_cast<uint32_t>(flags.GetInt("threads", 0)));
+  for (size_t i = 0; i < intervals_s.size(); ++i) {
+    const hawk::RunResult& run = runs[i].result;
     const hawk::RunComparison cmp = hawk::CompareRuns(run, base);
-    table.AddRow({hawk::Table::Num(interval_s, 0) + " s",
+    table.AddRow({hawk::Table::Num(intervals_s[i], 0) + " s",
                   hawk::Table::Num(cmp.short_jobs.p50_ratio),
                   hawk::Table::Num(cmp.short_jobs.p90_ratio),
                   hawk::Table::Num(cmp.long_jobs.p50_ratio),

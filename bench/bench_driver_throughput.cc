@@ -36,13 +36,14 @@ const Workload& SharedWorkload(uint32_t paper_nodes, uint32_t jobs) {
   return it->second;
 }
 
-void BM_DriverThroughput(benchmark::State& state, hawk::SchedulerKind kind,
+void BM_DriverThroughput(benchmark::State& state, const char* scheduler,
                          uint32_t paper_nodes, uint32_t jobs) {
   const Workload& workload = SharedWorkload(paper_nodes, jobs);
   uint64_t events = 0;
   uint64_t tasks = 0;
   for (auto _ : state) {
-    const hawk::RunResult result = hawk::RunScheduler(workload.trace, workload.config, kind);
+    const hawk::RunResult result =
+        hawk::RunExperiment(workload.trace, workload.config, scheduler);
     events += result.counters.events;
     tasks += result.counters.tasks_launched;
     benchmark::DoNotOptimize(result.makespan_us);
@@ -54,22 +55,22 @@ void BM_DriverThroughput(benchmark::State& state, hawk::SchedulerKind kind,
   state.SetItemsProcessed(static_cast<int64_t>(events));
 }
 
-#define HAWK_DRIVER_BENCH(kind, paper_nodes, jobs)                                      \
-  BENCHMARK_CAPTURE(BM_DriverThroughput, kind##_##paper_nodes##nodes,                   \
-                    hawk::SchedulerKind::k##kind, paper_nodes, jobs)                    \
+#define HAWK_DRIVER_BENCH(kind, scheduler, paper_nodes, jobs)                           \
+  BENCHMARK_CAPTURE(BM_DriverThroughput, kind##_##paper_nodes##nodes, scheduler,        \
+                    paper_nodes, jobs)                                                  \
       ->Unit(benchmark::kMillisecond)
 
 // Paper scale: 15k nodes (fig. 5 operating point).
-HAWK_DRIVER_BENCH(Sparrow, 15000, 3000);
-HAWK_DRIVER_BENCH(Centralized, 15000, 3000);
-HAWK_DRIVER_BENCH(Hawk, 15000, 3000);
-HAWK_DRIVER_BENCH(Split, 15000, 3000);
+HAWK_DRIVER_BENCH(Sparrow, "sparrow", 15000, 3000);
+HAWK_DRIVER_BENCH(Centralized, "centralized", 15000, 3000);
+HAWK_DRIVER_BENCH(Hawk, "hawk", 15000, 3000);
+HAWK_DRIVER_BENCH(Split, "split", 15000, 3000);
 
 // Beyond the paper: 100k nodes.
-HAWK_DRIVER_BENCH(Sparrow, 100000, 1000);
-HAWK_DRIVER_BENCH(Centralized, 100000, 1000);
-HAWK_DRIVER_BENCH(Hawk, 100000, 1000);
-HAWK_DRIVER_BENCH(Split, 100000, 1000);
+HAWK_DRIVER_BENCH(Sparrow, "sparrow", 100000, 1000);
+HAWK_DRIVER_BENCH(Centralized, "centralized", 100000, 1000);
+HAWK_DRIVER_BENCH(Hawk, "hawk", 100000, 1000);
+HAWK_DRIVER_BENCH(Split, "split", 100000, 1000);
 
 }  // namespace
 

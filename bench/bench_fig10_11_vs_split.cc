@@ -32,17 +32,26 @@ int main(int argc, char** argv) {
                            std::to_string(jobs) + " jobs; 17%/83% split)");
   hawk::Table fig10({"nodes(paper)", "p50 short", "p90 short"});
   hawk::Table fig11({"nodes(paper)", "p50 long", "p90 long"});
+  // Cluster sizes x {hawk, split} as one declarative sweep over the thread
+  // pool.
+  std::vector<double> sizes;
   for (const int64_t paper_size : paper_sizes) {
-    const uint32_t workers = hawk::bench::SimSize(static_cast<uint32_t>(paper_size));
-    const hawk::HawkConfig config = hawk::bench::GoogleConfig(workers, seed);
-    const hawk::RunResult hawk_run =
-        hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
-    const hawk::RunResult split_run =
-        hawk::RunScheduler(trace, config, hawk::SchedulerKind::kSplit);
-    const hawk::RunComparison cmp = hawk::CompareRuns(hawk_run, split_run);
-    fig10.AddRow({std::to_string(paper_size), hawk::Table::Num(cmp.short_jobs.p50_ratio),
+    sizes.push_back(hawk::bench::SimSize(static_cast<uint32_t>(paper_size)));
+  }
+  hawk::SweepSpec sweep(
+      hawk::ExperimentSpec()
+          .WithConfig(hawk::bench::GoogleConfig(hawk::bench::SimSize(15000), seed))
+          .WithTrace(&trace)
+          .WithLabel("fig10_11"));
+  sweep.Vary("num_workers", sizes).VarySchedulers({"hawk", "split"});
+  const std::vector<hawk::SweepRun> runs =
+      hawk::RunSweep(sweep, static_cast<uint32_t>(flags.GetInt("threads", 0)));
+  for (size_t i = 0; i < paper_sizes.size(); ++i) {
+    const hawk::RunComparison cmp =
+        hawk::CompareRuns(runs[2 * i].result, runs[2 * i + 1].result);
+    fig10.AddRow({std::to_string(paper_sizes[i]), hawk::Table::Num(cmp.short_jobs.p50_ratio),
                   hawk::Table::Num(cmp.short_jobs.p90_ratio)});
-    fig11.AddRow({std::to_string(paper_size), hawk::Table::Num(cmp.long_jobs.p50_ratio),
+    fig11.AddRow({std::to_string(paper_sizes[i]), hawk::Table::Num(cmp.long_jobs.p50_ratio),
                   hawk::Table::Num(cmp.long_jobs.p90_ratio)});
   }
   std::printf("\nFigure 10: short jobs (Hawk much better at intermediate sizes)\n");

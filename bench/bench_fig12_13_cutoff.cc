@@ -14,7 +14,7 @@
 #include "bench/bench_util.h"
 #include "src/metrics/comparison.h"
 #include "src/metrics/report.h"
-#include "src/scheduler/sweep_runner.h"
+#include "src/scheduler/experiment.h"
 
 int main(int argc, char** argv) {
   hawk::Flags flags(argc, argv);
@@ -38,18 +38,22 @@ int main(int argc, char** argv) {
   // thread pool; results are identical to a serial loop. Sparrow schedules
   // all jobs identically; the cutoff only affects which jobs are *reported*
   // as long vs short, so it is applied to both runs of each pair.
-  std::vector<hawk::SweepPoint> points;
+  std::vector<double> cutoff_us;
   for (const int64_t cutoff_s : cutoffs) {
-    hawk::HawkConfig config = hawk::bench::GoogleConfig(workers, seed);
-    config.cutoff_us = hawk::SecondsToUs(static_cast<double>(cutoff_s));
-    points.push_back({&trace, config, hawk::SchedulerKind::kHawk});
-    points.push_back({&trace, config, hawk::SchedulerKind::kSparrow});
+    cutoff_us.push_back(
+        static_cast<double>(hawk::SecondsToUs(static_cast<double>(cutoff_s))));
   }
-  const hawk::SweepRunner runner(static_cast<uint32_t>(flags.GetInt("threads", 0)));
-  const std::vector<hawk::RunResult> results = runner.Run(points);
+  hawk::SweepSpec sweep(hawk::ExperimentSpec()
+                            .WithConfig(hawk::bench::GoogleConfig(workers, seed))
+                            .WithTrace(&trace)
+                            .WithLabel("fig12_13"));
+  sweep.Vary("cutoff_us", cutoff_us).VarySchedulers({"hawk", "sparrow"});
+  const std::vector<hawk::SweepRun> results =
+      hawk::RunSweep(sweep, static_cast<uint32_t>(flags.GetInt("threads", 0)));
   for (size_t i = 0; i < cutoffs.size(); ++i) {
     const int64_t cutoff_s = cutoffs[i];
-    const hawk::RunComparison cmp = hawk::CompareRuns(results[2 * i], results[2 * i + 1]);
+    const hawk::RunComparison cmp =
+        hawk::CompareRuns(results[2 * i].result, results[2 * i + 1].result);
     const double pct_long =
         100.0 * static_cast<double>(cmp.long_jobs.jobs) /
         static_cast<double>(cmp.long_jobs.jobs + cmp.short_jobs.jobs);

@@ -41,28 +41,43 @@ int main(int argc, char** argv) {
       std::to_string(runs) + " runs)");
 
   const hawk::HawkConfig base_config = hawk::bench::GoogleConfig(workers, seed);
-  const hawk::RunResult sparrow_run =
-      hawk::RunScheduler(trace, base_config, hawk::SchedulerKind::kSparrow);
+  const hawk::RunResult sparrow_run = hawk::RunExperiment(trace, base_config, "sparrow");
+
+  // Noise ranges x repeated seeds as one declarative grid (ranges slowest),
+  // fanned across the thread pool.
+  std::vector<std::pair<std::string, hawk::SweepSpec::ConfigMutator>> noise_points;
+  for (const Range& range : ranges) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.1f-%.1f", range.lo, range.hi);
+    noise_points.emplace_back(label, [range](hawk::HawkConfig& c) {
+      c.estimate_noise_lo = range.lo;
+      c.estimate_noise_hi = range.hi;
+    });
+  }
+  std::vector<double> run_seeds;
+  for (int64_t r = 0; r < runs; ++r) {
+    run_seeds.push_back(static_cast<double>(seed + static_cast<uint64_t>(r) * 7919));
+  }
+  hawk::SweepSpec sweep(
+      hawk::ExperimentSpec("hawk").WithConfig(base_config).WithTrace(&trace));
+  sweep.VaryConfig("noise", std::move(noise_points)).Vary("seed", run_seeds);
+  const std::vector<hawk::SweepRun> grid =
+      hawk::RunSweep(sweep, static_cast<uint32_t>(flags.GetInt("threads", 0)));
 
   hawk::Table table({"misestimation", "p50 long", "p90 long"});
-  for (const Range& range : ranges) {
+  for (size_t i = 0; i < ranges.size(); ++i) {
     double p50_sum = 0.0;
     double p90_sum = 0.0;
     for (int64_t r = 0; r < runs; ++r) {
-      hawk::HawkConfig config = base_config;
-      config.estimate_noise_lo = range.lo;
-      config.estimate_noise_hi = range.hi;
-      config.seed = seed + static_cast<uint64_t>(r) * 7919;
-      const hawk::RunResult hawk_run =
-          hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
       // Metrics classification inside the runs is noise-free (Fig. 14
       // protocol), so CompareRuns groups by the unperturbed classes.
-      const hawk::RunComparison cmp = hawk::CompareRuns(hawk_run, sparrow_run);
+      const hawk::RunComparison cmp = hawk::CompareRuns(
+          grid[i * static_cast<size_t>(runs) + static_cast<size_t>(r)].result, sparrow_run);
       p50_sum += cmp.long_jobs.p50_ratio;
       p90_sum += cmp.long_jobs.p90_ratio;
     }
     char label[32];
-    std::snprintf(label, sizeof(label), "%.1f-%.1f", range.lo, range.hi);
+    std::snprintf(label, sizeof(label), "%.1f-%.1f", ranges[i].lo, ranges[i].hi);
     table.AddRow({label, hawk::Table::Num(p50_sum / static_cast<double>(runs)),
                   hawk::Table::Num(p90_sum / static_cast<double>(runs))});
   }

@@ -32,19 +32,24 @@ int main(int argc, char** argv) {
 
   hawk::HawkConfig config = hawk::bench::GoogleConfig(workers, seed);
   config.steal_cap = 1;
-  const hawk::RunResult cap1 = hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
+  const hawk::RunResult cap1 = hawk::RunExperiment(trace, config, "hawk");
+
+  // The cap axis as a declarative sweep over the thread pool.
+  hawk::SweepSpec sweep(hawk::ExperimentSpec("hawk").WithConfig(config).WithTrace(&trace));
+  sweep.Vary("steal_cap", std::vector<double>(caps.begin(), caps.end()));
+  const std::vector<hawk::SweepRun> runs =
+      hawk::RunSweep(sweep, static_cast<uint32_t>(flags.GetInt("threads", 0)));
 
   hawk::Table table({"cap", "p50 short", "p90 short", "steal success rate"});
-  for (const int64_t cap : caps) {
-    config.steal_cap = static_cast<uint32_t>(cap);
-    const hawk::RunResult run = hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
+  for (size_t i = 0; i < caps.size(); ++i) {
+    const hawk::RunResult& run = runs[i].result;
     const hawk::RunComparison cmp = hawk::CompareRuns(run, cap1);
     const double success_rate =
         run.counters.steal_attempts > 0
             ? static_cast<double>(run.counters.steal_successes) /
                   static_cast<double>(run.counters.steal_attempts)
             : 0.0;
-    table.AddRow({std::to_string(cap), hawk::Table::Num(cmp.short_jobs.p50_ratio),
+    table.AddRow({std::to_string(caps[i]), hawk::Table::Num(cmp.short_jobs.p50_ratio),
                   hawk::Table::Num(cmp.short_jobs.p90_ratio),
                   hawk::Table::Pct(success_rate)});
   }

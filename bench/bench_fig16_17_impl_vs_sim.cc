@@ -92,10 +92,8 @@ int main(int argc, char** argv) {
     sim_config.classify_mode = hawk::ClassifyMode::kHint;
     sim_config.util_sample_period_us = sample_period_us;  // Same base as the prototype.
     sim_config.seed = seed;
-    const hawk::RunResult sim_hawk =
-        hawk::RunScheduler(trace, sim_config, hawk::SchedulerKind::kHawk);
-    const hawk::RunResult sim_sparrow =
-        hawk::RunScheduler(trace, sim_config, hawk::SchedulerKind::kSparrow);
+    const hawk::RunResult sim_hawk = hawk::RunExperiment(trace, sim_config, "hawk");
+    const hawk::RunResult sim_sparrow = hawk::RunExperiment(trace, sim_config, "sparrow");
     const hawk::RunComparison sim = hawk::CompareRuns(sim_hawk, sim_sparrow);
 
     const std::string x = hawk::Table::Num(ratio, 2);

@@ -26,8 +26,7 @@ int main(int argc, char** argv) {
   hawk::HawkConfig config;
   config.num_workers = workers;
   config.seed = seed;
-  const hawk::RunResult run =
-      hawk::RunScheduler(trace, config, hawk::SchedulerKind::kSparrow);
+  const hawk::RunResult run = hawk::RunExperiment(trace, config, "sparrow");
 
   hawk::bench::PrintHeader("Figure 1: short-job runtime CDF under Sparrow, loaded cluster (" +
                            std::to_string(jobs) + " jobs, " + std::to_string(workers) +

@@ -18,6 +18,19 @@
 #include "src/metrics/report.h"
 #include "src/scheduler/experiment.h"
 
+namespace {
+
+std::vector<double> SimSizes(const std::vector<int64_t>& paper_sizes) {
+  std::vector<double> sizes;
+  sizes.reserve(paper_sizes.size());
+  for (const int64_t paper_size : paper_sizes) {
+    sizes.push_back(hawk::bench::SimSize(static_cast<uint32_t>(paper_size)));
+  }
+  return sizes;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   hawk::Flags flags(argc, argv);
   const uint32_t num_jobs = hawk::bench::ScaledJobs(flags, 3000);
@@ -43,16 +56,22 @@ int main(int argc, char** argv) {
   hawk::Table fig5c({"nodes(paper)", "frac long improved", "avg ratio long",
                      "frac short improved", "avg ratio short"});
 
-  for (const int64_t paper_size : paper_sizes) {
-    const uint32_t workers = hawk::bench::SimSize(static_cast<uint32_t>(paper_size));
-    hawk::HawkConfig config = hawk::bench::GoogleConfig(workers, seed);
-    const hawk::RunResult hawk_run =
-        hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
-    const hawk::RunResult sparrow_run =
-        hawk::RunScheduler(trace, config, hawk::SchedulerKind::kSparrow);
-    const hawk::RunComparison cmp = hawk::CompareRuns(hawk_run, sparrow_run);
+  // The whole grid — cluster sizes x {hawk, sparrow} — as one declarative
+  // sweep, fanned across the thread pool.
+  hawk::SweepSpec sweep(hawk::ExperimentSpec()
+                            .WithConfig(hawk::bench::GoogleConfig(ref_workers, seed))
+                            .WithTrace(&trace)
+                            .WithLabel("fig5"));
+  sweep.Vary("num_workers", SimSizes(paper_sizes))
+      .VarySchedulers({"hawk", "sparrow"});
+  const std::vector<hawk::SweepRun> runs =
+      hawk::RunSweep(sweep, static_cast<uint32_t>(flags.GetInt("threads", 0)));
 
-    const std::string nodes = std::to_string(paper_size);
+  for (size_t i = 0; i < paper_sizes.size(); ++i) {
+    const hawk::RunComparison cmp =
+        hawk::CompareRuns(runs[2 * i].result, runs[2 * i + 1].result);
+
+    const std::string nodes = std::to_string(paper_sizes[i]);
     fig5a.AddRow({nodes, hawk::Table::Num(cmp.long_jobs.p50_ratio),
                   hawk::Table::Num(cmp.long_jobs.p90_ratio),
                   hawk::Table::Pct(cmp.baseline_median_util)});

@@ -58,21 +58,28 @@ int main(int argc, char** argv) {
     const hawk::Trace trace = hawk::bench::PrepareSweepTrace(std::move(spec.trace), seed,
                                                              min_workers, min_workers, ref_util);
 
+    // Per-trace declarative grid: cluster sizes x {hawk, sparrow}.
+    hawk::HawkConfig base;
+    base.short_partition_fraction = spec.short_partition_fraction;
+    base.classify_mode = hawk::ClassifyMode::kHint;
+    base.seed = seed;
+    std::vector<double> sizes;
+    for (const int64_t paper_size : spec.paper_sizes) {
+      sizes.push_back(hawk::bench::SimSize(static_cast<uint32_t>(paper_size)));
+    }
+    hawk::SweepSpec sweep(
+        hawk::ExperimentSpec().WithConfig(base).WithTrace(&trace).WithLabel(spec.name));
+    sweep.Vary("num_workers", sizes).VarySchedulers({"hawk", "sparrow"});
+    const std::vector<hawk::SweepRun> runs =
+        hawk::RunSweep(sweep, static_cast<uint32_t>(flags.GetInt("threads", 0)));
+
     hawk::Table table(
         {"nodes(paper)", "p90 long", "p90 short", "sparrow med util", "short part util"});
-    for (const int64_t paper_size : spec.paper_sizes) {
-      const uint32_t workers = hawk::bench::SimSize(static_cast<uint32_t>(paper_size));
-      hawk::HawkConfig config;
-      config.num_workers = workers;
-      config.short_partition_fraction = spec.short_partition_fraction;
-      config.classify_mode = hawk::ClassifyMode::kHint;
-      config.seed = seed;
-      const hawk::RunResult hawk_run =
-          hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
-      const hawk::RunResult sparrow_run =
-          hawk::RunScheduler(trace, config, hawk::SchedulerKind::kSparrow);
-      const hawk::RunComparison cmp = hawk::CompareRuns(hawk_run, sparrow_run);
-      table.AddRow({std::to_string(paper_size), hawk::Table::Num(cmp.long_jobs.p90_ratio),
+    for (size_t i = 0; i < spec.paper_sizes.size(); ++i) {
+      const hawk::RunComparison cmp =
+          hawk::CompareRuns(runs[2 * i].result, runs[2 * i + 1].result);
+      table.AddRow({std::to_string(spec.paper_sizes[i]),
+                    hawk::Table::Num(cmp.long_jobs.p90_ratio),
                     hawk::Table::Num(cmp.short_jobs.p90_ratio),
                     hawk::Table::Pct(cmp.baseline_median_util),
                     hawk::Table::Pct(cmp.treatment_median_util)});

@@ -25,8 +25,7 @@ int main(int argc, char** argv) {
       jobs, seed, hawk::bench::SimSize(10000), workers, flags.GetDouble("util", 0.93));
 
   const hawk::HawkConfig base_config = hawk::bench::GoogleConfig(workers, seed);
-  const hawk::RunResult full =
-      hawk::RunScheduler(trace, base_config, hawk::SchedulerKind::kHawk);
+  const hawk::RunResult full = hawk::RunExperiment(trace, base_config, "hawk");
 
   hawk::bench::PrintHeader(
       "Figure 7: component breakdown, normalized to full Hawk (Google trace, "
@@ -34,25 +33,22 @@ int main(int argc, char** argv) {
       std::to_string(jobs) + " jobs; >1 means worse than Hawk)");
   hawk::Table table({"variant", "p50 short", "p90 short", "p50 long", "p90 long"});
 
-  struct Variant {
-    std::string name;
-    bool centralized;
-    bool partition;
-    bool stealing;
-  };
-  const Variant variants[] = {
-      {"hawk w/out centralized", false, true, true},
-      {"hawk w/out partition", true, false, true},
-      {"hawk w/out stealing", true, true, false},
-  };
-  for (const Variant& variant : variants) {
-    hawk::HawkConfig config = base_config;
-    config.use_centralized_long = variant.centralized;
-    config.use_partition = variant.partition;
-    config.use_stealing = variant.stealing;
-    const hawk::RunResult run = hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
-    const hawk::RunComparison cmp = hawk::CompareRuns(run, full);
-    table.AddRow({variant.name, hawk::Table::Num(cmp.short_jobs.p50_ratio),
+  // One sweep axis over the §4.4 component toggles.
+  hawk::SweepSpec sweep(
+      hawk::ExperimentSpec("hawk").WithConfig(base_config).WithTrace(&trace));
+  sweep.VaryConfig(
+      "variant",
+      {{"hawk w/out centralized",
+        [](hawk::HawkConfig& c) { c.use_centralized_long = false; }},
+       {"hawk w/out partition", [](hawk::HawkConfig& c) { c.use_partition = false; }},
+       {"hawk w/out stealing", [](hawk::HawkConfig& c) { c.use_stealing = false; }}});
+  const std::vector<hawk::SweepRun> runs =
+      hawk::RunSweep(sweep, static_cast<uint32_t>(flags.GetInt("threads", 0)));
+  for (const hawk::SweepRun& run : runs) {
+    const hawk::RunComparison cmp = hawk::CompareRuns(run.result, full);
+    // "hawk/<variant>" -> "<variant>" for the table row.
+    const std::string variant = run.spec.Label().substr(run.spec.Label().find('/') + 1);
+    table.AddRow({variant, hawk::Table::Num(cmp.short_jobs.p50_ratio),
                   hawk::Table::Num(cmp.short_jobs.p90_ratio),
                   hawk::Table::Num(cmp.long_jobs.p50_ratio),
                   hawk::Table::Num(cmp.long_jobs.p90_ratio)});

@@ -13,7 +13,7 @@
 #include "bench/bench_util.h"
 #include "src/metrics/comparison.h"
 #include "src/metrics/report.h"
-#include "src/scheduler/sweep_runner.h"
+#include "src/scheduler/experiment.h"
 
 int main(int argc, char** argv) {
   hawk::Flags flags(argc, argv);
@@ -30,15 +30,18 @@ int main(int argc, char** argv) {
 
   // Two sweep points per cluster size (Hawk + the centralized baseline),
   // fanned across the thread pool; results are identical to a serial loop.
-  std::vector<hawk::SweepPoint> points;
+  std::vector<double> sizes;
   for (const int64_t paper_size : paper_sizes) {
-    const uint32_t workers = hawk::bench::SimSize(static_cast<uint32_t>(paper_size));
-    const hawk::HawkConfig config = hawk::bench::GoogleConfig(workers, seed);
-    points.push_back({&trace, config, hawk::SchedulerKind::kHawk});
-    points.push_back({&trace, config, hawk::SchedulerKind::kCentralized});
+    sizes.push_back(hawk::bench::SimSize(static_cast<uint32_t>(paper_size)));
   }
-  const hawk::SweepRunner runner(static_cast<uint32_t>(flags.GetInt("threads", 0)));
-  const std::vector<hawk::RunResult> results = runner.Run(points);
+  hawk::SweepSpec sweep(
+      hawk::ExperimentSpec()
+          .WithConfig(hawk::bench::GoogleConfig(hawk::bench::SimSize(15000), seed))
+          .WithTrace(&trace)
+          .WithLabel("fig8_9"));
+  sweep.Vary("num_workers", sizes).VarySchedulers({"hawk", "centralized"});
+  const std::vector<hawk::SweepRun> results =
+      hawk::RunSweep(sweep, static_cast<uint32_t>(flags.GetInt("threads", 0)));
 
   hawk::bench::PrintHeader("Figures 8-9: Hawk normalized to fully centralized (Google trace, " +
                            std::to_string(jobs) + " jobs)");
@@ -46,7 +49,8 @@ int main(int argc, char** argv) {
   hawk::Table fig9({"nodes(paper)", "p50 long", "p90 long"});
   for (size_t i = 0; i < paper_sizes.size(); ++i) {
     const int64_t paper_size = paper_sizes[i];
-    const hawk::RunComparison cmp = hawk::CompareRuns(results[2 * i], results[2 * i + 1]);
+    const hawk::RunComparison cmp =
+        hawk::CompareRuns(results[2 * i].result, results[2 * i + 1].result);
     fig8.AddRow({std::to_string(paper_size), hawk::Table::Num(cmp.short_jobs.p50_ratio),
                  hawk::Table::Num(cmp.short_jobs.p90_ratio)});
     fig9.AddRow({std::to_string(paper_size), hawk::Table::Num(cmp.long_jobs.p50_ratio),

@@ -7,10 +7,12 @@
 #ifndef HAWK_BENCH_BENCH_UTIL_H_
 #define HAWK_BENCH_BENCH_UTIL_H_
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "src/common/check.h"
 #include "src/common/flags.h"
 #include "src/common/random.h"
 #include "src/core/hawk_config.h"
@@ -30,9 +32,20 @@ inline constexpr uint32_t kClusterScaleDivisor = 10;
 inline uint32_t SimSize(uint32_t paper_nodes) { return paper_nodes / kClusterScaleDivisor; }
 
 inline double BenchScale(const Flags& flags) {
-  const char* env = std::getenv("HAWK_BENCH_SCALE");
-  const double env_scale = env != nullptr ? std::atof(env) : 1.0;
-  return flags.GetDouble("scale", env_scale > 0.0 ? env_scale : 1.0);
+  double env_scale = 1.0;
+  if (const char* env = std::getenv("HAWK_BENCH_SCALE"); env != nullptr && *env != '\0') {
+    // Strict parse: a malformed value must fail loudly, not silently run the
+    // default-scale configuration (std::atof would quietly yield 0).
+    char* end = nullptr;
+    env_scale = std::strtod(env, &end);
+    while (end != nullptr && std::isspace(static_cast<unsigned char>(*end))) {
+      ++end;
+    }
+    HAWK_CHECK(end != nullptr && *end == '\0' && end != env)
+        << "HAWK_BENCH_SCALE is not a number: \"" << env << "\"";
+    HAWK_CHECK_GT(env_scale, 0.0) << "HAWK_BENCH_SCALE must be > 0, got \"" << env << "\"";
+  }
+  return flags.GetDouble("scale", env_scale);
 }
 
 inline uint32_t ScaledJobs(const Flags& flags, uint32_t default_jobs) {

@@ -1,12 +1,15 @@
 // Extending the library: write a new scheduling policy against the public
-// SchedulerPolicy interface and run it through the same simulation driver
-// and metrics as the built-in schedulers.
+// SchedulerPolicy interface, register it in the SchedulerRegistry from
+// OUTSIDE src/, and run and sweep it through the exact same experiment API
+// as the built-in schedulers.
 //
 // The example policy, "hawk-lb", is a Hawk variant whose distributed side
 // probes the LEAST-LOADED of `d` random workers per probe (power-of-two-
 // choices on queue length) instead of plain uniform placement — a natural
 // "what if" on top of the paper's design. It reuses the core building blocks
-// (classifier via the driver, waiting-time queue, stealing policy).
+// (classifier via the driver, waiting-time queue, stealing policy). One
+// SchedulerRegistration line makes it a first-class experiment citizen:
+// RunExperiment("hawk-lb"), sweep axes, CSV export — everything built-ins get.
 #include <cstdio>
 #include <memory>
 
@@ -16,9 +19,9 @@
 #include "src/core/waiting_time_queue.h"
 #include "src/metrics/comparison.h"
 #include "src/metrics/report.h"
-#include "src/scheduler/driver.h"
 #include "src/scheduler/experiment.h"
 #include "src/scheduler/policy.h"
+#include "src/scheduler/registry.h"
 #include "src/workload/arrivals.h"
 #include "src/workload/google_trace.h"
 #include "src/workload/scaling.h"
@@ -86,6 +89,17 @@ class HawkLeastLoadedPolicy : public hawk::SchedulerPolicy {
   std::unique_ptr<hawk::StealingPolicy> stealing_;
 };
 
+// The extension point: one registration line and "hawk-lb" can be run,
+// swept and compared through the same path as the built-ins. The policy's
+// general partition mirrors Hawk's (centralized long jobs over the general
+// partition).
+const hawk::SchedulerRegistration kRegisterHawkLb(
+    "hawk-lb",
+    [](const hawk::HawkConfig& config) -> std::unique_ptr<hawk::SchedulerPolicy> {
+      return std::make_unique<HawkLeastLoadedPolicy>(config);
+    },
+    [](const hawk::HawkConfig& config) { return config.GeneralCount(); });
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -107,25 +121,20 @@ int main(int argc, char** argv) {
   config.num_workers = workers;
   config.seed = seed;
 
-  // Custom policy through the public driver...
-  HawkLeastLoadedPolicy custom(config);
-  hawk::SimulationDriver driver(&trace, config, config.GeneralCount(), &custom);
-  const hawk::RunResult custom_run = driver.Run();
-  // ...against stock Hawk and Sparrow.
-  const hawk::RunResult hawk_run =
-      hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
-  const hawk::RunResult sparrow_run =
-      hawk::RunScheduler(trace, config, hawk::SchedulerKind::kSparrow);
+  // The registered custom policy runs through the exact same entry point as
+  // the built-ins — one declarative sweep over all three schedulers.
+  hawk::SweepSpec sweep(hawk::ExperimentSpec().WithConfig(config).WithTrace(&trace));
+  sweep.VarySchedulers({"hawk-lb", "hawk", "sparrow"});
+  const std::vector<hawk::SweepRun> runs =
+      hawk::RunSweep(sweep, static_cast<uint32_t>(flags.GetInt("threads", 0)));
 
   hawk::Table table({"policy", "p50 short (s)", "p90 short (s)", "p50 long (s)",
                      "p90 long (s)"});
-  for (const auto& [name, run] :
-       {std::pair<const char*, const hawk::RunResult*>{"hawk-lb (custom)", &custom_run},
-        {"hawk", &hawk_run},
-        {"sparrow", &sparrow_run}}) {
-    const hawk::Samples shorts = run->RuntimesSeconds(false);
-    const hawk::Samples longs = run->RuntimesSeconds(true);
-    table.AddRow({name, hawk::Table::Num(shorts.Percentile(50), 0),
+  for (const hawk::SweepRun& run : runs) {
+    const hawk::Samples shorts = run.result.RuntimesSeconds(false);
+    const hawk::Samples longs = run.result.RuntimesSeconds(true);
+    table.AddRow({run.spec.scheduler == "hawk-lb" ? "hawk-lb (custom)" : run.spec.scheduler,
+                  hawk::Table::Num(shorts.Percentile(50), 0),
                   hawk::Table::Num(shorts.Percentile(90), 0),
                   hawk::Table::Num(longs.Percentile(50), 0),
                   hawk::Table::Num(longs.Percentile(90), 0)});

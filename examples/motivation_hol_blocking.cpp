@@ -33,10 +33,8 @@ int main(int argc, char** argv) {
               "5%% long: 100 tasks x 20000 s), Poisson arrivals every 50 s.\n\n",
               workers, trace.NumJobs());
 
-  const hawk::RunResult sparrow =
-      hawk::RunScheduler(trace, config, hawk::SchedulerKind::kSparrow);
-  const hawk::RunResult hawk_run =
-      hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
+  const hawk::RunResult sparrow = hawk::RunExperiment(trace, config, "sparrow");
+  const hawk::RunResult hawk_run = hawk::RunExperiment(trace, config, "hawk");
 
   const hawk::Samples sparrow_short = sparrow.RuntimesSeconds(/*long_jobs=*/false);
   const hawk::Samples hawk_short = hawk_run.RuntimesSeconds(/*long_jobs=*/false);

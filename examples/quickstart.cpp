@@ -43,10 +43,8 @@ int main(int argc, char** argv) {
   // 3. Run both schedulers on the same trace.
   std::printf("Simulating %zu jobs on %u workers (general partition: %u)...\n",
               trace.NumJobs(), config.num_workers, config.GeneralCount());
-  const hawk::RunResult hawk_run =
-      hawk::RunScheduler(trace, config, hawk::SchedulerKind::kHawk);
-  const hawk::RunResult sparrow_run =
-      hawk::RunScheduler(trace, config, hawk::SchedulerKind::kSparrow);
+  const hawk::RunResult hawk_run = hawk::RunExperiment(trace, config, "hawk");
+  const hawk::RunResult sparrow_run = hawk::RunExperiment(trace, config, "sparrow");
 
   // 4. Report.
   hawk::Table table({"scheduler", "class", "jobs", "p50 (s)", "p90 (s)", "mean (s)"});

@@ -1,16 +1,23 @@
 #!/usr/bin/env bash
-# Driver-throughput benchmark: builds the Release bench binary and emits
-# BENCH_driver.json (Google Benchmark JSON) — the repo's perf-trajectory
-# baseline. Compare events/s across commits to spot hot-path regressions.
+# Benchmark artifacts: builds the Release bench binaries and emits
+#   BENCH_driver.json  driver-throughput (Google Benchmark JSON) — the repo's
+#                      perf-trajectory baseline; compare events/s across
+#                      commits to spot hot-path regressions.
+#   BENCH_sweep.json   probe-ratio (power-of-d) ablation sweep run through
+#                      the experiment API — tracks result trajectories for
+#                      the sweep grid, not just throughput.
 #
 # Usage:
-#   scripts/bench.sh                      # full run, writes BENCH_driver.json
-#   scripts/bench.sh --benchmark_filter=Hawk   # extra args forwarded to the bench
+#   scripts/bench.sh                      # full run, writes both artifacts
+#   scripts/bench.sh --benchmark_filter=Hawk   # extra args forwarded to the
+#                                              # throughput bench
 #
 # Environment:
 #   BUILD_DIR   build directory (default: build-bench)
 #   JOBS        parallelism (default: nproc)
-#   OUT         output JSON path (default: BENCH_driver.json)
+#   OUT         throughput JSON path (default: BENCH_driver.json)
+#   SWEEP_OUT   sweep JSON path (default: BENCH_sweep.json)
+#   SWEEP_SCALE HAWK_BENCH_SCALE for the sweep (default: 1)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,13 +25,20 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build-bench}"
 JOBS="${JOBS:-$(nproc)}"
 OUT="${OUT:-BENCH_driver.json}"
+SWEEP_OUT="${SWEEP_OUT:-BENCH_sweep.json}"
+SWEEP_SCALE="${SWEEP_SCALE:-1}"
 
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release -DHAWK_BUILD_TESTS=OFF \
       -DHAWK_BUILD_EXAMPLES=OFF
-cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_driver_throughput
+cmake --build "${BUILD_DIR}" -j "${JOBS}" \
+      --target bench_driver_throughput bench_ablation_power_of_d
 
 "${BUILD_DIR}/bench_driver_throughput" \
   --benchmark_out="${OUT}" --benchmark_out_format=json \
   --benchmark_counters_tabular=true "$@"
 
 echo "Wrote ${OUT}"
+
+# The bench prints "Wrote ${SWEEP_OUT}" itself on success.
+"${BUILD_DIR}/bench_ablation_power_of_d" --scale="${SWEEP_SCALE}" --threads="${JOBS}" \
+  --json="${SWEEP_OUT}"

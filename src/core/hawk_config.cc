@@ -1,0 +1,157 @@
+#include "src/core/hawk_config.h"
+
+#include <algorithm>
+#include <string>
+#include <type_traits>
+
+namespace hawk {
+namespace {
+
+// Range-checked narrowing: an out-of-range double -> integer cast is UB and
+// would silently bypass Validate()'s fail-loudly contract (e.g.
+// Vary("probe_ratio", {-1}) wrapping to 4294967295 and passing validation).
+template <typename T>
+bool SetIntegerField(T* field, double value) {
+  // Exact bounds: 2^63 and 2^64 are representable doubles; the max itself
+  // is not (for int64/uint64), so use half-open upper bounds.
+  if (value != value) {  // NaN.
+    return false;
+  }
+  if constexpr (std::is_same_v<T, uint32_t>) {
+    if (value < 0.0 || value >= 4294967296.0) {
+      return false;
+    }
+  } else if constexpr (std::is_same_v<T, uint64_t>) {
+    if (value < 0.0 || value >= 18446744073709551616.0) {
+      return false;
+    }
+  } else {
+    static_assert(std::is_same_v<T, int64_t>);
+    if (value < -9223372036854775808.0 || value >= 9223372036854775808.0) {
+      return false;
+    }
+  }
+  *field = static_cast<T>(value);
+  return true;
+}
+
+// One row per sweepable field; `set` returns false when the value cannot be
+// represented in the field. Kept sorted by name; ConfigFieldNames() returns
+// them in this order.
+struct FieldSetter {
+  std::string_view name;
+  bool (*set)(HawkConfig&, double);
+};
+
+constexpr FieldSetter kFields[] = {
+    {"cutoff_us", [](HawkConfig& c, double v) { return SetIntegerField(&c.cutoff_us, v); }},
+    {"estimate_noise_hi",
+     [](HawkConfig& c, double v) {
+       c.estimate_noise_hi = v;
+       return true;
+     }},
+    {"estimate_noise_lo",
+     [](HawkConfig& c, double v) {
+       c.estimate_noise_lo = v;
+       return true;
+     }},
+    {"net_delay_us",
+     [](HawkConfig& c, double v) { return SetIntegerField(&c.net_delay_us, v); }},
+    {"num_workers",
+     [](HawkConfig& c, double v) { return SetIntegerField(&c.num_workers, v); }},
+    {"probe_ratio",
+     [](HawkConfig& c, double v) { return SetIntegerField(&c.probe_ratio, v); }},
+    {"seed", [](HawkConfig& c, double v) { return SetIntegerField(&c.seed, v); }},
+    {"short_partition_fraction",
+     [](HawkConfig& c, double v) {
+       c.short_partition_fraction = v;
+       return true;
+     }},
+    {"steal_cap", [](HawkConfig& c, double v) { return SetIntegerField(&c.steal_cap, v); }},
+    {"steal_retry_interval_us",
+     [](HawkConfig& c, double v) { return SetIntegerField(&c.steal_retry_interval_us, v); }},
+    {"use_centralized_long",
+     [](HawkConfig& c, double v) {
+       c.use_centralized_long = v != 0.0;
+       return true;
+     }},
+    {"use_partition",
+     [](HawkConfig& c, double v) {
+       c.use_partition = v != 0.0;
+       return true;
+     }},
+    {"use_stealing",
+     [](HawkConfig& c, double v) {
+       c.use_stealing = v != 0.0;
+       return true;
+     }},
+    {"util_sample_period_us",
+     [](HawkConfig& c, double v) { return SetIntegerField(&c.util_sample_period_us, v); }},
+};
+
+}  // namespace
+
+Status HawkConfig::Validate() const {
+  if (num_workers == 0) {
+    return Status::Error("num_workers must be nonzero");
+  }
+  if (probe_ratio < 1) {
+    return Status::Error("probe_ratio must be >= 1 (got 0)");
+  }
+  if (!(short_partition_fraction >= 0.0 && short_partition_fraction < 1.0)) {
+    return Status::Error("short_partition_fraction must be in [0, 1), got " +
+                         std::to_string(short_partition_fraction));
+  }
+  if (!(estimate_noise_lo >= 0.0)) {
+    return Status::Error("estimate_noise_lo must be >= 0, got " +
+                         std::to_string(estimate_noise_lo));
+  }
+  if (!(estimate_noise_lo <= estimate_noise_hi)) {
+    return Status::Error("estimate_noise_lo (" + std::to_string(estimate_noise_lo) +
+                         ") must be <= estimate_noise_hi (" + std::to_string(estimate_noise_hi) +
+                         ")");
+  }
+  if (cutoff_us < 0) {
+    return Status::Error("cutoff_us must be >= 0");
+  }
+  if (net_delay_us < 0) {
+    return Status::Error("net_delay_us must be >= 0");
+  }
+  if (steal_retry_interval_us < 0) {
+    return Status::Error("steal_retry_interval_us must be >= 0");
+  }
+  if (util_sample_period_us <= 0) {
+    return Status::Error("util_sample_period_us must be > 0");
+  }
+  return Status::Ok();
+}
+
+Status SetConfigField(HawkConfig* config, std::string_view field, double value) {
+  for (const FieldSetter& setter : kFields) {
+    if (setter.name == field) {
+      if (!setter.set(*config, value)) {
+        return Status::Error("value " + std::to_string(value) +
+                             " is out of range for config field '" + std::string(field) + "'");
+      }
+      return Status::Ok();
+    }
+  }
+  std::string known;
+  for (const FieldSetter& setter : kFields) {
+    known += known.empty() ? "" : ", ";
+    known += setter.name;
+  }
+  return Status::Error("unknown config field '" + std::string(field) + "'; known fields: " +
+                       known);
+}
+
+std::vector<std::string_view> ConfigFieldNames() {
+  std::vector<std::string_view> names;
+  names.reserve(std::size(kFields));
+  for (const FieldSetter& setter : kFields) {
+    names.push_back(setter.name);
+  }
+  return names;
+}
+
+}  // namespace hawk

@@ -8,7 +8,10 @@
 #define HAWK_CORE_HAWK_CONFIG_H_
 
 #include <cstdint>
+#include <string_view>
+#include <vector>
 
+#include "src/common/status.h"
 #include "src/common/types.h"
 
 namespace hawk {
@@ -65,6 +68,10 @@ struct HawkConfig {
 
   uint64_t seed = 42;
 
+  // Sanity-checks the configuration; run entry points call this so a bad
+  // config fails loudly instead of silently producing a nonsense run.
+  Status Validate() const;
+
   uint32_t GeneralCount() const {
     if (!use_partition) {
       return num_workers;
@@ -75,6 +82,14 @@ struct HawkConfig {
     return num_workers > short_count ? num_workers - short_count : 1;
   }
 };
+
+// Named numeric access to HawkConfig fields — the hook SweepSpec::Vary uses
+// to declare sweep axes by field name. Integer fields truncate the double;
+// boolean toggles treat nonzero as true. Unknown names return an error.
+Status SetConfigField(HawkConfig* config, std::string_view field, double value);
+
+// All field names SetConfigField accepts, sorted.
+std::vector<std::string_view> ConfigFieldNames();
 
 }  // namespace hawk
 

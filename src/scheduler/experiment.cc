@@ -1,53 +1,221 @@
 #include "src/scheduler/experiment.h"
 
+#include <cmath>
+#include <cstdio>
 #include <memory>
 
 #include "src/common/check.h"
 #include "src/core/hawk_scheduler.h"
 #include "src/scheduler/centralized.h"
 #include "src/scheduler/driver.h"
-#include "src/scheduler/split.h"
+#include "src/scheduler/registry.h"
 #include "src/scheduler/sparrow.h"
+#include "src/scheduler/split.h"
+#include "src/scheduler/sweep_runner.h"
 
 namespace hawk {
+namespace {
 
-std::string_view SchedulerKindName(SchedulerKind kind) {
-  switch (kind) {
-    case SchedulerKind::kSparrow:
-      return "sparrow";
-    case SchedulerKind::kCentralized:
-      return "centralized";
-    case SchedulerKind::kHawk:
-      return "hawk";
-    case SchedulerKind::kSplit:
-      return "split";
+// The four built-in schedulers self-register through the same public
+// mechanism external variants use (see examples/custom_policy.cpp). Any
+// binary that runs experiments links this translation unit, so the names are
+// always available to RunExperiment/RunSweep.
+const SchedulerRegistration kRegisterSparrow(
+    std::string(kSchedulerSparrow),
+    [](const HawkConfig& config) -> std::unique_ptr<SchedulerPolicy> {
+      return std::make_unique<SparrowPolicy>(config.probe_ratio);
+    });
+
+const SchedulerRegistration kRegisterCentralized(
+    std::string(kSchedulerCentralized),
+    [](const HawkConfig&) -> std::unique_ptr<SchedulerPolicy> {
+      return std::make_unique<CentralizedPolicy>();
+    });
+
+const SchedulerRegistration kRegisterHawk(
+    std::string(kSchedulerHawk),
+    [](const HawkConfig& config) -> std::unique_ptr<SchedulerPolicy> {
+      return std::make_unique<HawkPolicy>(config);
+    },
+    [](const HawkConfig& config) { return config.GeneralCount(); });
+
+const SchedulerRegistration kRegisterSplit(
+    std::string(kSchedulerSplit),
+    [](const HawkConfig& config) -> std::unique_ptr<SchedulerPolicy> {
+      HAWK_CHECK_LT(config.GeneralCount(), config.num_workers)
+          << "split cluster requires a non-empty short partition";
+      return std::make_unique<SplitClusterPolicy>(config.probe_ratio);
+    },
+    [](const HawkConfig& config) { return config.GeneralCount(); });
+
+// Axis-label value formatting: integers print bare ("probe_ratio=4"),
+// everything else compactly ("short_partition_fraction=0.17").
+std::string FormatAxisValue(double value) {
+  char buf[32];
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", value);
   }
-  return "?";
+  return buf;
 }
 
-RunResult RunScheduler(const Trace& trace, const HawkConfig& config, SchedulerKind kind) {
-  std::unique_ptr<SchedulerPolicy> policy;
-  uint32_t general_count = config.num_workers;
-  switch (kind) {
-    case SchedulerKind::kSparrow:
-      policy = std::make_unique<SparrowPolicy>(config.probe_ratio);
-      break;
-    case SchedulerKind::kCentralized:
-      policy = std::make_unique<CentralizedPolicy>();
-      break;
-    case SchedulerKind::kHawk:
-      policy = std::make_unique<HawkPolicy>(config);
-      general_count = config.GeneralCount();
-      break;
-    case SchedulerKind::kSplit:
-      policy = std::make_unique<SplitClusterPolicy>(config.probe_ratio);
-      general_count = config.GeneralCount();
-      HAWK_CHECK_LT(general_count, config.num_workers)
-          << "split cluster requires a non-empty short partition";
-      break;
+}  // namespace
+
+SweepSpec& SweepSpec::Vary(std::string_view field, std::vector<double> values) {
+  // Surface typos at declaration time, not after an hour of sweeping.
+  {
+    HawkConfig probe;
+    const Status status = SetConfigField(&probe, field, 0.0);
+    HAWK_CHECK(status.ok()) << status.message();
   }
-  SimulationDriver driver(&trace, config, general_count, policy.get());
+  Axis axis;
+  axis.name = std::string(field);
+  axis.points.reserve(values.size());
+  for (const double value : values) {
+    AxisPoint point;
+    point.label = axis.name + "=" + FormatAxisValue(value);
+    point.apply = [name = axis.name, value](ExperimentSpec& spec) {
+      const Status status = SetConfigField(&spec.config, name, value);
+      HAWK_CHECK(status.ok()) << status.message();
+    };
+    axis.points.push_back(std::move(point));
+  }
+  axes_.push_back(std::move(axis));
+  return *this;
+}
+
+SweepSpec& SweepSpec::VarySchedulers(std::vector<std::string> names) {
+  Axis axis;
+  axis.name = "scheduler";
+  axis.points.reserve(names.size());
+  for (std::string& name : names) {
+    AxisPoint point;
+    point.label = name;
+    point.apply = [name](ExperimentSpec& spec) { spec.scheduler = name; };
+    axis.points.push_back(std::move(point));
+  }
+  axes_.push_back(std::move(axis));
+  return *this;
+}
+
+SweepSpec& SweepSpec::VaryTraces(std::vector<std::pair<std::string, const Trace*>> traces) {
+  Axis axis;
+  axis.name = "trace";
+  axis.points.reserve(traces.size());
+  for (auto& [label, trace] : traces) {
+    HAWK_CHECK(trace != nullptr) << "VaryTraces: null trace for '" << label << "'";
+    AxisPoint point;
+    point.label = label;
+    point.apply = [trace = trace](ExperimentSpec& spec) { spec.trace = trace; };
+    axis.points.push_back(std::move(point));
+  }
+  axes_.push_back(std::move(axis));
+  return *this;
+}
+
+SweepSpec& SweepSpec::VaryConfig(std::string_view axis_name,
+                                 std::vector<std::pair<std::string, ConfigMutator>> points) {
+  Axis axis;
+  axis.name = std::string(axis_name);
+  axis.points.reserve(points.size());
+  for (auto& [label, mutate] : points) {
+    HAWK_CHECK(mutate != nullptr) << "VaryConfig: null mutator for '" << label << "'";
+    AxisPoint point;
+    point.label = label;
+    point.apply = [mutate = std::move(mutate)](ExperimentSpec& spec) { mutate(spec.config); };
+    axis.points.push_back(std::move(point));
+  }
+  axes_.push_back(std::move(axis));
+  return *this;
+}
+
+size_t SweepSpec::Cardinality() const {
+  size_t count = 1;
+  for (const Axis& axis : axes_) {
+    count *= axis.points.size();
+  }
+  return count;
+}
+
+std::vector<ExperimentSpec> SweepSpec::Expand() const {
+  std::vector<ExperimentSpec> specs;
+  specs.reserve(Cardinality());
+  {
+    ExperimentSpec seed = base_;
+    seed.label = base_.Label();
+    specs.push_back(std::move(seed));
+  }
+  for (const Axis& axis : axes_) {
+    std::vector<ExperimentSpec> next;
+    next.reserve(specs.size() * axis.points.size());
+    for (const ExperimentSpec& spec : specs) {
+      for (const AxisPoint& point : axis.points) {
+        ExperimentSpec expanded = spec;
+        point.apply(expanded);
+        expanded.label += "/" + point.label;
+        next.push_back(std::move(expanded));
+      }
+    }
+    specs = std::move(next);
+  }
+  return specs;
+}
+
+RunResult RunExperiment(const ExperimentSpec& spec) {
+  HAWK_CHECK(spec.trace != nullptr) << "experiment '" << spec.Label() << "' has no trace";
+  const Status status = spec.config.Validate();
+  HAWK_CHECK(status.ok()) << "invalid config for experiment '" << spec.Label()
+                          << "': " << status.message();
+  const SchedulerRegistry::Entry* entry = SchedulerRegistry::Global().Find(spec.scheduler);
+  if (entry == nullptr) {
+    std::string known;
+    for (const std::string& name : SchedulerRegistry::Global().Names()) {
+      known += known.empty() ? "" : ", ";
+      known += name;
+    }
+    HAWK_CHECK(false) << "unknown scheduler '" << spec.scheduler
+                      << "'; registered schedulers: " << known;
+  }
+  const std::unique_ptr<SchedulerPolicy> policy = entry->factory(spec.config);
+  HAWK_CHECK(policy != nullptr) << "scheduler '" << spec.scheduler
+                                << "' factory returned null";
+  const uint32_t general_count =
+      entry->general_count ? entry->general_count(spec.config) : spec.config.num_workers;
+  SimulationDriver driver(spec.trace, spec.config, general_count, policy.get());
   return driver.Run();
+}
+
+RunResult RunExperiment(const Trace& trace, const HawkConfig& config,
+                        std::string_view scheduler) {
+  return RunExperiment(
+      ExperimentSpec(std::string(scheduler)).WithConfig(config).WithTrace(&trace));
+}
+
+std::vector<SweepRun> RunExperiments(std::vector<ExperimentSpec> specs, uint32_t num_threads) {
+  // Fail fast on the whole grid before burning any simulation time.
+  for (const ExperimentSpec& spec : specs) {
+    HAWK_CHECK(spec.trace != nullptr) << "experiment '" << spec.Label() << "' has no trace";
+    const Status status = spec.config.Validate();
+    HAWK_CHECK(status.ok()) << "invalid config for experiment '" << spec.Label()
+                            << "': " << status.message();
+    HAWK_CHECK(SchedulerRegistry::Global().Contains(spec.scheduler))
+        << "unknown scheduler '" << spec.scheduler << "' in experiment '" << spec.Label()
+        << "'";
+  }
+  const SweepRunner runner(num_threads);
+  std::vector<RunResult> results =
+      runner.Run(specs.size(), [&specs](size_t i) { return RunExperiment(specs[i]); });
+  std::vector<SweepRun> runs;
+  runs.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    runs.push_back(SweepRun{std::move(specs[i]), std::move(results[i])});
+  }
+  return runs;
+}
+
+std::vector<SweepRun> RunSweep(const SweepSpec& sweep, uint32_t num_threads) {
+  return RunExperiments(sweep.Expand(), num_threads);
 }
 
 }  // namespace hawk

@@ -1,0 +1,54 @@
+#include "src/scheduler/registry.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace hawk {
+
+SchedulerRegistry& SchedulerRegistry::Global() {
+  static SchedulerRegistry* registry = new SchedulerRegistry();
+  return *registry;
+}
+
+Status SchedulerRegistry::Register(std::string name, Factory factory,
+                                   GeneralCountFn general_count) {
+  if (name.empty()) {
+    return Status::Error("scheduler name must not be empty");
+  }
+  if (factory == nullptr) {
+    return Status::Error("scheduler '" + name + "' registered with a null factory");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] =
+      entries_.try_emplace(std::move(name), Entry{std::move(factory), std::move(general_count)});
+  if (!inserted) {
+    return Status::Error("scheduler '" + it->first + "' is already registered");
+  }
+  return Status::Ok();
+}
+
+const SchedulerRegistry::Entry* SchedulerRegistry::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> SchedulerRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+SchedulerRegistration::SchedulerRegistration(std::string name, SchedulerRegistry::Factory factory,
+                                             SchedulerRegistry::GeneralCountFn general_count) {
+  const Status status = SchedulerRegistry::Global().Register(
+      std::move(name), std::move(factory), std::move(general_count));
+  HAWK_CHECK(status.ok()) << status.message();
+}
+
+}  // namespace hawk

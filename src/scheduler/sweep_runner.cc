@@ -16,26 +16,24 @@ SweepRunner::SweepRunner(uint32_t num_threads) : num_threads_(num_threads) {
   }
 }
 
-std::vector<RunResult> SweepRunner::Run(const std::vector<SweepPoint>& points) const {
-  for (const SweepPoint& point : points) {
-    HAWK_CHECK(point.trace != nullptr);
-  }
-  std::vector<RunResult> results(points.size());
-  const uint32_t workers = std::min(num_threads_, static_cast<uint32_t>(points.size()));
+std::vector<RunResult> SweepRunner::Run(size_t num_points, const RunPointFn& run_point) const {
+  HAWK_CHECK(run_point != nullptr);
+  std::vector<RunResult> results(num_points);
+  const uint32_t workers = std::min(num_threads_, static_cast<uint32_t>(num_points));
   if (workers <= 1) {
-    for (size_t i = 0; i < points.size(); ++i) {
-      results[i] = RunScheduler(*points[i].trace, points[i].config, points[i].kind);
+    for (size_t i = 0; i < num_points; ++i) {
+      results[i] = run_point(i);
     }
     return results;
   }
   std::atomic<size_t> cursor{0};
-  auto drain = [&points, &results, &cursor] {
+  auto drain = [num_points, &results, &cursor, &run_point] {
     while (true) {
       const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= points.size()) {
+      if (i >= num_points) {
         return;
       }
-      results[i] = RunScheduler(*points[i].trace, points[i].config, points[i].kind);
+      results[i] = run_point(i);
     }
   };
   std::vector<std::thread> pool;

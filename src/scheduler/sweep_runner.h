@@ -1,42 +1,42 @@
 // Parallel experiment sweeps.
 //
 // Every figure reproduction evaluates a grid of (scheduler, config, trace)
-// points, and each RunScheduler call is fully self-contained: it builds its
-// own driver, cluster, policy and RNGs, and only reads the (immutable)
-// trace. SweepRunner exploits that isolation to fan a sweep across a thread
-// pool. Results come back indexed by sweep point, and each individual run is
-// bit-identical to what a serial RunScheduler loop would produce — the
-// parallelism is across runs, never inside one.
+// points, and each run is fully self-contained: it builds its own driver,
+// cluster, policy and RNGs, and only reads the (immutable) trace.
+// SweepRunner exploits that isolation to fan a sweep across a thread pool.
+// Results come back indexed by sweep point, and each individual run is
+// bit-identical to what a serial loop would produce — the parallelism is
+// across runs, never inside one.
+//
+// This is the execution engine under RunSweep()/RunExperiments()
+// (experiment.h); use those for declarative grids, and this directly only
+// when the work items are not experiment specs.
 #ifndef HAWK_SCHEDULER_SWEEP_RUNNER_H_
 #define HAWK_SCHEDULER_SWEEP_RUNNER_H_
 
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/cluster/results.h"
-#include "src/core/hawk_config.h"
-#include "src/scheduler/experiment.h"
-#include "src/workload/trace.h"
 
 namespace hawk {
 
-// One simulation to run: `trace` must outlive the sweep and is shared
-// read-only across threads.
-struct SweepPoint {
-  const Trace* trace = nullptr;
-  HawkConfig config;
-  SchedulerKind kind = SchedulerKind::kHawk;
-};
-
 class SweepRunner {
  public:
+  // Produces the result for sweep point `index`. Must be safe to call
+  // concurrently for distinct indices.
+  using RunPointFn = std::function<RunResult(size_t index)>;
+
   // `num_threads` == 0 picks the hardware concurrency (min 1).
   explicit SweepRunner(uint32_t num_threads = 0);
 
   uint32_t num_threads() const { return num_threads_; }
 
-  // Runs every point and returns results in point order. Points are claimed
-  // dynamically (atomic cursor), so heterogeneous run times load-balance.
-  std::vector<RunResult> Run(const std::vector<SweepPoint>& points) const;
+  // Evaluates `run_point` for every index in [0, num_points) and returns
+  // results in index order. Points are claimed dynamically (atomic cursor),
+  // so heterogeneous run times load-balance.
+  std::vector<RunResult> Run(size_t num_points, const RunPointFn& run_point) const;
 
  private:
   uint32_t num_threads_;

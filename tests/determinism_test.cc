@@ -73,7 +73,7 @@ TEST(DeterminismTest, TraceGenerationIdenticalAcrossRuns) {
 // Runs the same trace through the same scheduler twice and demands
 // bit-identical results: same per-job finish times, same counters, same
 // utilization series.
-void ExpectIdenticalRuns(SchedulerKind kind) {
+void ExpectIdenticalRuns(std::string_view scheduler) {
   HawkConfig config;
   config.num_workers = 120;
   config.classify_mode = ClassifyMode::kHint;
@@ -88,8 +88,8 @@ void ExpectIdenticalRuns(SchedulerKind kind) {
   const Trace trace_a = make_trace();
   const Trace trace_b = make_trace();
 
-  const RunResult r1 = RunScheduler(trace_a, config, kind);
-  const RunResult r2 = RunScheduler(trace_b, config, kind);
+  const RunResult r1 = RunExperiment(trace_a, config, scheduler);
+  const RunResult r2 = RunExperiment(trace_b, config, scheduler);
 
   ASSERT_EQ(r1.jobs.size(), r2.jobs.size());
   for (size_t i = 0; i < r1.jobs.size(); ++i) {
@@ -107,17 +107,15 @@ void ExpectIdenticalRuns(SchedulerKind kind) {
   EXPECT_EQ(r1.utilization_samples, r2.utilization_samples);
 }
 
-TEST(DeterminismTest, HawkRunIdenticalAcrossRuns) { ExpectIdenticalRuns(SchedulerKind::kHawk); }
+TEST(DeterminismTest, HawkRunIdenticalAcrossRuns) { ExpectIdenticalRuns("hawk"); }
 
-TEST(DeterminismTest, SparrowRunIdenticalAcrossRuns) {
-  ExpectIdenticalRuns(SchedulerKind::kSparrow);
-}
+TEST(DeterminismTest, SparrowRunIdenticalAcrossRuns) { ExpectIdenticalRuns("sparrow"); }
 
 TEST(DeterminismTest, CentralizedRunIdenticalAcrossRuns) {
-  ExpectIdenticalRuns(SchedulerKind::kCentralized);
+  ExpectIdenticalRuns("centralized");
 }
 
-TEST(DeterminismTest, SplitRunIdenticalAcrossRuns) { ExpectIdenticalRuns(SchedulerKind::kSplit); }
+TEST(DeterminismTest, SplitRunIdenticalAcrossRuns) { ExpectIdenticalRuns("split"); }
 
 }  // namespace
 }  // namespace hawk

@@ -36,33 +36,33 @@ TEST(DriverScenarioTest, SparrowSingleTaskExactTiming) {
   // Probe lands at submit+0.5ms; the worker is idle so it requests
   // immediately; the task arrives one RTT later and runs for 5 s.
   const Trace trace = SingleJob({SecondsToUs(5)});
-  const RunResult result = RunScheduler(trace, Config(4), SchedulerKind::kSparrow);
+  const RunResult result = RunExperiment(trace, Config(4), "sparrow");
   EXPECT_EQ(result.jobs[0].runtime_us, kDelay + kRtt + SecondsToUs(5));
 }
 
 TEST(DriverScenarioTest, CentralizedSingleTaskExactTiming) {
   // Direct task placement skips late binding: only the one-way delay.
   const Trace trace = SingleJob({SecondsToUs(5)});
-  const RunResult result = RunScheduler(trace, Config(4), SchedulerKind::kCentralized);
+  const RunResult result = RunExperiment(trace, Config(4), "centralized");
   EXPECT_EQ(result.jobs[0].runtime_us, kDelay + SecondsToUs(5));
 }
 
 TEST(DriverScenarioTest, HawkShortJobUsesLateBinding) {
   const Trace trace = SingleJob({SecondsToUs(5)});  // Below cutoff -> short.
-  const RunResult result = RunScheduler(trace, Config(4), SchedulerKind::kHawk);
+  const RunResult result = RunExperiment(trace, Config(4), "hawk");
   EXPECT_EQ(result.jobs[0].runtime_us, kDelay + kRtt + SecondsToUs(5));
 }
 
 TEST(DriverScenarioTest, HawkLongJobUsesDirectPlacement) {
   const Trace trace = SingleJob({SecondsToUs(2000)});  // Above cutoff -> long.
-  const RunResult result = RunScheduler(trace, Config(4), SchedulerKind::kHawk);
+  const RunResult result = RunExperiment(trace, Config(4), "hawk");
   EXPECT_EQ(result.jobs[0].runtime_us, kDelay + SecondsToUs(2000));
 }
 
 TEST(DriverScenarioTest, ParallelTasksOverlapPerfectly) {
   // 3 tasks on 10 idle workers: distinct probes, all run in parallel.
   const Trace trace = SingleJob({SecondsToUs(5), SecondsToUs(7), SecondsToUs(3)});
-  const RunResult result = RunScheduler(trace, Config(10), SchedulerKind::kSparrow);
+  const RunResult result = RunExperiment(trace, Config(10), "sparrow");
   EXPECT_EQ(result.jobs[0].runtime_us, kDelay + kRtt + SecondsToUs(7));
 }
 
@@ -72,7 +72,7 @@ TEST(DriverScenarioTest, SingleWorkerSerializesWithRequestGaps) {
   //   task1 ends at t1+10s; probe2 head -> request; task2 starts 1ms later,
   //   runs 20 s. Remaining probes resolve to cancels afterwards.
   const Trace trace = SingleJob({SecondsToUs(10), SecondsToUs(20)});
-  const RunResult result = RunScheduler(trace, Config(1), SchedulerKind::kSparrow);
+  const RunResult result = RunExperiment(trace, Config(1), "sparrow");
   EXPECT_EQ(result.jobs[0].runtime_us, kDelay + kRtt + SecondsToUs(10) + kRtt +
                                            SecondsToUs(20));
   EXPECT_EQ(result.counters.cancels, 2u);
@@ -91,7 +91,7 @@ TEST(DriverScenarioTest, CentralizedFifoBehindEarlierJob) {
   trace.Add(a);
   trace.Add(b);
   trace.SortAndRenumber();
-  const RunResult result = RunScheduler(trace, Config(1), SchedulerKind::kCentralized);
+  const RunResult result = RunExperiment(trace, Config(1), "centralized");
   // A: delay + 100 s. B finishes when A's task (started at 0.5ms) completes
   // plus 10 s; B's runtime subtracts its 1 s submit offset.
   EXPECT_EQ(result.jobs[0].runtime_us, kDelay + SecondsToUs(100));
@@ -111,7 +111,7 @@ TEST(DriverScenarioTest, CentralizedAvoidsBusyWorkerViaEstimates) {
   trace.Add(a);
   trace.Add(b);
   trace.SortAndRenumber();
-  const RunResult result = RunScheduler(trace, Config(2), SchedulerKind::kCentralized);
+  const RunResult result = RunExperiment(trace, Config(2), "centralized");
   EXPECT_EQ(result.jobs[1].runtime_us, kDelay + SecondsToUs(10));  // No queueing.
 }
 
@@ -133,7 +133,7 @@ TEST(DriverScenarioTest, HawkStealRescuesBlockedShortTask) {
   trace.SortAndRenumber();
   HawkConfig config = Config(2);
   config.short_partition_fraction = 0.5;
-  const RunResult result = RunScheduler(trace, config, SchedulerKind::kHawk);
+  const RunResult result = RunExperiment(trace, config, "hawk");
   EXPECT_LT(result.jobs[1].runtime_us, SecondsToUs(20));
 }
 
@@ -158,7 +158,7 @@ TEST(DriverScenarioTest, StealOnlyPathRescuesBlockedShort) {
   HawkConfig config = Config(2);
   config.short_partition_fraction = 0.0;
   config.classify_mode = ClassifyMode::kCutoff;
-  const RunResult result = RunScheduler(trace, config, SchedulerKind::kHawk);
+  const RunResult result = RunExperiment(trace, config, "hawk");
   // Both long tasks run in parallel for 3000 s; the short tasks are queued
   // behind them with nobody idle to steal -> short job waits for a long
   // completion. This documents the "no idle worker, no rescue" boundary.
@@ -169,7 +169,7 @@ TEST(DriverScenarioTest, UtilizationSamplesMatchKnownSchedule) {
   // One worker, one 250 s task: utilization is 1.0 at samples t=100 s and
   // t=200 s, and the sampler stops once the job finished.
   const Trace trace = SingleJob({SecondsToUs(250)});
-  const RunResult result = RunScheduler(trace, Config(1), SchedulerKind::kCentralized);
+  const RunResult result = RunExperiment(trace, Config(1), "centralized");
   ASSERT_GE(result.utilization_samples.size(), 2u);
   EXPECT_DOUBLE_EQ(result.utilization_samples[0], 1.0);
   EXPECT_DOUBLE_EQ(result.utilization_samples[1], 1.0);
@@ -188,7 +188,7 @@ TEST(DriverScenarioTest, QueueWaitTelemetryExactValue) {
   trace.SortAndRenumber();
   HawkConfig config = Config(1);
   config.classify_mode = ClassifyMode::kHint;
-  const RunResult result = RunScheduler(trace, config, SchedulerKind::kCentralized);
+  const RunResult result = RunExperiment(trace, config, "centralized");
   // Task 1 waits 0; task 2 waits 100 s (placed at the same instant).
   EXPECT_EQ(result.counters.long_queue_wait_us, static_cast<uint64_t>(SecondsToUs(100)));
 }
@@ -198,8 +198,8 @@ TEST(DriverScenarioTest, LateArrivalSeesEmptyCluster) {
   // one at t=0 (clock translation invariance).
   const Trace at_zero = SingleJob({SecondsToUs(5)}, 0);
   const Trace late = SingleJob({SecondsToUs(5)}, SecondsToUs(10000));
-  const RunResult r0 = RunScheduler(at_zero, Config(4), SchedulerKind::kSparrow);
-  const RunResult r1 = RunScheduler(late, Config(4), SchedulerKind::kSparrow);
+  const RunResult r0 = RunExperiment(at_zero, Config(4), "sparrow");
+  const RunResult r1 = RunExperiment(late, Config(4), "sparrow");
   EXPECT_EQ(r0.jobs[0].runtime_us, r1.jobs[0].runtime_us);
 }
 

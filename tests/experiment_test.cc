@@ -1,0 +1,340 @@
+// The experiment API: scheduler registry, declarative specs, sweep
+// expansion, and equivalence with the hand-built policy + driver path the
+// registry replaced.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/hawk_config.h"
+#include "src/core/hawk_scheduler.h"
+#include "src/scheduler/centralized.h"
+#include "src/scheduler/driver.h"
+#include "src/scheduler/experiment.h"
+#include "src/scheduler/registry.h"
+#include "src/scheduler/sparrow.h"
+#include "src/scheduler/split.h"
+#include "src/workload/arrivals.h"
+#include "src/workload/cluster_workloads.h"
+
+namespace hawk {
+namespace {
+
+Trace MakeTrace(uint32_t jobs, uint64_t seed) {
+  Trace trace = GenerateClusterWorkload(FacebookParams(jobs, seed));
+  Rng arrivals_rng(seed ^ 0xBEEF);
+  AssignPoissonArrivals(&trace, SecondsToUs(2.0), &arrivals_rng);
+  return trace;
+}
+
+HawkConfig SmallConfig(uint32_t workers = 100, uint64_t seed = 7) {
+  HawkConfig config;
+  config.num_workers = workers;
+  config.classify_mode = ClassifyMode::kHint;
+  config.seed = seed;
+  return config;
+}
+
+void ExpectBitIdentical(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (size_t i = 0; i < a.jobs.size(); ++i) {
+    ASSERT_EQ(a.jobs[i].id, b.jobs[i].id);
+    ASSERT_EQ(a.jobs[i].finish_time, b.jobs[i].finish_time) << "job " << i;
+    ASSERT_EQ(a.jobs[i].runtime_us, b.jobs[i].runtime_us) << "job " << i;
+  }
+  EXPECT_EQ(a.makespan_us, b.makespan_us);
+  EXPECT_EQ(a.total_busy_us, b.total_busy_us);
+  EXPECT_EQ(a.utilization_samples, b.utilization_samples);
+  EXPECT_EQ(a.counters.events, b.counters.events);
+  EXPECT_EQ(a.counters.tasks_launched, b.counters.tasks_launched);
+  EXPECT_EQ(a.counters.probes_placed, b.counters.probes_placed);
+  EXPECT_EQ(a.counters.central_tasks_placed, b.counters.central_tasks_placed);
+  EXPECT_EQ(a.counters.steal_attempts, b.counters.steal_attempts);
+  EXPECT_EQ(a.counters.entries_stolen, b.counters.entries_stolen);
+}
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(SchedulerRegistryTest, BuiltinsAreRegistered) {
+  for (const char* name : {"sparrow", "centralized", "hawk", "split"}) {
+    EXPECT_TRUE(SchedulerRegistry::Global().Contains(name)) << name;
+  }
+}
+
+TEST(SchedulerRegistryTest, EveryRegisteredNameRunsDeterministically) {
+  // Whatever is registered — built-ins plus anything other tests added —
+  // must construct through its factory and produce seed-determined results.
+  const Trace trace = MakeTrace(80, 3);
+  for (const std::string& name : SchedulerRegistry::Global().Names()) {
+    SCOPED_TRACE(name);
+    const RunResult a = RunExperiment(trace, SmallConfig(), name);
+    const RunResult b = RunExperiment(trace, SmallConfig(), name);
+    ExpectBitIdentical(a, b);
+    EXPECT_EQ(a.counters.tasks_launched, trace.TotalTasks());
+  }
+}
+
+TEST(SchedulerRegistryTest, DuplicateRegistrationIsRejected) {
+  const Status status = SchedulerRegistry::Global().Register(
+      "hawk", [](const HawkConfig& config) -> std::unique_ptr<SchedulerPolicy> {
+        return std::make_unique<SparrowPolicy>(config.probe_ratio);
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("already registered"), std::string::npos);
+  // The original registration must still be in effect: "hawk" still places
+  // long tasks centrally (a SparrowPolicy would place none).
+  const Trace trace = MakeTrace(60, 5);
+  const RunResult run = RunExperiment(trace, SmallConfig(), "hawk");
+  EXPECT_GT(run.counters.central_tasks_placed, 0u);
+}
+
+TEST(SchedulerRegistryTest, EmptyNameAndNullFactoryRejected) {
+  EXPECT_FALSE(SchedulerRegistry::Global()
+                   .Register("", [](const HawkConfig&) -> std::unique_ptr<SchedulerPolicy> {
+                     return nullptr;
+                   })
+                   .ok());
+  EXPECT_FALSE(SchedulerRegistry::Global().Register("null-factory", nullptr).ok());
+  EXPECT_FALSE(SchedulerRegistry::Global().Contains("null-factory"));
+}
+
+TEST(SchedulerRegistryTest, ExternalRegistrationIsFirstClass) {
+  // Register a variant from outside the library (what
+  // examples/custom_policy.cpp does with "hawk-lb") and run + sweep it
+  // through the same entry points as the built-ins.
+  const Status status = SchedulerRegistry::Global().Register(
+      "test-wide-probe", [](const HawkConfig&) -> std::unique_ptr<SchedulerPolicy> {
+        return std::make_unique<SparrowPolicy>(4);
+      });
+  ASSERT_TRUE(status.ok()) << status.message();
+  const Trace trace = MakeTrace(60, 9);
+  const RunResult run = RunExperiment(trace, SmallConfig(), "test-wide-probe");
+  EXPECT_EQ(run.counters.probes_placed, 4 * trace.TotalTasks());
+
+  SweepSpec sweep(ExperimentSpec("test-wide-probe").WithConfig(SmallConfig()).WithTrace(&trace));
+  sweep.Vary("num_workers", {80, 120});
+  const std::vector<SweepRun> runs = RunSweep(sweep, 2);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].spec.Label(), "test-wide-probe/num_workers=80");
+  EXPECT_EQ(runs[1].spec.Label(), "test-wide-probe/num_workers=120");
+}
+
+// --- Spec + builder ---------------------------------------------------------
+
+TEST(ExperimentSpecTest, BuilderComposes) {
+  const Trace trace = MakeTrace(30, 1);
+  const HawkConfig config = SmallConfig(64, 11);
+  const ExperimentSpec spec =
+      ExperimentSpec("sparrow").WithConfig(config).WithTrace(&trace).WithLabel("probe2");
+  EXPECT_EQ(spec.scheduler, "sparrow");
+  EXPECT_EQ(spec.config.num_workers, 64u);
+  EXPECT_EQ(spec.config.seed, 11u);
+  EXPECT_EQ(spec.trace, &trace);
+  EXPECT_EQ(spec.Label(), "probe2");
+  EXPECT_EQ(ExperimentSpec("hawk").Label(), "hawk");  // Label defaults to the name.
+}
+
+TEST(ExperimentTest, ConvenienceOverloadMatchesSpecForm) {
+  const Trace trace = MakeTrace(50, 13);
+  const HawkConfig config = SmallConfig();
+  ExpectBitIdentical(
+      RunExperiment(trace, config, "hawk"),
+      RunExperiment(ExperimentSpec("hawk").WithConfig(config).WithTrace(&trace)));
+}
+
+// --- Equivalence with the pre-registry path ---------------------------------
+
+// RunExperiment must be bit-identical to what the old closed-world
+// RunScheduler(kind) switch did: construct the policy directly, size the
+// general partition the same way, drive the same simulation.
+TEST(ExperimentTest, BitIdenticalToHandBuiltDriverPath) {
+  const Trace trace = MakeTrace(120, 17);
+  const HawkConfig config = SmallConfig(110, 23);
+
+  const auto run_direct = [&](SchedulerPolicy* policy, uint32_t general_count) {
+    SimulationDriver driver(&trace, config, general_count, policy);
+    return driver.Run();
+  };
+
+  {
+    SparrowPolicy sparrow(config.probe_ratio);
+    ExpectBitIdentical(RunExperiment(trace, config, "sparrow"),
+                       run_direct(&sparrow, config.num_workers));
+  }
+  {
+    CentralizedPolicy centralized;
+    ExpectBitIdentical(RunExperiment(trace, config, "centralized"),
+                       run_direct(&centralized, config.num_workers));
+  }
+  {
+    HawkPolicy hawk_policy(config);
+    ExpectBitIdentical(RunExperiment(trace, config, "hawk"),
+                       run_direct(&hawk_policy, config.GeneralCount()));
+  }
+  {
+    SplitClusterPolicy split(config.probe_ratio);
+    ExpectBitIdentical(RunExperiment(trace, config, "split"),
+                       run_direct(&split, config.GeneralCount()));
+  }
+}
+
+// --- SweepSpec expansion -----------------------------------------------------
+
+TEST(SweepSpecTest, CardinalityAndOrderingAreCrossProduct) {
+  const Trace trace = MakeTrace(30, 1);
+  SweepSpec sweep(ExperimentSpec("sparrow").WithConfig(SmallConfig()).WithTrace(&trace));
+  sweep.Vary("num_workers", {100, 200}).VarySchedulers({"sparrow", "hawk"})
+      .Vary("probe_ratio", {1, 2, 3});
+  EXPECT_EQ(sweep.Cardinality(), 12u);
+  const std::vector<ExperimentSpec> specs = sweep.Expand();
+  ASSERT_EQ(specs.size(), 12u);
+  // First axis slowest: workers=100 for the first six, 200 for the rest.
+  for (size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(specs[i].config.num_workers, i < 6 ? 100u : 200u) << i;
+    EXPECT_EQ(specs[i].scheduler, (i / 3) % 2 == 0 ? "sparrow" : "hawk") << i;
+    EXPECT_EQ(specs[i].config.probe_ratio, i % 3 + 1) << i;
+    EXPECT_EQ(specs[i].trace, &trace);
+  }
+  EXPECT_EQ(specs[0].Label(), "sparrow/num_workers=100/sparrow/probe_ratio=1");
+  EXPECT_EQ(specs[11].Label(), "sparrow/num_workers=200/hawk/probe_ratio=3");
+}
+
+TEST(SweepSpecTest, LabelsAreUnique) {
+  const Trace trace = MakeTrace(30, 1);
+  SweepSpec sweep(ExperimentSpec("hawk").WithConfig(SmallConfig()).WithTrace(&trace));
+  sweep.Vary("probe_ratio", {1, 2, 4, 8})
+      .Vary("steal_cap", {1, 10})
+      .VaryConfig("noise", {{"off", [](HawkConfig&) {}},
+                            {"wide", [](HawkConfig& c) {
+                               c.estimate_noise_lo = 0.5;
+                               c.estimate_noise_hi = 1.5;
+                             }}});
+  const std::vector<ExperimentSpec> specs = sweep.Expand();
+  ASSERT_EQ(specs.size(), 16u);
+  std::set<std::string> labels;
+  for (const ExperimentSpec& spec : specs) {
+    labels.insert(spec.Label());
+  }
+  EXPECT_EQ(labels.size(), specs.size());
+}
+
+TEST(SweepSpecTest, VaryTracesAndEmptyAxes) {
+  const Trace trace_a = MakeTrace(30, 1);
+  const Trace trace_b = MakeTrace(40, 2);
+  SweepSpec sweep(ExperimentSpec("hawk").WithConfig(SmallConfig()));
+  sweep.VaryTraces({{"a", &trace_a}, {"b", &trace_b}});
+  const std::vector<ExperimentSpec> specs = sweep.Expand();
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].trace, &trace_a);
+  EXPECT_EQ(specs[1].trace, &trace_b);
+  EXPECT_EQ(specs[0].Label(), "hawk/a");
+
+  // No axes: the sweep is the base spec alone.
+  SweepSpec single(ExperimentSpec("hawk").WithConfig(SmallConfig()).WithTrace(&trace_a));
+  EXPECT_EQ(single.Cardinality(), 1u);
+  ASSERT_EQ(single.Expand().size(), 1u);
+}
+
+TEST(SweepSpecTest, RunSweepMatchesSerialExpansion) {
+  const Trace trace = MakeTrace(80, 21);
+  SweepSpec sweep(ExperimentSpec().WithConfig(SmallConfig()).WithTrace(&trace));
+  sweep.VarySchedulers({"hawk", "sparrow"}).Vary("num_workers", {80, 120});
+  const std::vector<SweepRun> runs = RunSweep(sweep, 4);
+  const std::vector<ExperimentSpec> specs = sweep.Expand();
+  ASSERT_EQ(runs.size(), specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE(specs[i].Label());
+    EXPECT_EQ(runs[i].spec.Label(), specs[i].Label());
+    ExpectBitIdentical(runs[i].result, RunExperiment(specs[i]));
+  }
+}
+
+// --- Validation and failure paths -------------------------------------------
+
+TEST(HawkConfigValidateTest, AcceptsDefaultsRejectsNonsense) {
+  EXPECT_TRUE(HawkConfig().Validate().ok());
+
+  HawkConfig config;
+  config.num_workers = 0;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = HawkConfig();
+  config.probe_ratio = 0;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = HawkConfig();
+  config.short_partition_fraction = 1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.short_partition_fraction = -0.1;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = HawkConfig();
+  config.estimate_noise_lo = 1.5;
+  config.estimate_noise_hi = 0.5;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = HawkConfig();
+  config.util_sample_period_us = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(HawkConfigFieldTest, SetConfigFieldCoversEveryName) {
+  HawkConfig config;
+  for (const std::string_view name : ConfigFieldNames()) {
+    EXPECT_TRUE(SetConfigField(&config, name, 1.0).ok()) << name;
+  }
+  EXPECT_FALSE(SetConfigField(&config, "no_such_field", 1.0).ok());
+
+  ASSERT_TRUE(SetConfigField(&config, "probe_ratio", 8.0).ok());
+  EXPECT_EQ(config.probe_ratio, 8u);
+  ASSERT_TRUE(SetConfigField(&config, "use_stealing", 0.0).ok());
+  EXPECT_FALSE(config.use_stealing);
+  ASSERT_TRUE(SetConfigField(&config, "short_partition_fraction", 0.25).ok());
+  EXPECT_DOUBLE_EQ(config.short_partition_fraction, 0.25);
+}
+
+TEST(HawkConfigFieldTest, OutOfRangeIntegerValuesAreRejected) {
+  // A negative or huge double must not wrap into an unsigned field (that
+  // would pass Validate() and silently run a nonsense sweep point).
+  HawkConfig config;
+  const HawkConfig untouched = config;
+  EXPECT_FALSE(SetConfigField(&config, "probe_ratio", -1.0).ok());
+  EXPECT_FALSE(SetConfigField(&config, "num_workers", -100.0).ok());
+  EXPECT_FALSE(SetConfigField(&config, "num_workers", 5e18).ok());
+  EXPECT_FALSE(SetConfigField(&config, "seed", -1.0).ok());
+  EXPECT_FALSE(SetConfigField(&config, "cutoff_us", 1e19).ok());
+  EXPECT_EQ(config.probe_ratio, untouched.probe_ratio);
+  EXPECT_EQ(config.num_workers, untouched.num_workers);
+  // Boundary values that are representable still work.
+  EXPECT_TRUE(SetConfigField(&config, "num_workers", 4294967295.0).ok());
+  EXPECT_EQ(config.num_workers, 4294967295u);
+}
+
+TEST(ExperimentDeathTest, InvalidConfigFailsLoudly) {
+  const Trace trace = MakeTrace(10, 1);
+  HawkConfig config = SmallConfig();
+  config.probe_ratio = 0;
+  EXPECT_DEATH({ RunExperiment(trace, config, "hawk"); }, "probe_ratio");
+}
+
+TEST(ExperimentDeathTest, UnknownSchedulerFailsLoudly) {
+  const Trace trace = MakeTrace(10, 1);
+  EXPECT_DEATH({ RunExperiment(trace, SmallConfig(), "no-such-scheduler"); },
+               "unknown scheduler");
+}
+
+TEST(ExperimentDeathTest, UnknownSweepFieldFailsAtDeclaration) {
+  const Trace trace = MakeTrace(10, 1);
+  SweepSpec sweep(ExperimentSpec("hawk").WithConfig(SmallConfig()).WithTrace(&trace));
+  EXPECT_DEATH({ sweep.Vary("probe_ration", {1, 2}); }, "unknown config field");
+}
+
+TEST(ExperimentDeathTest, MissingTraceFailsLoudly) {
+  EXPECT_DEATH({ RunExperiment(ExperimentSpec("hawk").WithConfig(SmallConfig())); },
+               "has no trace");
+}
+
+}  // namespace
+}  // namespace hawk

@@ -148,7 +148,7 @@ TEST(StealRetryTest, RetryingNeverLosesTasks) {
   HawkConfig config;
   config.num_workers = workers;
   config.steal_retry_interval_us = SecondsToUs(5.0);
-  const RunResult result = RunScheduler(trace, config, SchedulerKind::kHawk);
+  const RunResult result = RunExperiment(trace, config, "hawk");
   EXPECT_EQ(result.counters.tasks_launched, trace.TotalTasks());
   EXPECT_EQ(result.total_busy_us, trace.TotalWorkUs());
 }
@@ -158,9 +158,9 @@ TEST(StealRetryTest, RetryIncreasesStealActivity) {
   const Trace trace = LoadedTrace(workers, 33);
   HawkConfig config;
   config.num_workers = workers;
-  const RunResult one_shot = RunScheduler(trace, config, SchedulerKind::kHawk);
+  const RunResult one_shot = RunExperiment(trace, config, "hawk");
   config.steal_retry_interval_us = SecondsToUs(2.0);
-  const RunResult retrying = RunScheduler(trace, config, SchedulerKind::kHawk);
+  const RunResult retrying = RunExperiment(trace, config, "hawk");
   EXPECT_GT(retrying.counters.steal_attempts, one_shot.counters.steal_attempts);
 }
 
@@ -176,7 +176,7 @@ TEST(QueueWaitTelemetryTest, CountsEveryLaunchedTask) {
   const Trace trace = LoadedTrace(workers, 35);
   HawkConfig config;
   config.num_workers = workers;
-  const RunResult result = RunScheduler(trace, config, SchedulerKind::kHawk);
+  const RunResult result = RunExperiment(trace, config, "hawk");
   EXPECT_EQ(result.counters.short_tasks_started + result.counters.long_tasks_started,
             trace.TotalTasks());
   EXPECT_GE(result.counters.AvgQueueWaitSeconds(false), 0.0);
@@ -190,8 +190,8 @@ TEST(QueueWaitTelemetryTest, SparrowShortWaitsExceedHawksUnderLoad) {
   const Trace trace = LoadedTrace(workers, 37);
   HawkConfig config;
   config.num_workers = workers;
-  const RunResult hawk = RunScheduler(trace, config, SchedulerKind::kHawk);
-  const RunResult sparrow = RunScheduler(trace, config, SchedulerKind::kSparrow);
+  const RunResult hawk = RunExperiment(trace, config, "hawk");
+  const RunResult sparrow = RunExperiment(trace, config, "sparrow");
   EXPECT_LT(hawk.counters.AvgQueueWaitSeconds(false),
             sparrow.counters.AvgQueueWaitSeconds(false));
 }
@@ -204,7 +204,7 @@ TEST(QueueWaitTelemetryTest, IdleClusterHasNearZeroWaits) {
   trace.SortAndRenumber();
   HawkConfig config;
   config.num_workers = 50;
-  const RunResult result = RunScheduler(trace, config, SchedulerKind::kHawk);
+  const RunResult result = RunExperiment(trace, config, "hawk");
   // One short task; waited only the late-binding RTT.
   EXPECT_EQ(result.counters.short_tasks_started, 1u);
   EXPECT_LE(result.counters.short_queue_wait_us, static_cast<uint64_t>(MillisToUs(2)));
@@ -217,7 +217,7 @@ TEST(CsvExportTest, JobResultsRoundTrip) {
   const Trace trace = LoadedTrace(workers, 39);
   HawkConfig config;
   config.num_workers = workers;
-  const RunResult result = RunScheduler(trace, config, SchedulerKind::kSparrow);
+  const RunResult result = RunExperiment(trace, config, "sparrow");
 
   const std::string path = testing::TempDir() + "/jobs.csv";
   ASSERT_TRUE(WriteJobResultsCsv(path, result).ok());

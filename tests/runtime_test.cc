@@ -98,8 +98,8 @@ TEST(PrototypeTest, AgreesWithSimulatorInShape) {
   sim_config.num_workers = nodes;
   sim_config.classify_mode = ClassifyMode::kHint;
   sim_config.net_delay_us = 200;
-  const RunResult sim_hawk = RunScheduler(trace, sim_config, SchedulerKind::kHawk);
-  const RunResult sim_sparrow = RunScheduler(trace, sim_config, SchedulerKind::kSparrow);
+  const RunResult sim_hawk = RunExperiment(trace, sim_config, "hawk");
+  const RunResult sim_sparrow = RunExperiment(trace, sim_config, "sparrow");
   const RunComparison sim = CompareRuns(sim_hawk, sim_sparrow);
   EXPECT_LT(sim.short_jobs.p90_ratio, 1.0);
 

@@ -60,13 +60,13 @@ void CheckInvariants(const Trace& trace, const RunResult& result) {
 // --- Parameterized invariant sweep: scheduler x load x seed -------------------
 
 struct SweepCase {
-  SchedulerKind kind;
+  const char* kind;  // Registered scheduler name.
   double util;
   uint64_t seed;
 };
 
 std::string SweepName(const testing::TestParamInfo<SweepCase>& info) {
-  return std::string(SchedulerKindName(info.param.kind)) + "_util" +
+  return std::string(info.param.kind) + "_util" +
          std::to_string(static_cast<int>(info.param.util * 100)) + "_seed" +
          std::to_string(info.param.seed);
 }
@@ -78,24 +78,24 @@ TEST_P(SchedulerSweepTest, InvariantsHold) {
   const uint32_t workers = 400;
   const Trace trace = TestTrace(400, workers, param.util, param.seed);
   const RunResult result =
-      RunScheduler(trace, TestConfig(workers, param.seed), param.kind);
+      RunExperiment(trace, TestConfig(workers, param.seed), param.kind);
   CheckInvariants(trace, result);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllSchedulers, SchedulerSweepTest,
-    testing::Values(SweepCase{SchedulerKind::kSparrow, 0.5, 1},
-                    SweepCase{SchedulerKind::kSparrow, 0.9, 2},
-                    SweepCase{SchedulerKind::kSparrow, 1.3, 3},
-                    SweepCase{SchedulerKind::kCentralized, 0.5, 1},
-                    SweepCase{SchedulerKind::kCentralized, 0.9, 2},
-                    SweepCase{SchedulerKind::kCentralized, 1.3, 3},
-                    SweepCase{SchedulerKind::kHawk, 0.5, 1},
-                    SweepCase{SchedulerKind::kHawk, 0.9, 2},
-                    SweepCase{SchedulerKind::kHawk, 1.3, 3},
-                    SweepCase{SchedulerKind::kSplit, 0.5, 1},
-                    SweepCase{SchedulerKind::kSplit, 0.9, 2},
-                    SweepCase{SchedulerKind::kSplit, 1.3, 3}),
+    testing::Values(SweepCase{"sparrow", 0.5, 1},
+                    SweepCase{"sparrow", 0.9, 2},
+                    SweepCase{"sparrow", 1.3, 3},
+                    SweepCase{"centralized", 0.5, 1},
+                    SweepCase{"centralized", 0.9, 2},
+                    SweepCase{"centralized", 1.3, 3},
+                    SweepCase{"hawk", 0.5, 1},
+                    SweepCase{"hawk", 0.9, 2},
+                    SweepCase{"hawk", 1.3, 3},
+                    SweepCase{"split", 0.5, 1},
+                    SweepCase{"split", 0.9, 2},
+                    SweepCase{"split", 1.3, 3}),
     SweepName);
 
 // --- Hawk ablation invariants ---------------------------------------------------
@@ -110,7 +110,7 @@ TEST_P(HawkAblationTest, InvariantsHoldWithTogglesOff) {
   config.use_centralized_long = variant != 0;
   config.use_partition = variant != 1;
   config.use_stealing = variant != 2;
-  const RunResult result = RunScheduler(trace, config, SchedulerKind::kHawk);
+  const RunResult result = RunExperiment(trace, config, "hawk");
   CheckInvariants(trace, result);
   if (variant == 2) {
     EXPECT_EQ(result.counters.steal_attempts, 0u);
@@ -125,7 +125,7 @@ TEST(SparrowTest, ProbeCountFollowsRatio) {
   const uint32_t workers = 200;
   const Trace trace = TestTrace(100, workers, 0.5, 7);
   HawkConfig config = TestConfig(workers);
-  const RunResult result = RunScheduler(trace, config, SchedulerKind::kSparrow);
+  const RunResult result = RunExperiment(trace, config, "sparrow");
   EXPECT_EQ(result.counters.probes_placed, 2 * trace.TotalTasks());
   // Every probe either launched a task or was cancelled.
   EXPECT_EQ(result.counters.probe_requests,
@@ -137,7 +137,7 @@ TEST(SparrowTest, LateBindingCancelsSurplusProbes) {
   const uint32_t workers = 200;
   const Trace trace = TestTrace(100, workers, 0.3, 9);
   const RunResult result =
-      RunScheduler(trace, TestConfig(workers), SchedulerKind::kSparrow);
+      RunExperiment(trace, TestConfig(workers), "sparrow");
   // With probe ratio 2 and a mostly idle cluster, about half the probes are
   // cancelled.
   EXPECT_GT(result.counters.cancels, 0u);
@@ -148,7 +148,7 @@ TEST(CentralizedTest, NoProbesEverythingPlaced) {
   const uint32_t workers = 200;
   const Trace trace = TestTrace(100, workers, 0.5, 11);
   const RunResult result =
-      RunScheduler(trace, TestConfig(workers), SchedulerKind::kCentralized);
+      RunExperiment(trace, TestConfig(workers), "centralized");
   EXPECT_EQ(result.counters.probes_placed, 0u);
   EXPECT_EQ(result.counters.central_tasks_placed, trace.TotalTasks());
   EXPECT_EQ(result.counters.steal_attempts, 0u);
@@ -157,7 +157,7 @@ TEST(CentralizedTest, NoProbesEverythingPlaced) {
 TEST(HawkTest, LongJobsPlacedCentrallyShortJobsProbed) {
   const uint32_t workers = 300;
   const Trace trace = TestTrace(300, workers, 0.8, 13);
-  const RunResult result = RunScheduler(trace, TestConfig(workers), SchedulerKind::kHawk);
+  const RunResult result = RunExperiment(trace, TestConfig(workers), "hawk");
   uint64_t long_tasks = 0;
   uint64_t short_tasks = 0;
   const DurationUs cutoff = TestConfig(workers).cutoff_us;
@@ -175,7 +175,7 @@ TEST(HawkTest, LongJobsPlacedCentrallyShortJobsProbed) {
 TEST(HawkTest, StealingMovesEntriesUnderLoad) {
   const uint32_t workers = 300;
   const Trace trace = TestTrace(400, workers, 1.1, 15);
-  const RunResult result = RunScheduler(trace, TestConfig(workers), SchedulerKind::kHawk);
+  const RunResult result = RunExperiment(trace, TestConfig(workers), "hawk");
   EXPECT_GT(result.counters.steal_attempts, 0u);
   EXPECT_GT(result.counters.steal_successes, 0u);
   EXPECT_GT(result.counters.entries_stolen, 0u);
@@ -188,7 +188,7 @@ TEST(HawkTest, EmptyShortPartitionFallsBackGracefully) {
   const Trace trace = TestTrace(200, workers, 0.8, 17);
   HawkConfig config = TestConfig(workers);
   config.short_partition_fraction = 0.0;
-  const RunResult result = RunScheduler(trace, config, SchedulerKind::kHawk);
+  const RunResult result = RunExperiment(trace, config, "hawk");
   CheckInvariants(trace, result);
 }
 
@@ -203,7 +203,7 @@ TEST(SplitTest, ShortJobsConfinedToShortPartition) {
   trace.Add(job);
   trace.SortAndRenumber();
   HawkConfig config = TestConfig(workers);
-  const RunResult result = RunScheduler(trace, config, SchedulerKind::kSplit);
+  const RunResult result = RunExperiment(trace, config, "split");
   CheckInvariants(trace, result);
 }
 
@@ -212,15 +212,13 @@ TEST(SplitTest, ShortJobsConfinedToShortPartition) {
 TEST(DeterminismTest, IdenticalSeedsIdenticalResults) {
   const uint32_t workers = 300;
   const Trace trace = TestTrace(300, workers, 0.9, 19);
-  for (const SchedulerKind kind :
-       {SchedulerKind::kSparrow, SchedulerKind::kCentralized, SchedulerKind::kHawk,
-        SchedulerKind::kSplit}) {
-    const RunResult a = RunScheduler(trace, TestConfig(workers, 99), kind);
-    const RunResult b = RunScheduler(trace, TestConfig(workers, 99), kind);
+  for (const char* kind : {"sparrow", "centralized", "hawk", "split"}) {
+    const RunResult a = RunExperiment(trace, TestConfig(workers, 99), kind);
+    const RunResult b = RunExperiment(trace, TestConfig(workers, 99), kind);
     ASSERT_EQ(a.jobs.size(), b.jobs.size());
     for (size_t i = 0; i < a.jobs.size(); ++i) {
       EXPECT_EQ(a.jobs[i].runtime_us, b.jobs[i].runtime_us)
-          << SchedulerKindName(kind) << " job " << i;
+          << kind << " job " << i;
     }
     EXPECT_EQ(a.counters.events, b.counters.events);
   }
@@ -229,8 +227,8 @@ TEST(DeterminismTest, IdenticalSeedsIdenticalResults) {
 TEST(DeterminismTest, DifferentSeedsDifferentPlacements) {
   const uint32_t workers = 300;
   const Trace trace = TestTrace(300, workers, 0.9, 21);
-  const RunResult a = RunScheduler(trace, TestConfig(workers, 1), SchedulerKind::kSparrow);
-  const RunResult b = RunScheduler(trace, TestConfig(workers, 2), SchedulerKind::kSparrow);
+  const RunResult a = RunExperiment(trace, TestConfig(workers, 1), "sparrow");
+  const RunResult b = RunExperiment(trace, TestConfig(workers, 2), "sparrow");
   size_t differing = 0;
   for (size_t i = 0; i < a.jobs.size(); ++i) {
     differing += a.jobs[i].runtime_us != b.jobs[i].runtime_us ? 1u : 0u;
@@ -242,7 +240,7 @@ TEST(DeterminismTest, DifferentSeedsDifferentPlacements) {
 
 TEST(EdgeCaseTest, EmptyTrace) {
   Trace trace;
-  const RunResult result = RunScheduler(trace, TestConfig(50), SchedulerKind::kHawk);
+  const RunResult result = RunExperiment(trace, TestConfig(50), "hawk");
   EXPECT_TRUE(result.jobs.empty());
   EXPECT_EQ(result.counters.tasks_launched, 0u);
 }
@@ -253,9 +251,8 @@ TEST(EdgeCaseTest, SingleTaskJob) {
   job.task_durations = {SecondsToUs(5)};
   trace.Add(job);
   trace.SortAndRenumber();
-  for (const SchedulerKind kind :
-       {SchedulerKind::kSparrow, SchedulerKind::kCentralized, SchedulerKind::kHawk}) {
-    const RunResult result = RunScheduler(trace, TestConfig(10), kind);
+  for (const char* kind : {"sparrow", "centralized", "hawk"}) {
+    const RunResult result = RunExperiment(trace, TestConfig(10), kind);
     ASSERT_EQ(result.jobs.size(), 1u);
     // Runtime = network delay + (late-binding RTT for probed paths) + 5 s.
     EXPECT_GE(result.jobs[0].runtime_us, SecondsToUs(5));
@@ -274,7 +271,7 @@ TEST(EdgeCaseTest, SingleWorkerCluster) {
   trace.SortAndRenumber();
   HawkConfig config = TestConfig(1);
   config.short_partition_fraction = 0.0;  // One worker: no short partition.
-  const RunResult result = RunScheduler(trace, config, SchedulerKind::kHawk);
+  const RunResult result = RunExperiment(trace, config, "hawk");
   CheckInvariants(trace, result);
   // Serial execution: total makespan >= 5 tasks x 1 s.
   EXPECT_GE(result.makespan_us, 5 * SecondsToUs(1));
@@ -290,7 +287,7 @@ TEST(EdgeCaseTest, JobLargerThanClusterCentralized) {
   trace.SortAndRenumber();
   HawkConfig config = TestConfig(50);
   config.classify_mode = ClassifyMode::kHint;
-  const RunResult result = RunScheduler(trace, config, SchedulerKind::kCentralized);
+  const RunResult result = RunExperiment(trace, config, "centralized");
   CheckInvariants(trace, result);
   EXPECT_GE(result.makespan_us, 10 * SecondsToUs(10));
 }
@@ -303,7 +300,7 @@ TEST(EdgeCaseTest, ShortJobWithMoreProbesThanCluster) {
   job.task_durations.assign(60, SecondsToUs(1));  // 120 probes on 80 workers.
   trace.Add(job);
   trace.SortAndRenumber();
-  const RunResult result = RunScheduler(trace, TestConfig(80), SchedulerKind::kSparrow);
+  const RunResult result = RunExperiment(trace, TestConfig(80), "sparrow");
   CheckInvariants(trace, result);
 }
 
@@ -313,7 +310,7 @@ TEST(EdgeCaseTest, ZeroDurationTasks) {
   job.task_durations.assign(10, 0);
   trace.Add(job);
   trace.SortAndRenumber();
-  const RunResult result = RunScheduler(trace, TestConfig(20), SchedulerKind::kHawk);
+  const RunResult result = RunExperiment(trace, TestConfig(20), "hawk");
   ASSERT_EQ(result.jobs.size(), 1u);
   EXPECT_EQ(result.counters.tasks_launched, 10u);
 }
@@ -324,8 +321,8 @@ TEST(PaperShapeTest, HawkBeatsSparrowForShortJobsUnderLoad) {
   const uint32_t workers = 500;
   const Trace trace = TestTrace(800, workers, 0.95, 23);
   const HawkConfig config = TestConfig(workers);
-  const RunResult hawk = RunScheduler(trace, config, SchedulerKind::kHawk);
-  const RunResult sparrow = RunScheduler(trace, config, SchedulerKind::kSparrow);
+  const RunResult hawk = RunExperiment(trace, config, "hawk");
+  const RunResult sparrow = RunExperiment(trace, config, "sparrow");
   const RunComparison cmp = CompareRuns(hawk, sparrow);
   EXPECT_LT(cmp.short_jobs.p50_ratio, 0.9);
   EXPECT_LT(cmp.short_jobs.p90_ratio, 0.9);
@@ -335,8 +332,8 @@ TEST(PaperShapeTest, ConvergenceAtLowLoad) {
   const uint32_t workers = 2000;
   const Trace trace = TestTrace(500, workers, 0.15, 25);
   const HawkConfig config = TestConfig(workers);
-  const RunResult hawk = RunScheduler(trace, config, SchedulerKind::kHawk);
-  const RunResult sparrow = RunScheduler(trace, config, SchedulerKind::kSparrow);
+  const RunResult hawk = RunExperiment(trace, config, "hawk");
+  const RunResult sparrow = RunExperiment(trace, config, "sparrow");
   const RunComparison cmp = CompareRuns(hawk, sparrow);
   EXPECT_NEAR(cmp.short_jobs.p50_ratio, 1.0, 0.1);
   EXPECT_NEAR(cmp.long_jobs.p50_ratio, 1.0, 0.1);
@@ -346,9 +343,9 @@ TEST(PaperShapeTest, StealingHelpsShortJobs) {
   const uint32_t workers = 500;
   const Trace trace = TestTrace(800, workers, 0.95, 27);
   HawkConfig config = TestConfig(workers);
-  const RunResult with_steal = RunScheduler(trace, config, SchedulerKind::kHawk);
+  const RunResult with_steal = RunExperiment(trace, config, "hawk");
   config.use_stealing = false;
-  const RunResult without_steal = RunScheduler(trace, config, SchedulerKind::kHawk);
+  const RunResult without_steal = RunExperiment(trace, config, "hawk");
   const RunComparison cmp = CompareRuns(without_steal, with_steal);
   EXPECT_GT(cmp.short_jobs.p90_ratio, 1.1);
 }

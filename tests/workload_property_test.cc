@@ -132,7 +132,7 @@ TEST_P(WorkloadPropertyTest, HawkRunsToCompletionOnEveryWorkload) {
   config.num_workers = workers;
   config.classify_mode =
       std::string(param.name) == "google" ? ClassifyMode::kCutoff : ClassifyMode::kHint;
-  const RunResult result = RunScheduler(trace, config, SchedulerKind::kHawk);
+  const RunResult result = RunExperiment(trace, config, "hawk");
   EXPECT_EQ(result.jobs.size(), trace.NumJobs());
   EXPECT_EQ(result.counters.tasks_launched, trace.TotalTasks());
   EXPECT_EQ(result.total_busy_us, trace.TotalWorkUs());
