@@ -12,7 +12,6 @@
 // becomes part of the repo's tracked benchmark artifacts; --csv=PATH emits
 // the same grid through the metrics CSV exporter.
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -25,34 +24,24 @@ namespace {
 
 hawk::Status WriteSweepJson(const std::string& path,
                             const std::vector<hawk::SweepRun>& runs) {
-  std::ofstream out(path);
-  if (!out) {
-    return hawk::Status::Error("cannot open for writing: " + path);
-  }
-  out << "[\n";
-  for (size_t i = 0; i < runs.size(); ++i) {
+  return hawk::bench::WriteJsonRows(path, runs.size(), [&runs](size_t i) {
     const hawk::SweepRun& run = runs[i];
     const hawk::Samples shorts = run.result.RuntimesSeconds(false);
     const hawk::Samples longs = run.result.RuntimesSeconds(true);
     char row[512];
     std::snprintf(row, sizeof(row),
-                  "  {\"label\": \"%s\", \"scheduler\": \"%s\", \"probe_ratio\": %u, "
+                  "{\"label\": \"%s\", \"scheduler\": \"%s\", \"probe_ratio\": %u, "
                   "\"num_workers\": %u, \"p50_short_s\": %.6f, \"p90_short_s\": %.6f, "
-                  "\"p50_long_s\": %.6f, \"p90_long_s\": %.6f, \"median_util\": %.6f}%s\n",
+                  "\"p50_long_s\": %.6f, \"p90_long_s\": %.6f, \"median_util\": %.6f}",
                   run.spec.Label().c_str(), run.spec.scheduler.c_str(),
                   run.spec.config.probe_ratio, run.spec.config.num_workers,
                   shorts.Empty() ? 0.0 : shorts.Percentile(50),
                   shorts.Empty() ? 0.0 : shorts.Percentile(90),
                   longs.Empty() ? 0.0 : longs.Percentile(50),
                   longs.Empty() ? 0.0 : longs.Percentile(90),
-                  run.result.MedianUtilization(), i + 1 < runs.size() ? "," : "");
-    out << row;
-  }
-  out << "]\n";
-  if (!out) {
-    return hawk::Status::Error("write failed: " + path);
-  }
-  return hawk::Status::Ok();
+                  run.result.MedianUtilization());
+    return std::string(row);
+  });
 }
 
 }  // namespace

@@ -1,8 +1,10 @@
 // End-to-end simulation-driver throughput: events per second for every
 // scheduler on the fig-5-style Google-trace workload, at the paper's 15k-node
-// scale and at 100k nodes (both divided by the usual 1/10 simulation scale).
-// This is the repo's perf-trajectory baseline: scripts/bench.sh runs it and
-// emits BENCH_driver.json so regressions show up as a number, not a feeling.
+// scale, at 100k nodes, and at a 1M-worker scale point exercising the
+// struct-of-arrays WorkerStore (all paper sizes divided by the usual 1/10
+// simulation scale — the 1M-worker rows simulate 10M paper nodes). This is
+// the repo's perf-trajectory baseline: scripts/bench.sh runs it and emits
+// BENCH_driver.json so regressions show up as a number, not a feeling.
 //
 // The trace for each cluster size is generated once and shared across
 // iterations and schedulers; only SimulationDriver::Run is timed.
@@ -71,6 +73,38 @@ HAWK_DRIVER_BENCH(Sparrow, "sparrow", 100000, 1000);
 HAWK_DRIVER_BENCH(Centralized, "centralized", 100000, 1000);
 HAWK_DRIVER_BENCH(Hawk, "hawk", 100000, 1000);
 HAWK_DRIVER_BENCH(Split, "split", 100000, 1000);
+
+// Million-worker scale point (10M paper nodes / 10): dominated by the
+// worker-state memory layout — the reason WorkerStore is struct-of-arrays.
+HAWK_DRIVER_BENCH(Sparrow, "sparrow", 10000000, 1000);
+HAWK_DRIVER_BENCH(Hawk, "hawk", 10000000, 1000);
+
+// Multi-slot variant: same 100k-node workload on 25k 4-slot workers (equal
+// slot capacity, quarter the worker-state footprint).
+void BM_DriverThroughputMultiSlot(benchmark::State& state, const char* scheduler,
+                                  uint32_t paper_nodes, uint32_t slots, uint32_t jobs) {
+  const Workload& workload = SharedWorkload(paper_nodes, jobs);
+  hawk::HawkConfig config = workload.config;
+  config.num_workers = hawk::bench::SimSize(paper_nodes) / slots;
+  config.slots_per_worker = slots;
+  uint64_t events = 0;
+  uint64_t tasks = 0;
+  for (auto _ : state) {
+    const hawk::RunResult result = hawk::RunExperiment(workload.trace, config, scheduler);
+    events += result.counters.events;
+    tasks += result.counters.tasks_launched;
+    benchmark::DoNotOptimize(result.makespan_us);
+  }
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["tasks/s"] =
+      benchmark::Counter(static_cast<double>(tasks), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+}
+
+BENCHMARK_CAPTURE(BM_DriverThroughputMultiSlot, Hawk_100000nodes_4slots, "hawk", 100000, 4,
+                  1000)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

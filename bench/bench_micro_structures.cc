@@ -4,7 +4,7 @@
 // per-decision cost a production scheduler would pay.
 #include <benchmark/benchmark.h>
 
-#include "src/cluster/worker.h"
+#include "src/cluster/worker_store.h"
 #include "src/common/random.h"
 #include "src/core/waiting_time_queue.h"
 #include "src/sim/event_queue.h"
@@ -50,17 +50,17 @@ void BM_StealScan(benchmark::State& state) {
   const int64_t queue_depth = state.range(0);
   for (auto _ : state) {
     state.PauseTiming();
-    hawk::Worker worker(0);
+    hawk::WorkerStore store(1);
     // Worst-ish case: long entry buried mid-queue behind shorts.
     for (int64_t i = 0; i < queue_depth / 2; ++i) {
-      worker.Enqueue(hawk::QueueEntry::Probe(static_cast<hawk::JobId>(i), /*is_long=*/false));
+      store.Enqueue(0, hawk::QueueEntry::Probe(static_cast<hawk::JobId>(i), /*is_long=*/false));
     }
-    worker.Enqueue(hawk::QueueEntry::Task(9999, 0, 1000, /*is_long=*/true));
+    store.Enqueue(0, hawk::QueueEntry::Task(9999, 0, 1000, /*is_long=*/true));
     for (int64_t i = 0; i < queue_depth / 2; ++i) {
-      worker.Enqueue(hawk::QueueEntry::Probe(static_cast<hawk::JobId>(i), /*is_long=*/false));
+      store.Enqueue(0, hawk::QueueEntry::Probe(static_cast<hawk::JobId>(i), /*is_long=*/false));
     }
     state.ResumeTiming();
-    benchmark::DoNotOptimize(worker.ExtractStealableGroup());
+    benchmark::DoNotOptimize(store.ExtractStealableGroup(0));
   }
   state.SetItemsProcessed(state.iterations() * queue_depth);
 }

@@ -10,10 +10,13 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <functional>
 #include <string>
 
 #include "src/common/check.h"
 #include "src/common/flags.h"
+#include "src/common/status.h"
 #include "src/common/random.h"
 #include "src/core/hawk_config.h"
 #include "src/workload/arrivals.h"
@@ -88,6 +91,27 @@ inline HawkConfig GoogleConfig(uint32_t num_workers, uint64_t seed = 42) {
   config.classify_mode = ClassifyMode::kCutoff;
   config.seed = seed;
   return config;
+}
+
+// Writes a JSON array of `count` objects to `path`; `row_text(i)` returns
+// the i-th object ("{...}") without indentation, comma or newline. Shared by
+// the ablation benches' --json exporters so the array scaffolding (open and
+// write-failure checks, comma discipline) lives in one place.
+inline Status WriteJsonRows(const std::string& path, size_t count,
+                            const std::function<std::string(size_t)>& row_text) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Error("cannot open for writing: " + path);
+  }
+  out << "[\n";
+  for (size_t i = 0; i < count; ++i) {
+    out << "  " << row_text(i) << (i + 1 < count ? "," : "") << "\n";
+  }
+  out << "]\n";
+  if (!out) {
+    return Status::Error("write failed: " + path);
+  }
+  return Status::Ok();
 }
 
 inline void PrintHeader(const std::string& title) {

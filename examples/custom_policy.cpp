@@ -15,8 +15,8 @@
 
 #include "src/common/flags.h"
 #include "src/core/hawk_config.h"
+#include "src/core/slot_waiting_queue.h"
 #include "src/core/stealing_policy.h"
-#include "src/core/waiting_time_queue.h"
 #include "src/metrics/comparison.h"
 #include "src/metrics/report.h"
 #include "src/scheduler/experiment.h"
@@ -34,7 +34,8 @@ class HawkLeastLoadedPolicy : public hawk::SchedulerPolicy {
 
   void Attach(hawk::SchedulerContext* ctx) override {
     hawk::SchedulerPolicy::Attach(ctx);
-    central_ = std::make_unique<hawk::WaitingTimeQueue>(ctx->GetCluster().GeneralCount());
+    central_ = std::make_unique<hawk::SlotWaitingTimeQueue>(ctx->GetCluster(),
+                                                            ctx->GetCluster().GeneralCount());
     stealing_ = std::make_unique<hawk::StealingPolicy>(config_.steal_cap,
                                                        ctx->SchedRng().Next());
   }
@@ -49,15 +50,20 @@ class HawkLeastLoadedPolicy : public hawk::SchedulerPolicy {
       }
       return;
     }
-    // Distributed side with a twist: each probe goes to the shorter-queued
-    // of two random workers (power of two choices).
+    // Distributed side with a twist: each probe samples two random *slots*
+    // (so big workers are proportionally more likely candidates) and goes to
+    // the less-loaded owning worker (power of two choices on queue length
+    // plus occupied slots).
     hawk::Cluster& cluster = ctx_->GetCluster();
-    const uint32_t n = cluster.NumWorkers();
+    const uint64_t n = cluster.TotalSlots();
     for (uint32_t p = 0; p < config_.probe_ratio * job.NumTasks(); ++p) {
-      const auto a = static_cast<hawk::WorkerId>(ctx_->SchedRng().NextBounded(n));
-      const auto b = static_cast<hawk::WorkerId>(ctx_->SchedRng().NextBounded(n));
-      const size_t qa = cluster.worker(a).QueueSize() + (cluster.worker(a).Busy() ? 1 : 0);
-      const size_t qb = cluster.worker(b).QueueSize() + (cluster.worker(b).Busy() ? 1 : 0);
+      const auto a = cluster.WorkerOfSlot(
+          static_cast<hawk::SlotId>(ctx_->SchedRng().NextBounded(n)));
+      const auto b = cluster.WorkerOfSlot(
+          static_cast<hawk::SlotId>(ctx_->SchedRng().NextBounded(n)));
+      const hawk::WorkerStore& workers = cluster.workers();
+      const size_t qa = workers.QueueSize(a) + workers.OccupiedSlots(a);
+      const size_t qb = workers.QueueSize(b) + workers.OccupiedSlots(b);
       ctx_->PlaceProbe(qa <= qb ? a : b, job.id, false);
     }
   }
@@ -85,7 +91,7 @@ class HawkLeastLoadedPolicy : public hawk::SchedulerPolicy {
 
  private:
   hawk::HawkConfig config_;
-  std::unique_ptr<hawk::WaitingTimeQueue> central_;
+  std::unique_ptr<hawk::SlotWaitingTimeQueue> central_;
   std::unique_ptr<hawk::StealingPolicy> stealing_;
 };
 

@@ -2,22 +2,30 @@
 # Benchmark artifacts: builds the Release bench binaries and emits
 #   BENCH_driver.json  driver-throughput (Google Benchmark JSON) — the repo's
 #                      perf-trajectory baseline; compare events/s across
-#                      commits to spot hot-path regressions.
+#                      commits to spot hot-path regressions. Includes the
+#                      1M-worker scale point (10M paper nodes / 10).
 #   BENCH_sweep.json   probe-ratio (power-of-d) ablation sweep run through
 #                      the experiment API — tracks result trajectories for
 #                      the sweep grid, not just throughput.
+#   BENCH_hetero_slots.json  capacity-layout (multi-slot / heterogeneous
+#                      worker) sweep at fixed total slots.
+#
+# See docs/performance.md for the methodology and how to read each artifact.
 #
 # Usage:
-#   scripts/bench.sh                      # full run, writes both artifacts
+#   scripts/bench.sh                      # full run, writes all artifacts
 #   scripts/bench.sh --benchmark_filter=Hawk   # extra args forwarded to the
 #                                              # throughput bench
 #
 # Environment:
-#   BUILD_DIR   build directory (default: build-bench)
+#   BUILD_DIR   build directory (default: build-bench). If it already holds a
+#               configured build it is reused; otherwise it is configured as
+#               a Release build here.
 #   JOBS        parallelism (default: nproc)
 #   OUT         throughput JSON path (default: BENCH_driver.json)
 #   SWEEP_OUT   sweep JSON path (default: BENCH_sweep.json)
-#   SWEEP_SCALE HAWK_BENCH_SCALE for the sweep (default: 1)
+#   HETERO_OUT  hetero-slots JSON path (default: BENCH_hetero_slots.json)
+#   SWEEP_SCALE HAWK_BENCH_SCALE for the sweeps (default: 1)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,12 +34,36 @@ BUILD_DIR="${BUILD_DIR:-build-bench}"
 JOBS="${JOBS:-$(nproc)}"
 OUT="${OUT:-BENCH_driver.json}"
 SWEEP_OUT="${SWEEP_OUT:-BENCH_sweep.json}"
+HETERO_OUT="${HETERO_OUT:-BENCH_hetero_slots.json}"
 SWEEP_SCALE="${SWEEP_SCALE:-1}"
 
-cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release -DHAWK_BUILD_TESTS=OFF \
-      -DHAWK_BUILD_EXAMPLES=OFF
+die() {
+  echo "bench.sh: error: $*" >&2
+  exit 1
+}
+
+command -v cmake > /dev/null 2>&1 \
+  || die "cmake not found on PATH — install CMake >= 3.16 (see README 'Build and test')"
+
+# Configure the Release bench build only when the directory is not already a
+# configured build tree; a stale or foreign directory fails loudly instead of
+# being silently clobbered.
+if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+  if [[ -e "${BUILD_DIR}" && ! -d "${BUILD_DIR}" ]]; then
+    die "BUILD_DIR '${BUILD_DIR}' exists but is not a directory"
+  fi
+  echo "bench.sh: configuring Release bench build in ${BUILD_DIR}"
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release -DHAWK_BUILD_TESTS=OFF \
+        -DHAWK_BUILD_EXAMPLES=OFF \
+    || die "CMake configure failed in '${BUILD_DIR}' — inspect the output above, or remove the directory and re-run"
+fi
+
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
-      --target bench_driver_throughput bench_ablation_power_of_d
+      --target bench_driver_throughput bench_ablation_power_of_d bench_ablation_hetero_slots \
+  || die "bench build failed in '${BUILD_DIR}'"
+
+[[ -x "${BUILD_DIR}/bench_driver_throughput" ]] \
+  || die "bench_driver_throughput did not build — was Google Benchmark found? (see README 'Build and test')"
 
 "${BUILD_DIR}/bench_driver_throughput" \
   --benchmark_out="${OUT}" --benchmark_out_format=json \
@@ -39,6 +71,9 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" \
 
 echo "Wrote ${OUT}"
 
-# The bench prints "Wrote ${SWEEP_OUT}" itself on success.
+# The benches print "Wrote ..." themselves on success.
 "${BUILD_DIR}/bench_ablation_power_of_d" --scale="${SWEEP_SCALE}" --threads="${JOBS}" \
   --json="${SWEEP_OUT}"
+
+"${BUILD_DIR}/bench_ablation_hetero_slots" --scale="${SWEEP_SCALE}" --threads="${JOBS}" \
+  --json="${HETERO_OUT}"

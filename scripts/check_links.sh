@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Dead-link check for the documentation tree: every relative markdown link in
+# README.md and docs/*.md must point at a file (or directory) that exists in
+# the repo. External links (http/https/mailto) are skipped; intra-document
+# anchors are checked against the target file only (the "#..." fragment is
+# stripped). CI runs this so a renamed file cannot silently orphan the docs.
+#
+# Usage: scripts/check_links.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+checked=0
+
+check_file() {
+  local doc="$1"
+  local dir
+  dir="$(dirname "$doc")"
+  # Markdown inline links: [text](target). Fenced code blocks are stripped
+  # first (C++ lambdas like `[](const Foo&)` would otherwise parse as
+  # links); tolerate several links per line.
+  local targets
+  targets="$(awk '/^[[:space:]]*```/ { fence = !fence; next } !fence' "$doc" \
+    | grep -oE '\]\([^)]+\)' | sed -E 's/^\]\(//; s/\)$//' || true)"
+  while IFS= read -r target; do
+    [[ -z "$target" ]] && continue
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+      '#'*) continue ;;  # Same-document anchor.
+    esac
+    local path="${target%%#*}"  # Strip any anchor fragment.
+    [[ -z "$path" ]] && continue
+    if [[ ! -e "$dir/$path" ]]; then
+      echo "DEAD LINK: $doc -> $target (resolved: $dir/$path)" >&2
+      fail=1
+    fi
+    checked=$((checked + 1))
+  done <<< "$targets"
+}
+
+docs=(README.md)
+if compgen -G "docs/*.md" > /dev/null; then
+  docs+=(docs/*.md)
+fi
+
+for doc in "${docs[@]}"; do
+  check_file "$doc"
+done
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "check_links.sh: dead relative links found" >&2
+  exit 1
+fi
+echo "check_links.sh: OK (${checked} relative links checked across ${#docs[@]} files)"

@@ -1,16 +1,19 @@
-// The simulated cluster: a set of single-slot workers plus the Hawk
+// The simulated cluster: a struct-of-arrays WorkerStore plus the Hawk
 // partitioning scheme (paper §3.4).
 //
 // Workers [0, general_count) form the *general partition* (short and long
 // tasks may run there); workers [general_count, num_workers) form the *short
 // partition*, reserved for short tasks. Baselines that do not partition use
 // general_count == num_workers.
+//
+// Because the store's slot-index space is laid out in worker-id order, the
+// general partition is also a slot-id prefix [0, GeneralSlots()): probe
+// placement and steal-victim selection sample slots (weighting workers by
+// capacity) and map back with WorkerOfSlot().
 #ifndef HAWK_CLUSTER_CLUSTER_H_
 #define HAWK_CLUSTER_CLUSTER_H_
 
-#include <vector>
-
-#include "src/cluster/worker.h"
+#include "src/cluster/worker_store.h"
 #include "src/common/check.h"
 #include "src/common/types.h"
 
@@ -18,63 +21,48 @@ namespace hawk {
 
 class Cluster {
  public:
-  Cluster(uint32_t num_workers, uint32_t general_count)
-      : general_count_(general_count) {
-    HAWK_CHECK_GT(num_workers, 0u);
+  Cluster(uint32_t num_workers, uint32_t general_count, const SlotSpec& slots = SlotSpec{})
+      : store_(num_workers, slots), general_count_(general_count) {
     HAWK_CHECK_LE(general_count, num_workers);
     HAWK_CHECK_GT(general_count, 0u) << "general partition may not be empty";
-    workers_.reserve(num_workers);
-    for (uint32_t i = 0; i < num_workers; ++i) {
-      workers_.emplace_back(i);
-    }
-    for (Worker& w : workers_) {
-      w.BindExecutingCounter(&executing_count_);
-    }
+    general_slots_ = store_.SlotBegin(general_count);
   }
 
-  // Workers hold a pointer to executing_count_; pinning the cluster keeps it
-  // valid for their whole lifetime.
-  Cluster(const Cluster&) = delete;
-  Cluster& operator=(const Cluster&) = delete;
-
-  uint32_t NumWorkers() const { return static_cast<uint32_t>(workers_.size()); }
+  uint32_t NumWorkers() const { return store_.NumWorkers(); }
   uint32_t GeneralCount() const { return general_count_; }
   uint32_t ShortPartitionCount() const { return NumWorkers() - general_count_; }
 
   bool InGeneralPartition(WorkerId id) const { return id < general_count_; }
 
-  Worker& worker(WorkerId id) {
-    HAWK_CHECK_LT(id, workers_.size());
-    return workers_[id];
-  }
-  const Worker& worker(WorkerId id) const {
-    HAWK_CHECK_LT(id, workers_.size());
-    return workers_[id];
-  }
+  // Worker state, queues and execution transitions all live on the store.
+  WorkerStore& workers() { return store_; }
+  const WorkerStore& workers() const { return store_; }
 
-  // Fraction of workers currently executing a task (paper's "percentage of
-  // used servers"). O(1): the count is maintained by the workers' execution
-  // state transitions instead of a full scan per utilization sample.
+  // --- slot-index space ----------------------------------------------------
+  uint64_t TotalSlots() const { return store_.TotalSlots(); }
+  // Slots belonging to the general partition: ids [0, GeneralSlots()).
+  SlotId GeneralSlots() const { return general_slots_; }
+  WorkerId WorkerOfSlot(SlotId slot) const { return store_.WorkerOfSlot(slot); }
+
+  // Fraction of slots currently executing a task (the paper's "percentage of
+  // used servers", generalized to slot capacity). O(1): the executing count
+  // is maintained by the store's execution state transitions instead of a
+  // full scan per utilization sample.
   double Utilization() const {
-    return static_cast<double>(executing_count_) / static_cast<double>(workers_.size());
+    return static_cast<double>(store_.ExecutingTotal()) /
+           static_cast<double>(store_.TotalSlots());
   }
 
-  // Number of workers currently in the kExecuting state.
-  uint32_t ExecutingCount() const { return executing_count_; }
+  // Number of slots currently executing a task.
+  uint64_t ExecutingCount() const { return store_.ExecutingTotal(); }
 
   // Total accumulated execution time across workers (work conservation).
-  DurationUs TotalBusyUs() const {
-    DurationUs total = 0;
-    for (const Worker& w : workers_) {
-      total += w.busy_accum_us();
-    }
-    return total;
-  }
+  DurationUs TotalBusyUs() const { return store_.TotalBusyUs(); }
 
  private:
-  std::vector<Worker> workers_;
+  WorkerStore store_;
   uint32_t general_count_;
-  uint32_t executing_count_ = 0;
+  SlotId general_slots_;
 };
 
 }  // namespace hawk

@@ -1,6 +1,7 @@
 #include "src/core/hawk_config.h"
 
 #include <algorithm>
+#include <limits>
 #include <string>
 #include <type_traits>
 
@@ -44,6 +45,13 @@ struct FieldSetter {
 };
 
 constexpr FieldSetter kFields[] = {
+    {"big_worker_fraction",
+     [](HawkConfig& c, double v) {
+       c.big_worker_fraction = v;
+       return true;
+     }},
+    {"big_worker_slots",
+     [](HawkConfig& c, double v) { return SetIntegerField(&c.big_worker_slots, v); }},
     {"cutoff_us", [](HawkConfig& c, double v) { return SetIntegerField(&c.cutoff_us, v); }},
     {"estimate_noise_hi",
      [](HawkConfig& c, double v) {
@@ -67,6 +75,8 @@ constexpr FieldSetter kFields[] = {
        c.short_partition_fraction = v;
        return true;
      }},
+    {"slots_per_worker",
+     [](HawkConfig& c, double v) { return SetIntegerField(&c.slots_per_worker, v); }},
     {"steal_cap", [](HawkConfig& c, double v) { return SetIntegerField(&c.steal_cap, v); }},
     {"steal_retry_interval_us",
      [](HawkConfig& c, double v) { return SetIntegerField(&c.steal_retry_interval_us, v); }},
@@ -97,6 +107,34 @@ Status HawkConfig::Validate() const {
   }
   if (probe_ratio < 1) {
     return Status::Error("probe_ratio must be >= 1 (got 0)");
+  }
+  if (slots_per_worker < 1 || slots_per_worker > kMaxSlotsPerWorker) {
+    return Status::Error("slots_per_worker must be in [1, " +
+                         std::to_string(kMaxSlotsPerWorker) + "], got " +
+                         std::to_string(slots_per_worker));
+  }
+  if (!(big_worker_fraction >= 0.0 && big_worker_fraction <= 1.0)) {
+    return Status::Error("big_worker_fraction must be in [0, 1], got " +
+                         std::to_string(big_worker_fraction));
+  }
+  if (big_worker_fraction > 0.0 &&
+      (big_worker_slots < 1 || big_worker_slots > kMaxSlotsPerWorker)) {
+    return Status::Error("big_worker_slots must be in [1, " +
+                         std::to_string(kMaxSlotsPerWorker) +
+                         "] when big_worker_fraction > 0, got " +
+                         std::to_string(big_worker_slots));
+  }
+  {
+    // Exact layout total (not a worst-case bound): heterogeneous fleets are
+    // rejected only when their actual slot count overflows.
+    const SlotSpec spec = Slots();
+    const uint64_t big = spec.BigWorkerCount(num_workers);
+    const uint64_t total = (static_cast<uint64_t>(num_workers) - big) * slots_per_worker +
+                           big * big_worker_slots;
+    if (total > std::numeric_limits<uint32_t>::max()) {
+      return Status::Error("total slot count (" + std::to_string(total) +
+                           ") overflows the 32-bit slot-index space");
+    }
   }
   if (!(short_partition_fraction >= 0.0 && short_partition_fraction < 1.0)) {
     return Status::Error("short_partition_fraction must be in [0, 1), got " +

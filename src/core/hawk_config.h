@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/cluster/worker_store.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
 
@@ -28,6 +29,18 @@ enum class ClassifyMode : uint8_t {
 
 struct HawkConfig {
   uint32_t num_workers = 1500;
+
+  // Concurrent task slots per worker (paper §4.1 models multi-slot nodes as
+  // more single-slot workers; here the slots share one FIFO queue). Probe
+  // placement and steal-victim selection sample the slot space, so capacity
+  // weights placement automatically.
+  uint32_t slots_per_worker = 1;
+
+  // Heterogeneous capacity: this fraction of workers (spread evenly across
+  // the id space) is upgraded to `big_worker_slots` slots instead of
+  // `slots_per_worker`. 0 / 0 disables the upgrade.
+  double big_worker_fraction = 0.0;
+  uint32_t big_worker_slots = 0;
 
   // Fraction of workers reserved for short tasks only (§3.4). Hawk sizes it
   // from the long jobs' task-seconds share; see PartitionFromMix().
@@ -80,6 +93,15 @@ struct HawkConfig {
         static_cast<double>(num_workers) * short_partition_fraction);
     // Never let the general partition vanish entirely.
     return num_workers > short_count ? num_workers - short_count : 1;
+  }
+
+  // Per-worker capacity layout for Cluster/WorkerStore construction.
+  SlotSpec Slots() const {
+    SlotSpec spec;
+    spec.slots_per_worker = slots_per_worker;
+    spec.big_worker_fraction = big_worker_fraction;
+    spec.big_worker_slots = big_worker_slots;
+    return spec;
   }
 };
 

@@ -8,8 +8,8 @@ namespace hawk {
 
 void HawkPolicy::Attach(SchedulerContext* ctx) {
   SchedulerPolicy::Attach(ctx);
-  const uint32_t general = ctx->GetCluster().GeneralCount();
-  central_queue_ = std::make_unique<WaitingTimeQueue>(general);
+  const Cluster& cluster = ctx->GetCluster();
+  central_queue_ = std::make_unique<SlotWaitingTimeQueue>(cluster, cluster.GeneralCount());
   stealing_ = std::make_unique<StealingPolicy>(config_.steal_cap, ctx->SchedRng().Next());
 }
 
@@ -21,13 +21,13 @@ void HawkPolicy::OnJobArrival(const Job& job, const JobClass& cls) {
     } else {
       // Component breakdown: long jobs fall back to distributed probing, but
       // stay confined to the general partition (§4.4).
-      ScheduleDistributed(job, cls, /*first=*/0, cluster.GeneralCount());
+      ScheduleDistributed(job, cls, /*first=*/0, cluster.GeneralSlots());
     }
     return;
   }
   // Short jobs probe the whole cluster: the short partition is reserved for
-  // them, and any idle general-partition worker is fair game (§3.4, §3.5).
-  ScheduleDistributed(job, cls, /*first=*/0, cluster.NumWorkers());
+  // them, and any idle general-partition slot is fair game (§3.4, §3.5).
+  ScheduleDistributed(job, cls, /*first=*/0, static_cast<uint32_t>(cluster.TotalSlots()));
 }
 
 void HawkPolicy::ScheduleLongCentralized(const Job& job, const JobClass& cls) {
@@ -44,12 +44,13 @@ void HawkPolicy::ScheduleLongCentralized(const Job& job, const JobClass& cls) {
   }
 }
 
-void HawkPolicy::ScheduleDistributed(const Job& job, const JobClass& cls, WorkerId first,
+void HawkPolicy::ScheduleDistributed(const Job& job, const JobClass& cls, SlotId first,
                                      uint32_t count) {
+  const Cluster& cluster = ctx_->GetCluster();
   const uint32_t num_probes = config_.probe_ratio * job.NumTasks();
   ChooseProbeTargetsInto(ctx_->SchedRng(), first, count, num_probes, &targets_, &picks_);
-  for (const WorkerId w : targets_) {
-    ctx_->PlaceProbe(w, job.id, cls.is_long_sched);
+  for (const SlotId slot : targets_) {
+    ctx_->PlaceProbe(cluster.WorkerOfSlot(slot), job.id, cls.is_long_sched);
   }
 }
 

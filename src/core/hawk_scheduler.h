@@ -12,8 +12,8 @@
 #include <memory>
 
 #include "src/core/hawk_config.h"
+#include "src/core/slot_waiting_queue.h"
 #include "src/core/stealing_policy.h"
-#include "src/core/waiting_time_queue.h"
 #include "src/scheduler/policy.h"
 
 namespace hawk {
@@ -32,18 +32,18 @@ class HawkPolicy : public SchedulerPolicy {
   std::string_view Name() const override { return "hawk"; }
 
   const HawkConfig& config() const { return config_; }
-  const WaitingTimeQueue& waiting_times() const { return *central_queue_; }
+  const SlotWaitingTimeQueue& waiting_times() const { return *central_queue_; }
 
  private:
   void ScheduleLongCentralized(const Job& job, const JobClass& cls);
-  void ScheduleDistributed(const Job& job, const JobClass& cls, WorkerId first, uint32_t count);
+  void ScheduleDistributed(const Job& job, const JobClass& cls, SlotId first, uint32_t count);
 
   HawkConfig config_;
-  // Waiting-time queue over the general partition only (§3.7).
-  std::unique_ptr<WaitingTimeQueue> central_queue_;
+  // Waiting-time queue over the general partition's slots only (§3.7).
+  std::unique_ptr<SlotWaitingTimeQueue> central_queue_;
   std::unique_ptr<StealingPolicy> stealing_;
-  // Probe-placement scratch, reused across job arrivals.
-  std::vector<WorkerId> targets_;
+  // Probe-placement scratch (slot ids), reused across job arrivals.
+  std::vector<SlotId> targets_;
   std::vector<uint32_t> picks_;
 };
 

@@ -1,11 +1,15 @@
 // Probe target selection for batch probing (paper §2.3, §3.5).
 //
-// A job with t tasks sends `ratio * t` probes to workers chosen uniformly at
-// random *without replacement* from the eligible range. When the probe count
-// exceeds the eligible worker count (large jobs on small partitions), probes
-// are spread in whole rounds — every worker receives floor(p / n) probes and
-// a random distinct subset receives one more — preserving the invariant that
-// the number of probes is never smaller than the number of tasks.
+// A job with t tasks sends `ratio * t` probes to targets chosen uniformly at
+// random *without replacement* from an eligible index range. Callers pass
+// either a worker-id range (single-slot clusters) or a slot-id range
+// (multi-slot clusters, mapping back via Cluster::WorkerOfSlot) — the two
+// coincide at one slot per worker, and sampling slots weights workers by
+// capacity. When the probe count exceeds the eligible index count (large
+// jobs on small partitions), probes are spread in whole rounds — every index
+// receives floor(p / n) probes and a random distinct subset receives one
+// more — preserving the invariant that the number of probes is never smaller
+// than the number of tasks.
 #ifndef HAWK_CORE_PROBE_PLACEMENT_H_
 #define HAWK_CORE_PROBE_PLACEMENT_H_
 

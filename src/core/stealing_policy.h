@@ -1,14 +1,21 @@
 // Randomized work stealing (paper §3.6).
 //
-// When a worker runs out of work it contacts up to `cap` distinct random
-// workers and steals from the first one holding an eligible group. Both
-// general- and short-partition workers may steal, but victims are always in
-// the general partition — "that is where the head-of-line blocking is caused
-// by long jobs". What is stolen is the first consecutive group of short
-// entries after a long entry (Worker::ExtractStealableGroup, Fig. 3).
+// When a worker runs out of work it contacts up to `cap` random victims and
+// steals from the first one holding an eligible group. Both general- and
+// short-partition workers may steal, but victims are always in the general
+// partition — "that is where the head-of-line blocking is caused by long
+// jobs". What is stolen is the first consecutive group of short entries
+// after a long entry (WorkerStore::ExtractStealableGroup, Fig. 3).
+//
+// Victim candidates are drawn from the general partition's *slot* space
+// (excluding the thief's own slots), so a big multi-slot worker is
+// proportionally more likely to be contacted — it holds proportionally more
+// of the cluster's blocked work. With single-slot workers the slot space is
+// the worker space and the draw sequence is identical to sampling workers.
 #ifndef HAWK_CORE_STEALING_POLICY_H_
 #define HAWK_CORE_STEALING_POLICY_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "src/cluster/cluster.h"
@@ -26,15 +33,13 @@ class StealingPolicy {
 
   // Attempts one steal for `thief`, moving the first eligible victim's
   // stealable group straight onto the thief's queue (no intermediate
-  // buffer). Victim candidates are general-partition workers other than the
-  // thief. Returns the number of entries stolen; updates the steal counters
-  // in `counters`. This is the simulation hot path: the victim sample is
-  // drawn into a reused member buffer, so a failed attempt allocates
-  // nothing.
+  // buffer). Returns the number of entries stolen; updates the steal
+  // counters in `counters`. This is the simulation hot path: the victim
+  // sample is drawn into a reused member buffer, so a failed attempt
+  // allocates nothing.
   size_t TryStealInto(Cluster& cluster, WorkerId thief, RunCounters* counters) {
-    Worker& thief_worker = cluster.worker(thief);
-    return ForEachVictim(cluster, thief, counters, [&cluster, &thief_worker](WorkerId victim) {
-      return cluster.worker(victim).StealGroupInto(&thief_worker);
+    return ForEachVictim(cluster, thief, counters, [&cluster, thief](WorkerId victim) {
+      return cluster.workers().StealGroupInto(victim, thief);
     });
   }
 
@@ -45,17 +50,18 @@ class StealingPolicy {
   std::vector<QueueEntry> TrySteal(Cluster& cluster, WorkerId thief, RunCounters* counters) {
     std::vector<QueueEntry> stolen;
     ForEachVictim(cluster, thief, counters, [&cluster, &stolen](WorkerId victim) {
-      stolen = cluster.worker(victim).ExtractStealableGroup();
+      stolen = cluster.workers().ExtractStealableGroup(victim);
       return stolen.size();
     });
     return stolen;
   }
 
  private:
-  // Shared victim-selection loop: samples up to `cap_` candidates from the
-  // general partition (excluding the thief), probes them in sample order via
-  // `try_victim(victim) -> entries stolen`, and stops at the first success.
-  // Updates the steal counters; returns the number of entries stolen.
+  // Shared victim-selection loop: samples up to `cap_` candidate slots from
+  // the general partition (excluding the thief's slots), probes their owners
+  // in sample order via `try_victim(victim) -> entries stolen`, and stops at
+  // the first success. Updates the steal counters; returns the number of
+  // entries stolen.
   template <typename TryVictim>
   size_t ForEachVictim(Cluster& cluster, WorkerId thief, RunCounters* counters,
                        TryVictim&& try_victim) {
@@ -63,18 +69,34 @@ class StealingPolicy {
       return 0;
     }
     counters->steal_attempts++;
-    const uint32_t general = cluster.GeneralCount();
-    // Candidate pool: general partition, minus the thief when it is inside.
-    const uint32_t pool = cluster.InGeneralPartition(thief) ? general - 1 : general;
+    const SlotId general_slots = cluster.GeneralSlots();
+    const bool thief_in_general = cluster.InGeneralPartition(thief);
+    // Candidate pool: general-partition slots, minus the thief's own when it
+    // is inside.
+    const uint32_t thief_slots = thief_in_general ? cluster.workers().Slots(thief) : 0;
+    const uint32_t pool = general_slots - thief_slots;
     if (pool == 0) {
       return 0;
     }
+    const SlotId thief_begin = thief_in_general ? cluster.workers().SlotBegin(thief) : 0;
     const uint32_t contacts = std::min(cap_, pool);
     rng_.SampleWithoutReplacement(pool, contacts, &picks_);
+    probed_.clear();
     for (const uint32_t pick : picks_) {
-      // Skip over the thief's slot to map pool index -> worker id.
-      const WorkerId victim =
-          (cluster.InGeneralPartition(thief) && pick >= thief) ? pick + 1 : pick;
+      // Skip over the thief's slot range to map pool index -> slot id.
+      const SlotId slot =
+          (thief_in_general && pick >= thief_begin) ? pick + thief_slots : pick;
+      const WorkerId victim = cluster.WorkerOfSlot(slot);
+      // Distinct slots can map to the same multi-slot worker; re-probing it
+      // within one attempt is a deterministic repeat-failure, so duplicates
+      // are skipped and not counted as contacts. The sample stays fixed at
+      // min(cap, pool) slots — single-slot fleets keep the exact historical
+      // draw sequence — so an attempt in a multi-slot fleet may contact
+      // fewer than cap distinct victims when its sample collides.
+      if (std::find(probed_.begin(), probed_.end(), victim) != probed_.end()) {
+        continue;
+      }
+      probed_.push_back(victim);
       counters->steal_victim_probes++;
       const size_t stolen = try_victim(victim);
       if (stolen > 0) {
@@ -90,6 +112,8 @@ class StealingPolicy {
   Rng rng_;
   // Victim-sample scratch, reused across attempts.
   std::vector<uint32_t> picks_;
+  // Victims already contacted in the current attempt (<= cap entries).
+  std::vector<WorkerId> probed_;
 };
 
 }  // namespace hawk

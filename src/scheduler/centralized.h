@@ -9,7 +9,7 @@
 
 #include <memory>
 
-#include "src/core/waiting_time_queue.h"
+#include "src/core/slot_waiting_queue.h"
 #include "src/scheduler/policy.h"
 
 namespace hawk {
@@ -18,7 +18,8 @@ class CentralizedPolicy : public SchedulerPolicy {
  public:
   void Attach(SchedulerContext* ctx) override {
     SchedulerPolicy::Attach(ctx);
-    queue_ = std::make_unique<WaitingTimeQueue>(ctx->GetCluster().NumWorkers());
+    queue_ = std::make_unique<SlotWaitingTimeQueue>(ctx->GetCluster(),
+                                                    ctx->GetCluster().NumWorkers());
   }
 
   void OnJobArrival(const Job& job, const JobClass& cls) override;
@@ -36,10 +37,10 @@ class CentralizedPolicy : public SchedulerPolicy {
 
   std::string_view Name() const override { return "centralized"; }
 
-  const WaitingTimeQueue& waiting_times() const { return *queue_; }
+  const SlotWaitingTimeQueue& waiting_times() const { return *queue_; }
 
  private:
-  std::unique_ptr<WaitingTimeQueue> queue_;
+  std::unique_ptr<SlotWaitingTimeQueue> queue_;
 };
 
 }  // namespace hawk

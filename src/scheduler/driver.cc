@@ -10,7 +10,7 @@ SimulationDriver::SimulationDriver(const Trace* trace, const HawkConfig& config,
     : trace_(trace),
       config_(config),
       policy_(policy),
-      cluster_(config.num_workers, general_count),
+      cluster_(config.num_workers, general_count, config.Slots()),
       tracker_(trace),
       classifier_(config.classify_mode, config.cutoff_us, config.estimate_noise_lo,
                   config.estimate_noise_hi, Rng(config.seed).Next()),
@@ -35,9 +35,9 @@ void SimulationDriver::PlaceTask(WorkerId worker, JobId job, TaskIndex task_inde
 }
 
 void SimulationDriver::DeliverStolen(WorkerId thief, const std::vector<QueueEntry>& entries) {
-  Worker& w = cluster_.worker(thief);
+  WorkerStore& workers = cluster_.workers();
   for (const QueueEntry& entry : entries) {
-    w.Enqueue(entry);
+    workers.Enqueue(thief, entry);
   }
   // No dispatch here: the thief is inside its own TryDispatch pass, which
   // re-examines the queue when OnWorkerIdle returns.
@@ -91,25 +91,24 @@ void SimulationDriver::ArriveJob(const Job& job) {
 }
 
 void SimulationDriver::Dispatch(const SimEvent& ev) {
+  WorkerStore& workers = cluster_.workers();
   switch (ev.type) {
     case SimEvent::Type::kProbeArrive: {
       QueueEntry entry = QueueEntry::Probe(ev.job, ev.is_long);
       entry.enqueue_time = now_;
-      cluster_.worker(ev.worker).Enqueue(entry);
+      workers.Enqueue(ev.worker, entry);
       TryDispatch(ev.worker);
       break;
     }
     case SimEvent::Type::kTaskArrive: {
       QueueEntry entry = QueueEntry::Task(ev.job, ev.task_index, ev.arg, ev.is_long);
       entry.enqueue_time = now_;
-      cluster_.worker(ev.worker).Enqueue(entry);
+      workers.Enqueue(ev.worker, entry);
       TryDispatch(ev.worker);
       break;
     }
     case SimEvent::Type::kRequestResolve: {
-      Worker& w = cluster_.worker(ev.worker);
-      HAWK_CHECK(w.state() == WorkerState::kRequesting);
-      w.CancelRequest();
+      workers.ResolveRequest(ev.worker, ev.is_long);
       const auto assignment = tracker_.TakeNextTask(ev.job);
       if (assignment.has_value()) {
         result_.counters.tasks_launched++;
@@ -117,6 +116,8 @@ void SimulationDriver::Dispatch(const SimEvent& ev) {
         QueueEntry task =
             QueueEntry::Task(ev.job, assignment->task_index, assignment->duration, ev.is_long);
         task.enqueue_time = ev.arg;
+        // The freed slot is re-occupied immediately, so no other queue entry
+        // can dispatch off this event.
         StartExecute(ev.worker, task);
       } else {
         result_.counters.cancels++;
@@ -125,8 +126,7 @@ void SimulationDriver::Dispatch(const SimEvent& ev) {
       break;
     }
     case SimEvent::Type::kTaskComplete: {
-      Worker& w = cluster_.worker(ev.worker);
-      w.FinishExecute();
+      workers.FinishExecute(ev.worker, ev.is_long);
       tracker_.OnTaskFinished(ev.job, now_);
       policy_->OnTaskFinish(ev.worker, ev.job, ev.is_long);
       TryDispatch(ev.worker);
@@ -141,7 +141,7 @@ void SimulationDriver::Dispatch(const SimEvent& ev) {
     }
     case SimEvent::Type::kIdleRetry: {
       retry_pending_[ev.worker] = 0;
-      if (!cluster_.worker(ev.worker).Busy()) {
+      if (workers.HasFreeSlot(ev.worker)) {
         TryDispatch(ev.worker);
       }
       break;
@@ -160,42 +160,47 @@ void SimulationDriver::RecordQueueWait(bool is_long, DurationUs wait_us) {
 }
 
 void SimulationDriver::TryDispatch(WorkerId worker) {
-  Worker& w = cluster_.worker(worker);
-  if (w.Busy()) {
-    return;
-  }
-  while (true) {
-    if (w.QueueEmpty()) {
+  WorkerStore& workers = cluster_.workers();
+  // Fill free slots from the FIFO queue until the worker is saturated or out
+  // of work. With one slot per worker this is the classic loop: pop one
+  // entry, start it (or park the slot on a late-binding RTT), done.
+  bool steal_tried = false;
+  while (workers.HasFreeSlot(worker)) {
+    if (workers.QueueEmpty(worker)) {
       // One stealing opportunity per pass; a successful steal appends
-      // entries, a failed one leaves the queue empty and the worker idle.
-      policy_->OnWorkerIdle(worker);
-      if (w.QueueEmpty()) {
-        // Steal-retry extension: optionally re-notify the worker later if it
-        // is still idle (the paper's design stops at one round).
-        if (config_.steal_retry_interval_us > 0 && retry_pending_[worker] == 0 &&
-            !tracker_.AllJobsFinished()) {
-          retry_pending_[worker] = 1;
-          events_.PushLane(kLaneStealRetry, now_ + config_.steal_retry_interval_us,
-                           SimEvent::IdleRetry(worker));
+      // entries, a failed one leaves the queue empty and the slot idle.
+      if (!steal_tried) {
+        steal_tried = true;
+        policy_->OnWorkerIdle(worker);
+        if (!workers.QueueEmpty(worker)) {
+          continue;
         }
-        return;
       }
+      // Steal-retry extension: optionally re-notify the worker later if it
+      // is still idle (the paper's design stops at one round).
+      if (config_.steal_retry_interval_us > 0 && retry_pending_[worker] == 0 &&
+          !tracker_.AllJobsFinished()) {
+        retry_pending_[worker] = 1;
+        events_.PushLane(kLaneStealRetry, now_ + config_.steal_retry_interval_us,
+                         SimEvent::IdleRetry(worker));
+      }
+      return;
     }
-    const QueueEntry entry = w.PopFront();
+    const QueueEntry entry = workers.PopFront(worker);
     if (entry.kind == EntryKind::kTask) {
       result_.counters.tasks_launched++;
       RecordQueueWait(entry.is_long, now_ - entry.enqueue_time);
       StartExecute(worker, entry);
-      return;
+      continue;
     }
     // Late binding: the worker asks the job's scheduler for a task; the
-    // answer (task or cancel) arrives after one round trip.
-    w.BeginRequest(entry.is_long);
+    // answer (task or cancel) arrives after one round trip, occupying a slot
+    // meanwhile.
+    workers.BeginRequest(worker, entry.is_long);
     result_.counters.probe_requests++;
     events_.PushLane(kLaneRtt, now_ + 2 * config_.net_delay_us,
                      SimEvent::RequestResolve(worker, entry.job, entry.is_long,
                                               entry.enqueue_time));
-    return;
   }
 }
 
@@ -204,8 +209,7 @@ void SimulationDriver::StartExecute(WorkerId worker, const QueueEntry& task) {
   // partition, under any scheduler or ablation.
   HAWK_CHECK(!task.is_long || cluster_.InGeneralPartition(worker))
       << "long task on short-partition worker " << worker;
-  Worker& w = cluster_.worker(worker);
-  w.BeginExecute(now_, task);
+  cluster_.workers().BeginExecute(worker, now_, task);
   policy_->OnTaskStart(worker, task);
   events_.Push(now_ + task.duration,
                SimEvent::TaskComplete(worker, task.job, task.task_index, task.is_long));

@@ -3,14 +3,16 @@
 // The driver replays a trace against a cluster under a SchedulerPolicy and
 // produces a RunResult. Cost model (paper §4.1): one-way network delay of
 // 0.5 ms for probe/task placement, one RTT for a late-binding task request,
-// zero cost for scheduling decisions and stealing. Workers are single-slot
-// FIFO servers.
+// zero cost for scheduling decisions and stealing. Workers are FIFO servers
+// with one queue feeding `slots_per_worker` execution slots (one by
+// default, reproducing the paper's single-slot model exactly).
 //
 // Event flow per worker:
-//   probe/task arrives -> TryDispatch: pop entries; a task starts executing,
-//   a probe blocks the worker for one RTT (kRequesting) and resolves to the
-//   job's next unlaunched task or to a cancel; when the queue drains the
-//   policy gets an OnWorkerIdle callback and may refill it by stealing.
+//   probe/task arrives -> TryDispatch: pop entries while free slots remain;
+//   a task occupies a slot until completion, a probe parks a slot for one
+//   RTT and resolves to the job's next unlaunched task or to a cancel; when
+//   the queue drains with a slot still free the policy gets an OnWorkerIdle
+//   callback and may refill the queue by stealing.
 #ifndef HAWK_SCHEDULER_DRIVER_H_
 #define HAWK_SCHEDULER_DRIVER_H_
 

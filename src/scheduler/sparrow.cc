@@ -5,12 +5,16 @@
 namespace hawk {
 
 void SparrowPolicy::OnJobArrival(const Job& job, const JobClass& cls) {
-  const uint32_t num_workers = ctx_->GetCluster().NumWorkers();
+  const Cluster& cluster = ctx_->GetCluster();
+  // Probes target slots, not workers: a multi-slot worker is proportionally
+  // more likely to receive a probe (with single-slot workers the two spaces
+  // coincide).
+  const auto num_slots = static_cast<uint32_t>(cluster.TotalSlots());
   const uint32_t num_probes = probe_ratio_ * job.NumTasks();
-  ChooseProbeTargetsInto(ctx_->SchedRng(), /*first=*/0, num_workers, num_probes, &targets_,
+  ChooseProbeTargetsInto(ctx_->SchedRng(), /*first=*/0, num_slots, num_probes, &targets_,
                          &picks_);
-  for (const WorkerId w : targets_) {
-    ctx_->PlaceProbe(w, job.id, cls.is_long_sched);
+  for (const SlotId slot : targets_) {
+    ctx_->PlaceProbe(cluster.WorkerOfSlot(slot), job.id, cls.is_long_sched);
   }
 }
 

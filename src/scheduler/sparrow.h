@@ -22,8 +22,8 @@ class SparrowPolicy : public SchedulerPolicy {
 
  private:
   uint32_t probe_ratio_;
-  // Probe-placement scratch, reused across job arrivals.
-  std::vector<WorkerId> targets_;
+  // Probe-placement scratch (slot ids), reused across job arrivals.
+  std::vector<SlotId> targets_;
   std::vector<uint32_t> picks_;
 };
 

@@ -20,14 +20,15 @@ void SplitClusterPolicy::OnJobArrival(const Job& job, const JobClass& cls) {
     }
     return;
   }
-  // Short jobs are confined to the short partition.
-  const uint32_t short_count = cluster.ShortPartitionCount();
-  HAWK_CHECK_GT(short_count, 0u) << "split cluster requires a short partition";
+  // Short jobs are confined to the short partition (a slot-id suffix).
+  HAWK_CHECK_GT(cluster.ShortPartitionCount(), 0u) << "split cluster requires a short partition";
+  const SlotId short_first = cluster.GeneralSlots();
+  const auto short_slots = static_cast<uint32_t>(cluster.TotalSlots() - short_first);
   const uint32_t num_probes = probe_ratio_ * job.NumTasks();
-  ChooseProbeTargetsInto(ctx_->SchedRng(), cluster.GeneralCount(), short_count, num_probes,
-                         &targets_, &picks_);
-  for (const WorkerId w : targets_) {
-    ctx_->PlaceProbe(w, job.id, /*is_long=*/false);
+  ChooseProbeTargetsInto(ctx_->SchedRng(), short_first, short_slots, num_probes, &targets_,
+                         &picks_);
+  for (const SlotId slot : targets_) {
+    ctx_->PlaceProbe(cluster.WorkerOfSlot(slot), job.id, /*is_long=*/false);
   }
 }
 

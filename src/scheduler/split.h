@@ -10,7 +10,7 @@
 
 #include <memory>
 
-#include "src/core/waiting_time_queue.h"
+#include "src/core/slot_waiting_queue.h"
 #include "src/scheduler/policy.h"
 
 namespace hawk {
@@ -21,7 +21,8 @@ class SplitClusterPolicy : public SchedulerPolicy {
 
   void Attach(SchedulerContext* ctx) override {
     SchedulerPolicy::Attach(ctx);
-    queue_ = std::make_unique<WaitingTimeQueue>(ctx->GetCluster().GeneralCount());
+    queue_ = std::make_unique<SlotWaitingTimeQueue>(ctx->GetCluster(),
+                                                    ctx->GetCluster().GeneralCount());
   }
 
   void OnJobArrival(const Job& job, const JobClass& cls) override;
@@ -45,9 +46,9 @@ class SplitClusterPolicy : public SchedulerPolicy {
 
  private:
   uint32_t probe_ratio_;
-  std::unique_ptr<WaitingTimeQueue> queue_;
-  // Probe-placement scratch, reused across job arrivals.
-  std::vector<WorkerId> targets_;
+  std::unique_ptr<SlotWaitingTimeQueue> queue_;
+  // Probe-placement scratch (slot ids), reused across job arrivals.
+  std::vector<SlotId> targets_;
   std::vector<uint32_t> picks_;
 };
 

@@ -1,11 +1,12 @@
-// Tests for the cluster substrate: worker FIFO discipline and execution
-// state machine, the Fig. 3 steal-group extraction rule, partition layout,
-// utilization accounting, and late-binding job tracking.
+// Tests for the cluster substrate: the struct-of-arrays WorkerStore (FIFO
+// discipline, slot-based execution transitions, the Fig. 3 steal-group
+// extraction rule, slot-index mapping), partition layout, utilization
+// accounting, and late-binding job tracking.
 #include <gtest/gtest.h>
 
 #include "src/cluster/cluster.h"
 #include "src/cluster/job_tracker.h"
-#include "src/cluster/worker.h"
+#include "src/cluster/worker_store.h"
 #include "src/workload/google_trace.h"
 
 namespace hawk {
@@ -15,156 +16,237 @@ QueueEntry ShortProbe(JobId job) { return QueueEntry::Probe(job, /*is_long=*/fal
 QueueEntry LongTask(JobId job) { return QueueEntry::Task(job, 0, 1000, /*is_long=*/true); }
 QueueEntry ShortTask(JobId job) { return QueueEntry::Task(job, 0, 10, /*is_long=*/false); }
 
-TEST(WorkerTest, FifoOrder) {
-  Worker w(0);
-  w.Enqueue(ShortProbe(1));
-  w.Enqueue(ShortProbe(2));
-  w.Enqueue(ShortProbe(3));
-  EXPECT_EQ(w.PopFront().job, 1u);
-  EXPECT_EQ(w.PopFront().job, 2u);
-  EXPECT_EQ(w.PopFront().job, 3u);
-  EXPECT_TRUE(w.QueueEmpty());
+TEST(WorkerStoreTest, FifoOrder) {
+  WorkerStore store(1);
+  store.Enqueue(0, ShortProbe(1));
+  store.Enqueue(0, ShortProbe(2));
+  store.Enqueue(0, ShortProbe(3));
+  EXPECT_EQ(store.PopFront(0).job, 1u);
+  EXPECT_EQ(store.PopFront(0).job, 2u);
+  EXPECT_EQ(store.PopFront(0).job, 3u);
+  EXPECT_TRUE(store.QueueEmpty(0));
 }
 
-TEST(WorkerTest, ExecutionStateMachine) {
-  Worker w(0);
-  EXPECT_EQ(w.state(), WorkerState::kIdle);
-  EXPECT_FALSE(w.Busy());
+TEST(WorkerStoreTest, SlotStateMachine) {
+  WorkerStore store(1);
+  EXPECT_EQ(store.FreeSlots(0), 1u);
+  EXPECT_EQ(store.OccupiedSlots(0), 0u);
 
-  w.BeginRequest(/*probe_is_long=*/false);
-  EXPECT_EQ(w.state(), WorkerState::kRequesting);
-  EXPECT_TRUE(w.Busy());
-  w.CancelRequest();
-  EXPECT_EQ(w.state(), WorkerState::kIdle);
+  store.BeginRequest(0, /*probe_is_long=*/false);
+  EXPECT_EQ(store.RequestingSlots(0), 1u);
+  EXPECT_FALSE(store.HasFreeSlot(0));
+  store.ResolveRequest(0, /*probe_is_long=*/false);
+  EXPECT_EQ(store.RequestingSlots(0), 0u);
+  EXPECT_TRUE(store.HasFreeSlot(0));
 
-  w.BeginExecute(100, ShortTask(7));
-  EXPECT_EQ(w.state(), WorkerState::kExecuting);
-  EXPECT_EQ(w.executing_job(), 7u);
-  EXPECT_EQ(w.executing_until(), 110);
-  w.FinishExecute();
-  EXPECT_EQ(w.state(), WorkerState::kIdle);
-  EXPECT_EQ(w.busy_accum_us(), 10);
+  store.BeginExecute(0, 100, ShortTask(7));
+  EXPECT_EQ(store.ExecutingSlots(0), 1u);
+  EXPECT_EQ(store.ExecutingTotal(), 1u);
+  EXPECT_FALSE(store.HasFreeSlot(0));
+  store.FinishExecute(0, /*was_long=*/false);
+  EXPECT_EQ(store.ExecutingSlots(0), 0u);
+  EXPECT_EQ(store.ExecutingTotal(), 0u);
+  EXPECT_EQ(store.BusyAccumUs(0), 10);
 }
 
-TEST(WorkerTest, BusyAccumulates) {
-  Worker w(0);
+TEST(WorkerStoreTest, BusyAccumulates) {
+  WorkerStore store(1);
   for (int i = 0; i < 5; ++i) {
-    w.BeginExecute(i * 100, QueueEntry::Task(1, 0, 25, false));
-    w.FinishExecute();
+    store.BeginExecute(0, i * 100, QueueEntry::Task(1, 0, 25, false));
+    store.FinishExecute(0, false);
   }
-  EXPECT_EQ(w.busy_accum_us(), 125);
+  EXPECT_EQ(store.BusyAccumUs(0), 125);
 }
 
-TEST(WorkerTest, FifoOrderSurvivesRingWraparound) {
+TEST(WorkerStoreTest, MultiSlotConcurrentExecution) {
+  SlotSpec spec;
+  spec.slots_per_worker = 3;
+  WorkerStore store(2, spec);
+  EXPECT_EQ(store.TotalSlots(), 6u);
+  EXPECT_EQ(store.FreeSlots(0), 3u);
+
+  store.BeginExecute(0, 0, ShortTask(1));
+  store.BeginRequest(0, /*probe_is_long=*/true);
+  EXPECT_EQ(store.FreeSlots(0), 1u);
+  EXPECT_EQ(store.OccupiedSlots(0), 2u);
+  EXPECT_TRUE(store.AnyOccupiedLong(0));  // The in-flight long probe counts.
+  store.BeginExecute(0, 0, ShortTask(2));
+  EXPECT_FALSE(store.HasFreeSlot(0));
+  EXPECT_EQ(store.ExecutingTotal(), 2u);
+
+  store.ResolveRequest(0, /*probe_is_long=*/true);
+  EXPECT_FALSE(store.AnyOccupiedLong(0));
+  store.FinishExecute(0, false);
+  store.FinishExecute(0, false);
+  EXPECT_EQ(store.FreeSlots(0), 3u);
+  EXPECT_EQ(store.ExecutingTotal(), 0u);
+}
+
+TEST(WorkerStoreTest, FifoOrderSurvivesRingWraparound) {
   // Drive head around the ring several times with a nonempty queue so
   // enqueues wrap while pops drain, then check order end to end.
-  Worker w(0);
+  WorkerStore store(1);
   JobId next_in = 0;
   JobId next_out = 0;
   for (int i = 0; i < 5; ++i) {
-    w.Enqueue(ShortProbe(next_in++));
+    store.Enqueue(0, ShortProbe(next_in++));
   }
   for (int round = 0; round < 100; ++round) {
-    w.Enqueue(ShortProbe(next_in++));
-    w.Enqueue(ShortProbe(next_in++));
-    EXPECT_EQ(w.PopFront().job, next_out++);
+    store.Enqueue(0, ShortProbe(next_in++));
+    store.Enqueue(0, ShortProbe(next_in++));
+    EXPECT_EQ(store.PopFront(0).job, next_out++);
   }
-  while (!w.QueueEmpty()) {
-    EXPECT_EQ(w.PopFront().job, next_out++);
+  while (!store.QueueEmpty(0)) {
+    EXPECT_EQ(store.PopFront(0).job, next_out++);
   }
   EXPECT_EQ(next_out, next_in);
 }
 
-TEST(WorkerTest, StealGroupIntoMovesEntriesToThief) {
-  Worker victim(0);
-  Worker thief(1);
-  victim.BeginExecute(0, LongTask(1));
-  victim.Enqueue(ShortProbe(2));
-  victim.Enqueue(ShortProbe(3));
-  victim.Enqueue(LongTask(4));
-  EXPECT_EQ(victim.StealGroupInto(&thief), 2u);
-  ASSERT_EQ(thief.QueueSize(), 2u);
-  EXPECT_EQ(thief.PopFront().job, 2u);
-  EXPECT_EQ(thief.PopFront().job, 3u);
-  ASSERT_EQ(victim.QueueSize(), 1u);
-  EXPECT_EQ(victim.PopFront().job, 4u);
+TEST(WorkerStoreTest, StealGroupIntoMovesEntriesToThief) {
+  WorkerStore store(2);
+  const WorkerId victim = 0;
+  const WorkerId thief = 1;
+  store.BeginExecute(victim, 0, LongTask(1));
+  store.Enqueue(victim, ShortProbe(2));
+  store.Enqueue(victim, ShortProbe(3));
+  store.Enqueue(victim, LongTask(4));
+  EXPECT_EQ(store.StealGroupInto(victim, thief), 2u);
+  ASSERT_EQ(store.QueueSize(thief), 2u);
+  EXPECT_EQ(store.PopFront(thief).job, 2u);
+  EXPECT_EQ(store.PopFront(thief).job, 3u);
+  ASSERT_EQ(store.QueueSize(victim), 1u);
+  EXPECT_EQ(store.PopFront(victim).job, 4u);
   // Nothing left to steal: queue is a lone long entry.
-  EXPECT_EQ(victim.StealGroupInto(&thief), 0u);
+  EXPECT_EQ(store.StealGroupInto(victim, thief), 0u);
 }
 
-TEST(WorkerTest, StealGroupIntoAfterWraparound) {
+TEST(WorkerStoreTest, StealGroupIntoAfterWraparound) {
   // The stealable group must be found and moved correctly even when the
   // ring has wrapped and the group straddles the physical end of storage.
-  Worker victim(0);
-  Worker thief(1);
+  WorkerStore store(2);
+  const WorkerId victim = 0;
+  const WorkerId thief = 1;
   // Advance the ring head: 11 enqueues grow the ring to capacity 16, and 11
   // pops leave the head at physical slot 11.
   for (int i = 0; i < 11; ++i) {
-    victim.Enqueue(ShortProbe(100 + static_cast<JobId>(i)));
+    store.Enqueue(victim, ShortProbe(100 + static_cast<JobId>(i)));
   }
   for (int i = 0; i < 11; ++i) {
-    victim.PopFront();
+    store.PopFront(victim);
   }
   // Seven more entries fill slots 11..15 and wrap into 0..1, so the
   // stealable group (jobs 4..8) physically straddles the storage boundary.
-  victim.BeginExecute(0, ShortTask(1));
-  victim.Enqueue(ShortProbe(2));
-  victim.Enqueue(LongTask(3));
+  store.BeginExecute(victim, 0, ShortTask(1));
+  store.Enqueue(victim, ShortProbe(2));
+  store.Enqueue(victim, LongTask(3));
   for (JobId job = 4; job <= 8; ++job) {
-    victim.Enqueue(ShortProbe(job));
+    store.Enqueue(victim, ShortProbe(job));
   }
-  EXPECT_TRUE(victim.HasStealableGroup());
-  EXPECT_EQ(victim.StealGroupInto(&thief), 5u);
+  EXPECT_TRUE(store.HasStealableGroup(victim));
+  EXPECT_EQ(store.StealGroupInto(victim, thief), 5u);
   for (JobId job = 4; job <= 8; ++job) {
-    EXPECT_EQ(thief.PopFront().job, job);
+    EXPECT_EQ(store.PopFront(thief).job, job);
   }
-  EXPECT_TRUE(thief.QueueEmpty());
-  EXPECT_EQ(victim.PopFront().job, 2u);
-  EXPECT_EQ(victim.PopFront().job, 3u);
-  EXPECT_TRUE(victim.QueueEmpty());
+  EXPECT_TRUE(store.QueueEmpty(thief));
+  EXPECT_EQ(store.PopFront(victim).job, 2u);
+  EXPECT_EQ(store.PopFront(victim).job, 3u);
+  EXPECT_TRUE(store.QueueEmpty(victim));
+}
+
+// --- Slot layout -------------------------------------------------------------
+
+TEST(WorkerStoreTest, UniformSlotIndexMapping) {
+  SlotSpec spec;
+  spec.slots_per_worker = 4;
+  WorkerStore store(3, spec);
+  EXPECT_EQ(store.TotalSlots(), 12u);
+  EXPECT_EQ(store.SlotBegin(0), 0u);
+  EXPECT_EQ(store.SlotBegin(1), 4u);
+  EXPECT_EQ(store.SlotBegin(3), 12u);
+  EXPECT_EQ(store.WorkerOfSlot(0), 0u);
+  EXPECT_EQ(store.WorkerOfSlot(3), 0u);
+  EXPECT_EQ(store.WorkerOfSlot(4), 1u);
+  EXPECT_EQ(store.WorkerOfSlot(11), 2u);
+}
+
+TEST(WorkerStoreTest, HeterogeneousSlotLayout) {
+  SlotSpec spec;
+  spec.slots_per_worker = 1;
+  spec.big_worker_fraction = 0.5;
+  spec.big_worker_slots = 4;
+  WorkerStore store(4, spec);
+  // Two of four workers upgraded, spread evenly: 2 big + 2 small = 10 slots.
+  EXPECT_EQ(spec.BigWorkerCount(4), 2u);
+  EXPECT_EQ(store.TotalSlots(), 10u);
+  uint32_t big = 0;
+  for (WorkerId w = 0; w < 4; ++w) {
+    EXPECT_EQ(store.Slots(w), spec.SlotsOf(w, 4));
+    big += store.Slots(w) == 4 ? 1 : 0;
+    // Round-trip: every slot in the worker's range maps back to it.
+    for (SlotId s = store.SlotBegin(w); s < store.SlotBegin(w + 1); ++s) {
+      EXPECT_EQ(store.WorkerOfSlot(s), w);
+    }
+  }
+  EXPECT_EQ(big, 2u);
+}
+
+TEST(SlotSpecTest, EvenSpreadIsDeterministicAndExact) {
+  SlotSpec spec;
+  spec.slots_per_worker = 2;
+  spec.big_worker_fraction = 0.25;
+  spec.big_worker_slots = 8;
+  const uint32_t n = 1000;
+  uint32_t big = 0;
+  for (WorkerId w = 0; w < n; ++w) {
+    const uint32_t slots = spec.SlotsOf(w, n);
+    EXPECT_TRUE(slots == 2 || slots == 8);
+    big += slots == 8 ? 1 : 0;
+  }
+  EXPECT_EQ(big, spec.BigWorkerCount(n));
+  EXPECT_EQ(big, 250u);
 }
 
 // --- Fig. 3 steal-group extraction -----------------------------------------
 
 TEST(StealScanTest, CaseA1_ExecutingShortGroupAfterLongInQueue) {
   // a1) executing short; queue = [L, S, S] -> steal the two shorts.
-  Worker w(0);
-  w.BeginExecute(0, ShortTask(1));
-  w.Enqueue(LongTask(2));
-  w.Enqueue(ShortProbe(3));
-  w.Enqueue(ShortProbe(4));
-  const auto stolen = w.ExtractStealableGroup();
+  WorkerStore store(1);
+  store.BeginExecute(0, 0, ShortTask(1));
+  store.Enqueue(0, LongTask(2));
+  store.Enqueue(0, ShortProbe(3));
+  store.Enqueue(0, ShortProbe(4));
+  const auto stolen = store.ExtractStealableGroup(0);
   ASSERT_EQ(stolen.size(), 2u);
   EXPECT_EQ(stolen[0].job, 3u);
   EXPECT_EQ(stolen[1].job, 4u);
-  EXPECT_EQ(w.QueueSize(), 1u);  // Long entry stays.
+  EXPECT_EQ(store.QueueSize(0), 1u);  // Long entry stays.
 }
 
 TEST(StealScanTest, CaseA2_GroupEndsAtNextLong) {
   // a2) executing short; queue = [S, L, S, L, S] -> steal only the first
   // group after the first long (one entry).
-  Worker w(0);
-  w.BeginExecute(0, ShortTask(1));
-  w.Enqueue(ShortProbe(2));
-  w.Enqueue(LongTask(3));
-  w.Enqueue(ShortProbe(4));
-  w.Enqueue(LongTask(5));
-  w.Enqueue(ShortProbe(6));
-  const auto stolen = w.ExtractStealableGroup();
+  WorkerStore store(1);
+  store.BeginExecute(0, 0, ShortTask(1));
+  store.Enqueue(0, ShortProbe(2));
+  store.Enqueue(0, LongTask(3));
+  store.Enqueue(0, ShortProbe(4));
+  store.Enqueue(0, LongTask(5));
+  store.Enqueue(0, ShortProbe(6));
+  const auto stolen = store.ExtractStealableGroup(0);
   ASSERT_EQ(stolen.size(), 1u);
   EXPECT_EQ(stolen[0].job, 4u);
   // Queue keeps [S(2), L(3), L(5), S(6)].
-  EXPECT_EQ(w.QueueSize(), 4u);
+  EXPECT_EQ(store.QueueSize(0), 4u);
 }
 
 TEST(StealScanTest, CaseB1_ExecutingLongStealsHeadGroup) {
   // b1) executing long; queue = [S, S, L] -> steal the head shorts.
-  Worker w(0);
-  w.BeginExecute(0, LongTask(1));
-  w.Enqueue(ShortProbe(2));
-  w.Enqueue(ShortProbe(3));
-  w.Enqueue(LongTask(4));
-  const auto stolen = w.ExtractStealableGroup();
+  WorkerStore store(1);
+  store.BeginExecute(0, 0, LongTask(1));
+  store.Enqueue(0, ShortProbe(2));
+  store.Enqueue(0, ShortProbe(3));
+  store.Enqueue(0, LongTask(4));
+  const auto stolen = store.ExtractStealableGroup(0);
   ASSERT_EQ(stolen.size(), 2u);
   EXPECT_EQ(stolen[0].job, 2u);
   EXPECT_EQ(stolen[1].job, 3u);
@@ -173,12 +255,12 @@ TEST(StealScanTest, CaseB1_ExecutingLongStealsHeadGroup) {
 TEST(StealScanTest, CaseB2_ExecutingLongQueueStartsLong) {
   // b2) executing long; queue = [L, S, S] -> steal the shorts after the
   // queued long.
-  Worker w(0);
-  w.BeginExecute(0, LongTask(1));
-  w.Enqueue(LongTask(2));
-  w.Enqueue(ShortProbe(3));
-  w.Enqueue(ShortProbe(4));
-  const auto stolen = w.ExtractStealableGroup();
+  WorkerStore store(1);
+  store.BeginExecute(0, 0, LongTask(1));
+  store.Enqueue(0, LongTask(2));
+  store.Enqueue(0, ShortProbe(3));
+  store.Enqueue(0, ShortProbe(4));
+  const auto stolen = store.ExtractStealableGroup(0);
   ASSERT_EQ(stolen.size(), 2u);
   EXPECT_EQ(stolen[0].job, 3u);
 }
@@ -186,64 +268,86 @@ TEST(StealScanTest, CaseB2_ExecutingLongQueueStartsLong) {
 TEST(StealScanTest, NoLongInvolvedNothingStolen) {
   // Executing short with only short entries: no head-of-line blocking by a
   // long task, nothing eligible.
-  Worker w(0);
-  w.BeginExecute(0, ShortTask(1));
-  w.Enqueue(ShortProbe(2));
-  w.Enqueue(ShortProbe(3));
-  EXPECT_FALSE(w.HasStealableGroup());
-  EXPECT_TRUE(w.ExtractStealableGroup().empty());
-  EXPECT_EQ(w.QueueSize(), 2u);
+  WorkerStore store(1);
+  store.BeginExecute(0, 0, ShortTask(1));
+  store.Enqueue(0, ShortProbe(2));
+  store.Enqueue(0, ShortProbe(3));
+  EXPECT_FALSE(store.HasStealableGroup(0));
+  EXPECT_TRUE(store.ExtractStealableGroup(0).empty());
+  EXPECT_EQ(store.QueueSize(0), 2u);
 }
 
 TEST(StealScanTest, AllLongNothingStolen) {
-  Worker w(0);
-  w.BeginExecute(0, LongTask(1));
-  w.Enqueue(LongTask(2));
-  w.Enqueue(LongTask(3));
-  EXPECT_TRUE(w.ExtractStealableGroup().empty());
+  WorkerStore store(1);
+  store.BeginExecute(0, 0, LongTask(1));
+  store.Enqueue(0, LongTask(2));
+  store.Enqueue(0, LongTask(3));
+  EXPECT_TRUE(store.ExtractStealableGroup(0).empty());
 }
 
 TEST(StealScanTest, IdleWorkerWithBlockedQueue) {
   // Worker not executing (e.g. between dispatches): queue = [L, S] -> the
   // short after the long is eligible.
-  Worker w(0);
-  w.Enqueue(LongTask(1));
-  w.Enqueue(ShortProbe(2));
-  const auto stolen = w.ExtractStealableGroup();
+  WorkerStore store(1);
+  store.Enqueue(0, LongTask(1));
+  store.Enqueue(0, ShortProbe(2));
+  const auto stolen = store.ExtractStealableGroup(0);
   ASSERT_EQ(stolen.size(), 1u);
   EXPECT_EQ(stolen[0].job, 2u);
 }
 
 TEST(StealScanTest, RequestingShortProbeDoesNotCountAsLong) {
   // Worker resolving a short probe; queue all short: nothing eligible.
-  Worker w(0);
-  w.BeginRequest(/*probe_is_long=*/false);
-  w.Enqueue(ShortProbe(2));
-  EXPECT_TRUE(w.ExtractStealableGroup().empty());
+  WorkerStore store(1);
+  store.BeginRequest(0, /*probe_is_long=*/false);
+  store.Enqueue(0, ShortProbe(2));
+  EXPECT_TRUE(store.ExtractStealableGroup(0).empty());
 }
 
 TEST(StealScanTest, RequestingLongProbeCountsAsLong) {
   // In the no-centralized ablation, long jobs probe too; an in-flight long
   // probe blocks the head shorts just like an executing long task.
-  Worker w(0);
-  w.BeginRequest(/*probe_is_long=*/true);
-  w.Enqueue(ShortProbe(2));
-  const auto stolen = w.ExtractStealableGroup();
+  WorkerStore store(1);
+  store.BeginRequest(0, /*probe_is_long=*/true);
+  store.Enqueue(0, ShortProbe(2));
+  const auto stolen = store.ExtractStealableGroup(0);
   ASSERT_EQ(stolen.size(), 1u);
   EXPECT_EQ(stolen[0].job, 2u);
 }
 
+TEST(StealScanTest, PartiallyFullMultiSlotWorkerScreensOnOccupiedLong) {
+  // A multi-slot worker with one long task among its occupied slots exposes
+  // its head shorts, exactly like a single-slot worker executing a long —
+  // even while other slots are free or running shorts.
+  SlotSpec spec;
+  spec.slots_per_worker = 3;
+  WorkerStore store(1, spec);
+  store.BeginExecute(0, 0, ShortTask(1));
+  store.BeginExecute(0, 0, LongTask(2));  // One slot still free.
+  store.Enqueue(0, ShortProbe(3));
+  store.Enqueue(0, ShortProbe(4));
+  EXPECT_TRUE(store.HasStealableGroup(0));
+  const auto stolen = store.ExtractStealableGroup(0);
+  ASSERT_EQ(stolen.size(), 2u);
+  EXPECT_EQ(stolen[0].job, 3u);
+
+  // Once the long finishes, a queue of pure shorts is no longer stealable.
+  store.Enqueue(0, ShortProbe(5));
+  store.FinishExecute(0, /*was_long=*/true);
+  EXPECT_FALSE(store.HasStealableGroup(0));
+}
+
 TEST(StealScanTest, ExtractIsRepeatable) {
   // After stealing the first group, the next group becomes eligible.
-  Worker w(0);
-  w.BeginExecute(0, LongTask(1));
-  w.Enqueue(ShortProbe(2));
-  w.Enqueue(LongTask(3));
-  w.Enqueue(ShortProbe(4));
-  EXPECT_EQ(w.ExtractStealableGroup().size(), 1u);
-  EXPECT_EQ(w.ExtractStealableGroup().size(), 1u);
-  EXPECT_TRUE(w.ExtractStealableGroup().empty());
-  EXPECT_EQ(w.QueueSize(), 1u);  // Only L(3) remains.
+  WorkerStore store(1);
+  store.BeginExecute(0, 0, LongTask(1));
+  store.Enqueue(0, ShortProbe(2));
+  store.Enqueue(0, LongTask(3));
+  store.Enqueue(0, ShortProbe(4));
+  EXPECT_EQ(store.ExtractStealableGroup(0).size(), 1u);
+  EXPECT_EQ(store.ExtractStealableGroup(0).size(), 1u);
+  EXPECT_TRUE(store.ExtractStealableGroup(0).empty());
+  EXPECT_EQ(store.QueueSize(0), 1u);  // Only L(3) remains.
 }
 
 // --- Cluster ----------------------------------------------------------------
@@ -257,24 +361,53 @@ TEST(ClusterTest, PartitionLayout) {
   EXPECT_TRUE(cluster.InGeneralPartition(82));
   EXPECT_FALSE(cluster.InGeneralPartition(83));
   EXPECT_FALSE(cluster.InGeneralPartition(99));
+  EXPECT_EQ(cluster.TotalSlots(), 100u);
+  EXPECT_EQ(cluster.GeneralSlots(), 83u);
 }
 
-TEST(ClusterTest, UtilizationCountsExecutingOnly) {
+TEST(ClusterTest, GeneralSlotsCoverGeneralWorkers) {
+  SlotSpec spec;
+  spec.slots_per_worker = 2;
+  spec.big_worker_fraction = 0.25;
+  spec.big_worker_slots = 6;
+  Cluster cluster(8, 6, spec);
+  // The general partition is a slot-id prefix: every slot below
+  // GeneralSlots() maps to a general worker, every slot above to the short
+  // partition.
+  for (SlotId s = 0; s < cluster.TotalSlots(); ++s) {
+    EXPECT_EQ(s < cluster.GeneralSlots(),
+              cluster.InGeneralPartition(cluster.WorkerOfSlot(s)));
+  }
+}
+
+TEST(ClusterTest, UtilizationCountsExecutingSlotsOnly) {
   Cluster cluster(4, 4);
   EXPECT_DOUBLE_EQ(cluster.Utilization(), 0.0);
-  cluster.worker(0).BeginExecute(0, ShortTask(1));
-  cluster.worker(1).BeginRequest(false);  // Requesting is not "used".
+  cluster.workers().BeginExecute(0, 0, ShortTask(1));
+  cluster.workers().BeginRequest(1, false);  // Requesting is not "used".
   EXPECT_DOUBLE_EQ(cluster.Utilization(), 0.25);
-  cluster.worker(2).BeginExecute(0, LongTask(2));
+  cluster.workers().BeginExecute(2, 0, LongTask(2));
   EXPECT_DOUBLE_EQ(cluster.Utilization(), 0.5);
+}
+
+TEST(ClusterTest, UtilizationIsPerSlotWithMultiSlotWorkers) {
+  SlotSpec spec;
+  spec.slots_per_worker = 4;
+  Cluster cluster(2, 2, spec);
+  EXPECT_DOUBLE_EQ(cluster.Utilization(), 0.0);
+  cluster.workers().BeginExecute(0, 0, ShortTask(1));
+  cluster.workers().BeginExecute(0, 0, ShortTask(2));
+  EXPECT_DOUBLE_EQ(cluster.Utilization(), 0.25);  // 2 of 8 slots.
+  cluster.workers().BeginExecute(1, 0, ShortTask(3));
+  EXPECT_DOUBLE_EQ(cluster.Utilization(), 0.375);
 }
 
 TEST(ClusterTest, TotalBusyAggregates) {
   Cluster cluster(3, 3);
-  cluster.worker(0).BeginExecute(0, QueueEntry::Task(1, 0, 100, false));
-  cluster.worker(0).FinishExecute();
-  cluster.worker(2).BeginExecute(0, QueueEntry::Task(2, 0, 50, false));
-  cluster.worker(2).FinishExecute();
+  cluster.workers().BeginExecute(0, 0, QueueEntry::Task(1, 0, 100, false));
+  cluster.workers().FinishExecute(0, false);
+  cluster.workers().BeginExecute(2, 0, QueueEntry::Task(2, 0, 50, false));
+  cluster.workers().FinishExecute(2, false);
   EXPECT_EQ(cluster.TotalBusyUs(), 150);
 }
 

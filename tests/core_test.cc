@@ -255,8 +255,8 @@ TEST(ProbePlacementTest, NeverFewerProbesThanRequested) {
 TEST(StealingPolicyTest, StealsFromGeneralPartitionVictim) {
   Cluster cluster(10, 8);  // Workers 8, 9 are the short partition.
   // Worker 3 has a blocked short behind a long.
-  cluster.worker(3).Enqueue(QueueEntry::Task(1, 0, 1000, /*is_long=*/true));
-  cluster.worker(3).Enqueue(QueueEntry::Probe(2, /*is_long=*/false));
+  cluster.workers().Enqueue(3, QueueEntry::Task(1, 0, 1000, /*is_long=*/true));
+  cluster.workers().Enqueue(3, QueueEntry::Probe(2, /*is_long=*/false));
   StealingPolicy policy(/*cap=*/10, /*seed=*/1);
   RunCounters counters;
   const auto stolen = policy.TrySteal(cluster, /*thief=*/9, &counters);
@@ -274,8 +274,8 @@ TEST(StealingPolicyTest, NeverStealsFromShortPartition) {
   // Only short-partition workers (5..9) have stealable-looking queues; they
   // are not eligible victims, so every attempt must fail.
   for (WorkerId w = 5; w < 10; ++w) {
-    cluster.worker(w).Enqueue(QueueEntry::Task(1, 0, 1000, /*is_long=*/true));
-    cluster.worker(w).Enqueue(QueueEntry::Probe(2, /*is_long=*/false));
+    cluster.workers().Enqueue(w, QueueEntry::Task(1, 0, 1000, /*is_long=*/true));
+    cluster.workers().Enqueue(w, QueueEntry::Probe(2, /*is_long=*/false));
   }
   StealingPolicy policy(/*cap=*/5, /*seed=*/2);
   RunCounters counters;
@@ -287,8 +287,8 @@ TEST(StealingPolicyTest, NeverStealsFromShortPartition) {
 TEST(StealingPolicyTest, ThiefNeverContactsItself) {
   // Single general worker: a general thief has no victims at all.
   Cluster cluster(3, 1);
-  cluster.worker(0).Enqueue(QueueEntry::Task(1, 0, 1000, /*is_long=*/true));
-  cluster.worker(0).Enqueue(QueueEntry::Probe(2, /*is_long=*/false));
+  cluster.workers().Enqueue(0, QueueEntry::Task(1, 0, 1000, /*is_long=*/true));
+  cluster.workers().Enqueue(0, QueueEntry::Probe(2, /*is_long=*/false));
   StealingPolicy policy(/*cap=*/10, /*seed=*/3);
   RunCounters counters;
   EXPECT_TRUE(policy.TrySteal(cluster, /*thief=*/0, &counters).empty());
@@ -298,8 +298,8 @@ TEST(StealingPolicyTest, ThiefNeverContactsItself) {
 
 TEST(StealingPolicyTest, CapZeroDisables) {
   Cluster cluster(4, 4);
-  cluster.worker(0).Enqueue(QueueEntry::Task(1, 0, 1000, /*is_long=*/true));
-  cluster.worker(0).Enqueue(QueueEntry::Probe(2, /*is_long=*/false));
+  cluster.workers().Enqueue(0, QueueEntry::Task(1, 0, 1000, /*is_long=*/true));
+  cluster.workers().Enqueue(0, QueueEntry::Probe(2, /*is_long=*/false));
   StealingPolicy policy(/*cap=*/0, /*seed=*/4);
   RunCounters counters;
   EXPECT_TRUE(policy.TrySteal(cluster, 3, &counters).empty());
@@ -318,8 +318,8 @@ TEST(StealingPolicyTest, FindsVictimThroughCap) {
   // One of 50 general workers holds stealable work; with cap 50 the policy
   // always finds it.
   Cluster cluster(50, 50);
-  cluster.worker(17).Enqueue(QueueEntry::Task(1, 0, 1000, /*is_long=*/true));
-  cluster.worker(17).Enqueue(QueueEntry::Probe(2, /*is_long=*/false));
+  cluster.workers().Enqueue(17, QueueEntry::Task(1, 0, 1000, /*is_long=*/true));
+  cluster.workers().Enqueue(17, QueueEntry::Probe(2, /*is_long=*/false));
   StealingPolicy policy(/*cap=*/50, /*seed=*/6);
   RunCounters counters;
   const auto stolen = policy.TrySteal(cluster, /*thief=*/0, &counters);
