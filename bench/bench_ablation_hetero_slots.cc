@@ -70,6 +70,10 @@ int main(int argc, char** argv) {
   // Equal-capacity layouts: the axis redistributes the same 1500 slots.
   using Mutator = hawk::SweepSpec::ConfigMutator;
   std::vector<std::pair<std::string, Mutator>> layouts;
+  // GCC 12 misfires -Warray-bounds on string+lambda pairs constructed through
+  // vector's insert path (PR105651-family false positive); scoped suppression.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Warray-bounds"
   layouts.emplace_back("uniform-1x", [ref_workers](hawk::HawkConfig& c) {
     c.num_workers = ref_workers;
     c.slots_per_worker = 1;
@@ -91,6 +95,7 @@ int main(int argc, char** argv) {
     c.big_worker_fraction = 0.2;
     c.big_worker_slots = 4;
   });
+#pragma GCC diagnostic pop
 
   hawk::SweepSpec sweep(hawk::ExperimentSpec()
                             .WithConfig(hawk::bench::GoogleConfig(ref_workers, seed))

@@ -8,25 +8,92 @@
 // Sparrow at the 50th/90th percentile for short (Fig 16) and long (Fig 17)
 // jobs, with the corresponding simulation results alongside.
 //
-// Here the prototype is the in-process threaded runtime (real node-monitor
-// threads, sleep tasks, RPC bus with 0.5 ms latency); the simulation runs the
-// exact same scaled trace. Defaults are sized for ~a minute of wall time;
-// --jobs / --work-seconds scale it up toward the paper's setup.
+// Here both worlds are driven by the SAME ExperimentSpec per grid point:
+// RunExperiment simulates it, runtime::RunPrototype deploys it on the
+// in-process threaded runtime (real node-monitor threads, sleep tasks, RPC
+// bus). The grid covers sparrow, hawk, and "hawk-lb" — a least-loaded Hawk
+// variant registered from OUTSIDE src/ right here in this file — at one and
+// four slots per node (constant total capacity). Defaults are sized for a
+// few minutes of wall time; --jobs / --work-seconds / --num-ratios scale it
+// (scripts/bench.sh smoke-runs it small and emits BENCH_impl_vs_sim.json).
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/core/hawk_scheduler.h"
 #include "src/metrics/comparison.h"
 #include "src/metrics/report.h"
 #include "src/runtime/prototype_cluster.h"
 #include "src/scheduler/experiment.h"
+#include "src/scheduler/registry.h"
+
+namespace {
+
+// The externally registered policy (same spirit as examples/custom_policy.cpp,
+// compacted): Hawk whose distributed side sends each probe to the less-loaded
+// of two random slots' owners. On the prototype its RuntimeShape — inherited
+// from HawkPolicy — drives the control plane with uniform probing, which is
+// precisely the paper's point about stale state over a real network.
+class HawkLbPolicy : public hawk::HawkPolicy {
+ public:
+  explicit HawkLbPolicy(const hawk::HawkConfig& config) : HawkPolicy(config) {}
+
+  void OnJobArrival(const hawk::Job& job, const hawk::JobClass& cls) override {
+    if (cls.is_long_sched) {
+      HawkPolicy::OnJobArrival(job, cls);
+      return;
+    }
+    hawk::Cluster& cluster = ctx_->GetCluster();
+    const uint64_t n = cluster.TotalSlots();
+    for (uint32_t p = 0; p < config().probe_ratio * job.NumTasks(); ++p) {
+      const auto a =
+          cluster.WorkerOfSlot(static_cast<hawk::SlotId>(ctx_->SchedRng().NextBounded(n)));
+      const auto b =
+          cluster.WorkerOfSlot(static_cast<hawk::SlotId>(ctx_->SchedRng().NextBounded(n)));
+      const hawk::WorkerStore& workers = cluster.workers();
+      const size_t qa = workers.QueueSize(a) + workers.OccupiedSlots(a);
+      const size_t qb = workers.QueueSize(b) + workers.OccupiedSlots(b);
+      ctx_->PlaceProbe(qa <= qb ? a : b, job.id, false);
+    }
+  }
+
+  std::string_view Name() const override { return "hawk-lb"; }
+};
+
+const hawk::SchedulerRegistration kRegisterHawkLb(
+    "hawk-lb",
+    [](const hawk::HawkConfig& config) -> std::unique_ptr<hawk::SchedulerPolicy> {
+      return std::make_unique<HawkLbPolicy>(config);
+    },
+    [](const hawk::HawkConfig& config) { return config.GeneralCount(); });
+
+struct GridPoint {
+  double ratio = 0.0;
+  uint32_t slots = 0;
+  std::string scheduler;
+  hawk::RunComparison impl;  // Scheduler normalized to sparrow, prototype.
+  hawk::RunComparison sim;   // Same, simulated.
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   hawk::Flags flags(argc, argv);
   const uint32_t jobs = hawk::bench::ScaledJobs(flags, 120);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 5));
-  const uint32_t nodes = static_cast<uint32_t>(flags.GetInt("nodes", 100));
+  // Total capacity in slots; rounded down to a multiple of the largest slot
+  // layout (4) so every grid row carries exactly the same capacity — a
+  // 50-node run at 12x4 = 48 slots would see ~4% more offered load than its
+  // 50x1 sibling and skew the comparison.
+  uint32_t nodes = static_cast<uint32_t>(flags.GetInt("nodes", 100));
+  if (nodes % 4 != 0) {
+    const uint32_t rounded = std::max(4u, nodes - nodes % 4);
+    std::printf("note: --nodes=%u rounded down to %u (multiple of the 4-slot layout)\n",
+                nodes, rounded);
+    nodes = rounded;
+  }
   // Total task-work in the scaled trace, in wall-clock seconds; governs how
   // long the prototype runs (the paper's 1000x scaling is the same idea).
   const double work_seconds = flags.GetDouble("work-seconds", 60.0);
@@ -47,18 +114,24 @@ int main(int argc, char** argv) {
   // inter-arrival multiple grows (the paper's load sweep direction).
   const double base_interarrival_us = mean_job_work_us / (0.95 * nodes);
 
-  const std::vector<double> ratios = {1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.25};
+  std::vector<double> ratios = {1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.25};
+  if (flags.Has("num-ratios")) {
+    const auto keep = static_cast<size_t>(flags.GetInt("num-ratios", 7));
+    if (keep < ratios.size()) {
+      ratios.resize(keep > 0 ? keep : 1);
+    }
+  }
+  // Constant-capacity slot layouts: `nodes` single-slot monitors vs nodes/4
+  // monitors with 4 slots each.
+  const std::vector<uint32_t> slot_layouts = {1, 4};
+  const std::vector<std::string> schedulers = {"hawk", "hawk-lb"};
 
   hawk::bench::PrintHeader(
-      "Figures 16-17: implementation vs simulation, Hawk normalized to Sparrow (" +
+      "Figures 16-17: implementation vs simulation, normalized to Sparrow (" +
       std::to_string(jobs) + "-job Google sample, " + std::to_string(nodes) +
-      " node monitors, 10 distributed + 1 centralized schedulers)");
+      " execution slots, 10 distributed + 1 centralized schedulers, slots/node in {1,4})");
 
-  hawk::Table fig16({"interarrival/runtime", "impl p50 short", "impl p90 short",
-                     "sim p50 short", "sim p90 short", "sparrow med util"});
-  hawk::Table fig17({"interarrival/runtime", "impl p50 long", "impl p90 long", "sim p50 long",
-                     "sim p90 long", "sparrow med util"});
-
+  std::vector<GridPoint> points;
   for (const double ratio : ratios) {
     hawk::Trace trace = base;
     hawk::Rng arrivals_rng(seed ^ 0xBEEF);
@@ -70,51 +143,104 @@ int main(int argc, char** argv) {
     const hawk::DurationUs sample_period_us =
         std::max<hawk::DurationUs>(2000, trace.SpanUs() / 60);
 
-    // --- prototype runs (wall clock) ---
-    hawk::runtime::PrototypeConfig proto;
-    proto.num_nodes = nodes;
-    proto.num_frontends = 10;
-    proto.short_partition_fraction = 0.17;
-    proto.cutoff_us = 0;  // Classify by generator label, as the paper's fixed 3000/300 split.
-    proto.steal_cap = 10;
-    proto.util_sample_period = std::chrono::microseconds(sample_period_us);
-    proto.seed = seed;
-    proto.mode = hawk::runtime::PrototypeMode::kHawk;
-    const hawk::RunResult impl_hawk = hawk::runtime::RunPrototype(trace, proto);
-    proto.mode = hawk::runtime::PrototypeMode::kSparrow;
-    const hawk::RunResult impl_sparrow = hawk::runtime::RunPrototype(trace, proto);
-    const hawk::RunComparison impl = hawk::CompareRuns(impl_hawk, impl_sparrow);
+    for (const uint32_t slots : slot_layouts) {
+      // One config for both worlds (identical to the historical slots=1
+      // simulation setup when slots == 1). `nodes` is a multiple of every
+      // layout, so capacity is constant across rows.
+      hawk::HawkConfig config;
+      config.num_workers = nodes / slots;
+      config.slots_per_worker = slots;
+      config.short_partition_fraction = 0.17;
+      config.classify_mode = hawk::ClassifyMode::kHint;
+      config.util_sample_period_us = sample_period_us;
+      config.seed = seed;
 
-    // --- corresponding simulation runs on the same scaled trace ---
-    hawk::HawkConfig sim_config;
-    sim_config.num_workers = nodes;
-    sim_config.short_partition_fraction = 0.17;
-    sim_config.classify_mode = hawk::ClassifyMode::kHint;
-    sim_config.util_sample_period_us = sample_period_us;  // Same base as the prototype.
-    sim_config.seed = seed;
-    const hawk::RunResult sim_hawk = hawk::RunExperiment(trace, sim_config, "hawk");
-    const hawk::RunResult sim_sparrow = hawk::RunExperiment(trace, sim_config, "sparrow");
-    const hawk::RunComparison sim = hawk::CompareRuns(sim_hawk, sim_sparrow);
+      hawk::runtime::PrototypeConfig runtime_knobs;
+      runtime_knobs.num_frontends = 10;
+      // The sampler period is a wall-clock knob and comes from the runtime
+      // config on the spec-driven path; match the simulator's resolution.
+      runtime_knobs.hawk.util_sample_period_us = sample_period_us;
 
-    const std::string x = hawk::Table::Num(ratio, 2);
-    fig16.AddRow({x, hawk::Table::Num(impl.short_jobs.p50_ratio),
-                  hawk::Table::Num(impl.short_jobs.p90_ratio),
-                  hawk::Table::Num(sim.short_jobs.p50_ratio),
-                  hawk::Table::Num(sim.short_jobs.p90_ratio),
-                  hawk::Table::Pct(impl.baseline_median_util)});
-    fig17.AddRow({x, hawk::Table::Num(impl.long_jobs.p50_ratio),
-                  hawk::Table::Num(impl.long_jobs.p90_ratio),
-                  hawk::Table::Num(sim.long_jobs.p50_ratio),
-                  hawk::Table::Num(sim.long_jobs.p90_ratio),
-                  hawk::Table::Pct(impl.baseline_median_util)});
-    std::printf("  [ratio %.2f done: impl messages=%llu, steals=%llu]\n", ratio,
-                static_cast<unsigned long long>(impl_hawk.counters.events),
-                static_cast<unsigned long long>(impl_hawk.counters.entries_stolen));
+      // The same spec per scheduler drives RunExperiment and RunPrototype.
+      const auto spec_for = [&](const std::string& scheduler) {
+        return hawk::ExperimentSpec(scheduler).WithConfig(config).WithTrace(&trace);
+      };
+      const hawk::RunResult sim_sparrow = hawk::RunExperiment(spec_for("sparrow"));
+      const auto impl_sparrow_or =
+          hawk::runtime::RunPrototype(spec_for("sparrow"), runtime_knobs);
+      HAWK_CHECK(impl_sparrow_or.ok()) << impl_sparrow_or.status().message();
+
+      for (const std::string& scheduler : schedulers) {
+        GridPoint point;
+        point.ratio = ratio;
+        point.slots = slots;
+        point.scheduler = scheduler;
+        const hawk::RunResult sim_run = hawk::RunExperiment(spec_for(scheduler));
+        point.sim = hawk::CompareRuns(sim_run, sim_sparrow);
+        const auto impl_or = hawk::runtime::RunPrototype(spec_for(scheduler), runtime_knobs);
+        HAWK_CHECK(impl_or.ok()) << impl_or.status().message();
+        point.impl = hawk::CompareRuns(impl_or.value(), impl_sparrow_or.value());
+        std::printf("  [ratio %.2f slots %u %s done: impl messages=%llu, steals=%llu]\n",
+                    ratio, slots, scheduler.c_str(),
+                    static_cast<unsigned long long>(impl_or.value().counters.events),
+                    static_cast<unsigned long long>(impl_or.value().counters.entries_stolen));
+        points.push_back(point);
+      }
+    }
+  }
+
+  hawk::Table fig16({"interarrival/runtime", "slots", "scheduler", "impl p50 short",
+                     "impl p90 short", "sim p50 short", "sim p90 short", "sparrow med util"});
+  hawk::Table fig17({"interarrival/runtime", "slots", "scheduler", "impl p50 long",
+                     "impl p90 long", "sim p50 long", "sim p90 long", "sparrow med util"});
+  for (const GridPoint& point : points) {
+    const std::string x = hawk::Table::Num(point.ratio, 2);
+    fig16.AddRow({x, std::to_string(point.slots), point.scheduler,
+                  hawk::Table::Num(point.impl.short_jobs.p50_ratio),
+                  hawk::Table::Num(point.impl.short_jobs.p90_ratio),
+                  hawk::Table::Num(point.sim.short_jobs.p50_ratio),
+                  hawk::Table::Num(point.sim.short_jobs.p90_ratio),
+                  hawk::Table::Pct(point.impl.baseline_median_util)});
+    fig17.AddRow({x, std::to_string(point.slots), point.scheduler,
+                  hawk::Table::Num(point.impl.long_jobs.p50_ratio),
+                  hawk::Table::Num(point.impl.long_jobs.p90_ratio),
+                  hawk::Table::Num(point.sim.long_jobs.p50_ratio),
+                  hawk::Table::Num(point.sim.long_jobs.p90_ratio),
+                  hawk::Table::Pct(point.impl.baseline_median_util)});
   }
 
   std::printf("\nFigure 16: short jobs, implementation vs simulation\n");
   fig16.Print();
   std::printf("\nFigure 17: long jobs, implementation vs simulation\n");
   fig17.Print();
+
+  if (flags.Has("json")) {
+    const std::string path = flags.GetString("json", "BENCH_impl_vs_sim.json");
+    const hawk::Status status =
+        hawk::bench::WriteJsonRows(path, points.size(), [&points](size_t i) {
+          const GridPoint& point = points[i];
+          char row[512];
+          std::snprintf(
+              row, sizeof(row),
+              "{\"ratio\": %.2f, \"slots\": %u, \"scheduler\": \"%s\", "
+              "\"impl_p50_short\": %.4f, \"impl_p90_short\": %.4f, "
+              "\"impl_p50_long\": %.4f, \"impl_p90_long\": %.4f, "
+              "\"sim_p50_short\": %.4f, \"sim_p90_short\": %.4f, "
+              "\"sim_p50_long\": %.4f, \"sim_p90_long\": %.4f, "
+              "\"sparrow_median_util\": %.4f}",
+              point.ratio, point.slots, point.scheduler.c_str(),
+              point.impl.short_jobs.p50_ratio, point.impl.short_jobs.p90_ratio,
+              point.impl.long_jobs.p50_ratio, point.impl.long_jobs.p90_ratio,
+              point.sim.short_jobs.p50_ratio, point.sim.short_jobs.p90_ratio,
+              point.sim.long_jobs.p50_ratio, point.sim.long_jobs.p90_ratio,
+              point.impl.baseline_median_util);
+          return std::string(row);
+        });
+    if (!status.ok()) {
+      std::fprintf(stderr, "json export failed: %s\n", status.message().c_str());
+      return 1;
+    }
+    std::printf("Wrote %s\n", path.c_str());
+  }
   return 0;
 }

@@ -9,6 +9,10 @@
 #                      the sweep grid, not just throughput.
 #   BENCH_hetero_slots.json  capacity-layout (multi-slot / heterogeneous
 #                      worker) sweep at fixed total slots.
+#   BENCH_impl_vs_sim.json  prototype-vs-simulation grid (fig 16/17): sparrow,
+#                      hawk and the externally registered hawk-lb at 1 and 4
+#                      slots per node, smoke scale (wall-clock runs; compare
+#                      impl_* against sim_* columns, not across commits).
 #
 # See docs/performance.md for the methodology and how to read each artifact.
 #
@@ -25,6 +29,7 @@
 #   OUT         throughput JSON path (default: BENCH_driver.json)
 #   SWEEP_OUT   sweep JSON path (default: BENCH_sweep.json)
 #   HETERO_OUT  hetero-slots JSON path (default: BENCH_hetero_slots.json)
+#   IMPL_OUT    impl-vs-sim JSON path (default: BENCH_impl_vs_sim.json)
 #   SWEEP_SCALE HAWK_BENCH_SCALE for the sweeps (default: 1)
 set -euo pipefail
 
@@ -35,6 +40,7 @@ JOBS="${JOBS:-$(nproc)}"
 OUT="${OUT:-BENCH_driver.json}"
 SWEEP_OUT="${SWEEP_OUT:-BENCH_sweep.json}"
 HETERO_OUT="${HETERO_OUT:-BENCH_hetero_slots.json}"
+IMPL_OUT="${IMPL_OUT:-BENCH_impl_vs_sim.json}"
 SWEEP_SCALE="${SWEEP_SCALE:-1}"
 
 die() {
@@ -60,6 +66,7 @@ fi
 
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
       --target bench_driver_throughput bench_ablation_power_of_d bench_ablation_hetero_slots \
+               bench_fig16_17_impl_vs_sim \
   || die "bench build failed in '${BUILD_DIR}'"
 
 [[ -x "${BUILD_DIR}/bench_driver_throughput" ]] \
@@ -77,3 +84,8 @@ echo "Wrote ${OUT}"
 
 "${BUILD_DIR}/bench_ablation_hetero_slots" --scale="${SWEEP_SCALE}" --threads="${JOBS}" \
   --json="${HETERO_OUT}"
+
+# Prototype vs simulation at smoke scale: real node-monitor threads and sleep
+# tasks, so this is wall-clock bound — keep it small and serial.
+"${BUILD_DIR}/bench_fig16_17_impl_vs_sim" --jobs=16 --work-seconds=3 --num-ratios=2 \
+  --json="${IMPL_OUT}"

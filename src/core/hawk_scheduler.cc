@@ -10,7 +10,8 @@ void HawkPolicy::Attach(SchedulerContext* ctx) {
   SchedulerPolicy::Attach(ctx);
   const Cluster& cluster = ctx->GetCluster();
   central_queue_ = std::make_unique<SlotWaitingTimeQueue>(cluster, cluster.GeneralCount());
-  stealing_ = std::make_unique<StealingPolicy>(config_.steal_cap, ctx->SchedRng().Next());
+  stealing_ = std::make_unique<StealingPolicy>(config_.steal_cap, ctx->SchedRng().Next(),
+                                               victim_selection_);
 }
 
 void HawkPolicy::OnJobArrival(const Job& job, const JobClass& cls) {

@@ -20,9 +20,20 @@ namespace hawk {
 
 class HawkPolicy : public SchedulerPolicy {
  public:
-  explicit HawkPolicy(const HawkConfig& config) : config_(config) {}
+  // `victim_selection` picks the steal-victim contact order; kDChoice is the
+  // "hawk-dchoice" registered variant (most-loaded victim first).
+  explicit HawkPolicy(const HawkConfig& config,
+                      StealingPolicy::VictimSelection victim_selection =
+                          StealingPolicy::VictimSelection::kRandom)
+      : config_(config), victim_selection_(victim_selection) {}
 
   void Attach(SchedulerContext* ctx) override;
+
+  RuntimeShape ShapeForRuntime(const HawkConfig& config) const override {
+    RuntimeShape shape = SchedulerPolicy::ShapeForRuntime(config);
+    shape.victim_selection = victim_selection_;
+    return shape;
+  }
 
   void OnJobArrival(const Job& job, const JobClass& cls) override;
   void OnWorkerIdle(WorkerId worker) override;
@@ -39,6 +50,7 @@ class HawkPolicy : public SchedulerPolicy {
   void ScheduleDistributed(const Job& job, const JobClass& cls, SlotId first, uint32_t count);
 
   HawkConfig config_;
+  StealingPolicy::VictimSelection victim_selection_;
   // Waiting-time queue over the general partition's slots only (§3.7).
   std::unique_ptr<SlotWaitingTimeQueue> central_queue_;
   std::unique_ptr<StealingPolicy> stealing_;

@@ -8,16 +8,26 @@
 // ids and this adapter is a transparent pass-through — the assignment
 // sequence is bit-identical to driving WaitingTimeQueue directly.
 //
-// Feedback routing: the driver reports task starts and finishes per worker,
-// not per lane. Starts are unambiguous — a worker's centrally placed tasks
-// are enqueued in placement order and its FIFO queue starts them in that
-// order — so start feedback pops the worker's pending-lane FIFO. Finish
-// feedback pops the running-lane FIFO; with S > 1, concurrent tasks on one
-// worker may finish out of start order, in which case the estimate is
-// re-synchronized on a sibling lane of the same worker. That keeps the
-// worker's aggregate view exact and only blurs which of its identical lanes
-// carries the residue — invisible to placement, which sees the worker, not
-// the lane.
+// Feedback routing comes in two flavors; a user picks one and sticks to it:
+//
+// Worker-routed (the simulation driver): starts and finishes are reported
+// per worker, not per lane. Starts are unambiguous — a worker's centrally
+// placed tasks are enqueued in placement order and its FIFO queue starts
+// them in that order — so start feedback pops the worker's pending-lane
+// FIFO. Finish feedback pops the running-lane FIFO; with S > 1, concurrent
+// tasks on one worker may finish out of start order, in which case the
+// estimate is re-synchronized on a sibling lane of the same worker. That
+// keeps the worker's aggregate view exact and only blurs which of its
+// identical lanes carries the residue — invisible to placement, which sees
+// the worker, not the lane. Use AssignTask(now, est) with
+// OnTaskStart/OnTaskFinish.
+//
+// Lane-routed (the prototype backend): the FIFO inference above assumes
+// feedback arrives in placement order, which a multi-threaded RPC bus does
+// not guarantee. There the assigner stamps the charged lane on the
+// placement message, node monitors echo it in their start/finish reports,
+// and feedback hits the exact lane regardless of delivery order. Use
+// AssignTask(now, est, &lane) with OnTaskStartLane/OnTaskFinishLane.
 #ifndef HAWK_CORE_SLOT_WAITING_QUEUE_H_
 #define HAWK_CORE_SLOT_WAITING_QUEUE_H_
 
@@ -66,6 +76,8 @@ class SlotWaitingTimeQueue {
   // Assigns one task with estimated runtime `estimate_us` to the worker
   // owning the minimum-waiting lane and charges that lane's backlog. Ties
   // break by lowest lane id, hence lowest worker id (deterministic).
+  // Worker-routed protocol: the assignment is remembered in the worker's
+  // pending-lane FIFO for OnTaskStart to pop.
   WorkerId AssignTask(SimTime now, DurationUs estimate_us) {
     const SlotId lane = inner_.AssignTask(now, estimate_us);
     if (identity_) {
@@ -74,6 +86,16 @@ class SlotWaitingTimeQueue {
     const WorkerId worker = lane_to_worker_[lane];
     pending_[worker].PushBack(lane);
     return worker;
+  }
+
+  // Lane-routed protocol: same assignment, additionally reporting the
+  // charged lane — a slot id of the tracked prefix — via `*lane`. No
+  // pending-FIFO state is recorded: the caller must route this task's
+  // start/finish feedback with OnTaskStartLane/OnTaskFinishLane (mixing
+  // protocols would desynchronize the worker-routed FIFOs).
+  WorkerId AssignTask(SimTime now, DurationUs estimate_us, SlotId* lane) {
+    *lane = inner_.AssignTask(now, estimate_us);
+    return identity_ ? *lane : lane_to_worker_[*lane];
   }
 
   // Notification: a tracked task with estimate `estimate_us` began executing
@@ -89,6 +111,20 @@ class SlotWaitingTimeQueue {
     const SlotId lane = pending_[worker].PopFront();
     inner_.OnTaskStart(lane, now, estimate_us);
     running_[worker].PushBack(lane);
+  }
+
+  // Lane-routed notifications: feedback for a task assigned through the
+  // lane-reporting AssignTask overload, addressed to the exact charged lane.
+  // Order-insensitive across lanes and exact within one (every start
+  // discharges precisely the estimate its own assignment charged), which is
+  // what an out-of-order delivery bus requires.
+  void OnTaskStartLane(SlotId lane, SimTime now, DurationUs estimate_us) {
+    HAWK_CHECK_LT(lane, lane_count_);
+    inner_.OnTaskStart(lane, now, estimate_us);
+  }
+  void OnTaskFinishLane(SlotId lane, SimTime now) {
+    HAWK_CHECK_LT(lane, lane_count_);
+    inner_.OnTaskFinish(lane, now);
   }
 
   // Notification: a tracked task executing on `worker` finished.

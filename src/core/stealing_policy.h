@@ -12,6 +12,14 @@
 // proportionally more likely to be contacted — it holds proportionally more
 // of the cluster's blocked work. With single-slot workers the slot space is
 // the worker space and the draw sequence is identical to sampling workers.
+//
+// Victim *ordering* is pluggable: kRandom contacts the sampled victims in
+// draw order (the paper's design); kDChoice sorts the same sample by
+// descending queue length first — the power-of-d-choices idea applied to
+// victim selection (PAPERS.md) — so the first contact is the likeliest to
+// hold a stealable group. Both the simulation policies and the threaded
+// prototype's node monitors obtain their victim lists here
+// (ChooseVictimsInto); only the steal *execution* differs between the two.
 #ifndef HAWK_CORE_STEALING_POLICY_H_
 #define HAWK_CORE_STEALING_POLICY_H_
 
@@ -26,10 +34,72 @@ namespace hawk {
 
 class StealingPolicy {
  public:
+  enum class VictimSelection : uint8_t {
+    kRandom,   // Contact sampled victims in draw order (paper §3.6).
+    kDChoice,  // Same sample, most-loaded victim first (power of d choices).
+  };
+
   // `cap`: max random victims contacted per attempt (paper default 10).
-  StealingPolicy(uint32_t cap, uint64_t seed) : cap_(cap), rng_(seed) {}
+  StealingPolicy(uint32_t cap, uint64_t seed,
+                 VictimSelection selection = VictimSelection::kRandom)
+      : cap_(cap), selection_(selection), rng_(seed) {}
 
   uint32_t cap() const { return cap_; }
+  VictimSelection selection() const { return selection_; }
+
+  // Fills `*victims` with the distinct victim workers one steal attempt
+  // would contact, in contact order: up to `cap` candidate slots sampled
+  // without replacement from the general partition (excluding the thief's
+  // own slots), mapped to their owning workers, deduplicated, and — under
+  // kDChoice — stably reordered by descending queue length. Draws from the
+  // policy's RNG stream exactly like TryStealInto; under kRandom the contact
+  // order equals the historical draw order bit for bit. Empty when cap is 0
+  // or no other general-partition slot exists.
+  void ChooseVictimsInto(const Cluster& cluster, WorkerId thief,
+                         std::vector<WorkerId>* victims) {
+    victims->clear();
+    if (cap_ == 0) {
+      return;
+    }
+    const SlotId general_slots = cluster.GeneralSlots();
+    const bool thief_in_general = cluster.InGeneralPartition(thief);
+    // Candidate pool: general-partition slots, minus the thief's own when it
+    // is inside.
+    const uint32_t thief_slots = thief_in_general ? cluster.workers().Slots(thief) : 0;
+    const uint32_t pool = general_slots - thief_slots;
+    if (pool == 0) {
+      return;
+    }
+    const SlotId thief_begin = thief_in_general ? cluster.workers().SlotBegin(thief) : 0;
+    const uint32_t contacts = std::min(cap_, pool);
+    rng_.SampleWithoutReplacement(pool, contacts, &picks_);
+    for (const uint32_t pick : picks_) {
+      // Skip over the thief's slot range to map pool index -> slot id.
+      const SlotId slot =
+          (thief_in_general && pick >= thief_begin) ? pick + thief_slots : pick;
+      const WorkerId victim = cluster.WorkerOfSlot(slot);
+      // Distinct slots can map to the same multi-slot worker; re-probing it
+      // within one attempt is a deterministic repeat-failure, so duplicates
+      // are skipped and not counted as contacts. The sample stays fixed at
+      // min(cap, pool) slots — single-slot fleets keep the exact historical
+      // draw sequence — so an attempt in a multi-slot fleet may contact
+      // fewer than cap distinct victims when its sample collides.
+      if (std::find(victims->begin(), victims->end(), victim) != victims->end()) {
+        continue;
+      }
+      victims->push_back(victim);
+    }
+    if (selection_ == VictimSelection::kDChoice) {
+      // Most-loaded first; stable so equal queues keep the draw order (and
+      // an all-empty view — e.g. the prototype's static layout cluster,
+      // which carries no live queue state — degrades to kRandom exactly).
+      std::stable_sort(victims->begin(), victims->end(),
+                       [&cluster](WorkerId a, WorkerId b) {
+                         return cluster.workers().QueueSize(a) >
+                                cluster.workers().QueueSize(b);
+                       });
+    }
+  }
 
   // Attempts one steal for `thief`, moving the first eligible victim's
   // stealable group straight onto the thief's queue (no intermediate
@@ -57,11 +127,11 @@ class StealingPolicy {
   }
 
  private:
-  // Shared victim-selection loop: samples up to `cap_` candidate slots from
-  // the general partition (excluding the thief's slots), probes their owners
-  // in sample order via `try_victim(victim) -> entries stolen`, and stops at
-  // the first success. Updates the steal counters; returns the number of
-  // entries stolen.
+  // Shared victim loop: obtains the attempt's contact list through
+  // ChooseVictimsInto (the same selection the prototype's node monitors
+  // use), probes victims in that order via `try_victim(victim) -> entries
+  // stolen`, and stops at the first success. Updates the steal counters;
+  // returns the number of entries stolen.
   template <typename TryVictim>
   size_t ForEachVictim(Cluster& cluster, WorkerId thief, RunCounters* counters,
                        TryVictim&& try_victim) {
@@ -69,34 +139,8 @@ class StealingPolicy {
       return 0;
     }
     counters->steal_attempts++;
-    const SlotId general_slots = cluster.GeneralSlots();
-    const bool thief_in_general = cluster.InGeneralPartition(thief);
-    // Candidate pool: general-partition slots, minus the thief's own when it
-    // is inside.
-    const uint32_t thief_slots = thief_in_general ? cluster.workers().Slots(thief) : 0;
-    const uint32_t pool = general_slots - thief_slots;
-    if (pool == 0) {
-      return 0;
-    }
-    const SlotId thief_begin = thief_in_general ? cluster.workers().SlotBegin(thief) : 0;
-    const uint32_t contacts = std::min(cap_, pool);
-    rng_.SampleWithoutReplacement(pool, contacts, &picks_);
-    probed_.clear();
-    for (const uint32_t pick : picks_) {
-      // Skip over the thief's slot range to map pool index -> slot id.
-      const SlotId slot =
-          (thief_in_general && pick >= thief_begin) ? pick + thief_slots : pick;
-      const WorkerId victim = cluster.WorkerOfSlot(slot);
-      // Distinct slots can map to the same multi-slot worker; re-probing it
-      // within one attempt is a deterministic repeat-failure, so duplicates
-      // are skipped and not counted as contacts. The sample stays fixed at
-      // min(cap, pool) slots — single-slot fleets keep the exact historical
-      // draw sequence — so an attempt in a multi-slot fleet may contact
-      // fewer than cap distinct victims when its sample collides.
-      if (std::find(probed_.begin(), probed_.end(), victim) != probed_.end()) {
-        continue;
-      }
-      probed_.push_back(victim);
+    ChooseVictimsInto(cluster, thief, &victims_);
+    for (const WorkerId victim : victims_) {
       counters->steal_victim_probes++;
       const size_t stolen = try_victim(victim);
       if (stolen > 0) {
@@ -109,11 +153,12 @@ class StealingPolicy {
   }
 
   uint32_t cap_;
+  VictimSelection selection_;
   Rng rng_;
   // Victim-sample scratch, reused across attempts.
   std::vector<uint32_t> picks_;
-  // Victims already contacted in the current attempt (<= cap entries).
-  std::vector<WorkerId> probed_;
+  // The current attempt's contact list (<= cap entries).
+  std::vector<WorkerId> victims_;
 };
 
 }  // namespace hawk

@@ -8,11 +8,28 @@
 namespace hawk {
 namespace runtime {
 
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+// Capacity lookup for the constructor's init list; checks the layout exists
+// before anything dereferences it.
+uint32_t SlotsOf(const NodeMonitorConfig& config, rpc::Address address) {
+  HAWK_CHECK(config.layout != nullptr);
+  HAWK_CHECK_LT(address, config.layout->NumWorkers());
+  return config.layout->workers().Slots(address);
+}
+
+}  // namespace
+
 NodeMonitor::NodeMonitor(rpc::Address address, const NodeMonitorConfig& config,
                          rpc::MessageBus* bus, uint64_t seed)
-    : address_(address), config_(config), bus_(bus), rng_(seed) {
+    : address_(address),
+      config_(config),
+      bus_(bus),
+      stealing_(config.steal_cap, seed, config.victim_selection),
+      free_slots_(SlotsOf(config, address)) {
   HAWK_CHECK(bus != nullptr);
-  HAWK_CHECK_LT(address, config.num_nodes);
 }
 
 NodeMonitor::~NodeMonitor() { Stop(); }
@@ -37,7 +54,7 @@ void NodeMonitor::Stop() {
 }
 
 void NodeMonitor::HandleMessage(const rpc::BusMessage& message) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   if (stopping_) {
     return;
   }
@@ -46,33 +63,37 @@ void NodeMonitor::HandleMessage(const rpc::BusMessage& message) {
       Entry entry;
       entry.is_probe = true;
       entry.probe = ProbeMsg::Decode(message.payload);
+      // The frontend sampled a slot; it must be one of ours (stolen probes
+      // bypass this path — they arrive inside kStealResponse).
+      HAWK_CHECK_EQ(config_.layout->WorkerOfSlot(entry.probe.slot), address_)
+          << "probe for slot " << entry.probe.slot << " misrouted to node " << address_;
       queue_.push_back(entry);
       steal_round_exhausted_ = false;  // New work: future idleness may steal again.
-      Advance(lock);
+      Advance();
       break;
     }
     case kTaskPlace: {
       Entry entry;
       entry.is_probe = false;
       entry.task = TaskMsg::Decode(message.payload);
+      HAWK_CHECK_EQ(config_.layout->WorkerOfSlot(entry.task.slot), address_)
+          << "placed task for slot " << entry.task.slot << " misrouted to node " << address_;
       queue_.push_back(entry);
       steal_round_exhausted_ = false;
-      Advance(lock);
+      Advance();
       break;
     }
     case kTaskGrant: {
-      HAWK_CHECK(state_ == State::kRequesting);
-      exec_task_ = TaskMsg::Decode(message.payload);
-      state_ = State::kExecuting;
-      current_is_long_ = exec_task_.is_long;
-      has_exec_task_ = true;
-      exec_cv_.notify_all();
+      const TaskMsg task = TaskMsg::Decode(message.payload);
+      // The request's slot converts directly into the execution slot.
+      ResolveRequestLocked(task.job);
+      StartTaskLocked(task, /*centrally_placed=*/false);
       break;
     }
     case kTaskCancel: {
-      HAWK_CHECK(state_ == State::kRequesting);
-      state_ = State::kIdle;
-      Advance(lock);
+      const JobRefMsg cancel = JobRefMsg::Decode(message.payload);
+      ResolveRequestLocked(cancel.job);
+      Advance();
       break;
     }
     case kStealRequest: {
@@ -87,7 +108,9 @@ void NodeMonitor::HandleMessage(const rpc::BusMessage& message) {
       steal_in_flight_ = false;
       if (!response.probes.empty()) {
         entries_stolen_.fetch_add(response.probes.size(), std::memory_order_relaxed);
-        steal_victims_.clear();  // Round succeeded; stop contacting victims.
+        // Round succeeded; stop contacting victims.
+        steal_victims_.clear();
+        next_victim_ = 0;
         steal_round_exhausted_ = false;
         for (const ProbeMsg& probe : response.probes) {
           Entry entry;
@@ -95,12 +118,12 @@ void NodeMonitor::HandleMessage(const rpc::BusMessage& message) {
           entry.probe = probe;
           queue_.push_back(entry);
         }
-      } else if (steal_victims_.empty()) {
+      } else if (next_victim_ >= steal_victims_.size()) {
         // Round over with nothing stolen: stay idle until new work appears
         // ("whenever a server is out of tasks" is one bounded round, §3.6).
         steal_round_exhausted_ = true;
       }
-      Advance(lock);
+      Advance();
       break;
     }
     default:
@@ -108,65 +131,91 @@ void NodeMonitor::HandleMessage(const rpc::BusMessage& message) {
   }
 }
 
-void NodeMonitor::Advance(std::unique_lock<std::mutex>& lock) {
-  (void)lock;
-  if (state_ != State::kIdle) {
-    return;
-  }
-  if (queue_.empty()) {
-    if (config_.stealing_enabled && config_.steal_cap > 0) {
-      TryStealLocked();
+void NodeMonitor::Advance() {
+  // Fill free slots from the FIFO queue (the runtime twin of the simulation
+  // driver's TryDispatch): a task occupies a slot until its deadline; a
+  // probe parks a slot on a late-binding request.
+  while (free_slots_ > 0 && !queue_.empty()) {
+    const Entry entry = queue_.front();
+    queue_.pop_front();
+    if (entry.is_probe) {
+      --free_slots_;
+      ++requesting_;
+      if (entry.probe.is_long) {
+        ++occupied_long_;
+      }
+      auto& record = outstanding_[entry.probe.job];
+      ++record.first;
+      record.second = entry.probe.is_long;
+      JobRefMsg request;
+      request.job = entry.probe.job;
+      request.sender = address_;
+      bus_->Send(address_, entry.probe.frontend, kTaskRequest, request.Encode());
+      continue;
     }
-    return;
+    StartTaskLocked(entry.task, /*centrally_placed=*/true);
   }
-  const Entry entry = queue_.front();
-  queue_.pop_front();
-  if (entry.is_probe) {
-    // Late binding: ask the owning frontend for a task; kTaskGrant or
-    // kTaskCancel moves the state machine on.
-    state_ = State::kRequesting;
-    current_is_long_ = false;  // Probes carry short work in the prototype.
-    JobRefMsg request;
-    request.job = entry.probe.job;
-    request.sender = address_;
-    bus_->Send(address_, entry.probe.frontend, kTaskRequest, request.Encode());
-    return;
+  if (free_slots_ > 0 && queue_.empty() && config_.stealing_enabled &&
+      config_.steal_cap > 0) {
+    TryStealLocked();
   }
-  state_ = State::kExecuting;
-  current_is_long_ = entry.task.is_long;
-  exec_task_ = entry.task;
-  has_exec_task_ = true;
-  if (entry.task.is_long) {
+}
+
+void NodeMonitor::StartTaskLocked(const TaskMsg& task, bool centrally_placed) {
+  HAWK_CHECK_GT(free_slots_, 0u) << "task start on node " << address_ << " with no free slot";
+  --free_slots_;
+  executing_slots_.fetch_add(1, std::memory_order_relaxed);
+  if (task.is_long) {
+    ++occupied_long_;
+  }
+  running_.push(RunningTask{Clock::now() + std::chrono::microseconds(task.duration_us), task});
+  if (centrally_placed) {
+    // §3.7 feedback: the owning (centralized) scheduler re-synchronizes its
+    // waiting-time estimate on every start of a task it placed. The echoed
+    // slot routes the feedback to the exact lane the backend charged.
     JobRefMsg started;
-    started.job = entry.task.job;
+    started.job = task.job;
     started.sender = address_;
-    bus_->Send(address_, entry.task.owner, kTaskStarted, started.Encode());
+    started.slot = task.slot;
+    bus_->Send(address_, task.owner, kTaskStarted, started.Encode());
   }
   exec_cv_.notify_all();
+}
+
+void NodeMonitor::ResolveRequestLocked(JobId job) {
+  HAWK_CHECK_GT(requesting_, 0u) << "request resolution on node " << address_
+                                 << " with no request in flight";
+  const auto it = outstanding_.find(job);
+  HAWK_CHECK(it != outstanding_.end())
+      << "request resolution for unknown job " << job << " on node " << address_;
+  --requesting_;
+  ++free_slots_;
+  if (it->second.second) {
+    HAWK_CHECK_GT(occupied_long_, 0u);
+    --occupied_long_;
+  }
+  if (--it->second.first == 0) {
+    outstanding_.erase(it);
+  }
 }
 
 void NodeMonitor::TryStealLocked() {
   if (steal_in_flight_ || steal_round_exhausted_) {
     return;
   }
-  if (steal_victims_.empty()) {
-    // Start a new round: pick up to `cap` distinct random general-partition
-    // victims (excluding ourselves).
-    const uint32_t pool =
-        address_ < config_.general_count ? config_.general_count - 1 : config_.general_count;
-    if (pool == 0) {
+  if (next_victim_ >= steal_victims_.size()) {
+    // Start a new round: the shared StealingPolicy samples up to `cap`
+    // distinct general-partition victims from the layout's slot space
+    // (capacity-weighted, thief excluded) — the same draw the simulation's
+    // policies make.
+    stealing_.ChooseVictimsInto(*config_.layout, address_, &steal_victims_);
+    next_victim_ = 0;
+    if (steal_victims_.empty()) {
       return;
-    }
-    const uint32_t contacts = std::min(config_.steal_cap, pool);
-    for (const uint32_t pick : rng_.SampleWithoutReplacement(pool, contacts)) {
-      const rpc::Address victim =
-          (address_ < config_.general_count && pick >= address_) ? pick + 1 : pick;
-      steal_victims_.push_back(victim);
     }
     steals_attempted_.fetch_add(1, std::memory_order_relaxed);
   }
-  const rpc::Address victim = steal_victims_.back();
-  steal_victims_.pop_back();
+  const rpc::Address victim = steal_victims_[next_victim_++];
   steal_in_flight_ = true;
   StealRequestMsg request;
   request.thief = address_;
@@ -174,14 +223,19 @@ void NodeMonitor::TryStealLocked() {
 }
 
 std::vector<ProbeMsg> NodeMonitor::ExtractStealableLocked() {
-  // Mirror of Worker::ExtractStealableGroup (Fig. 3): first consecutive group
-  // of short entries (probes) following a long entry in [current, queue...].
+  // Mirror of WorkerStore::ExtractStealableGroup (Fig. 3): the first
+  // consecutive group of short probes following a long entry in
+  // [occupied slots, queue...] order. Occupied long work — executing long
+  // tasks or in-flight long probes — counts like a long entry at the head,
+  // matching AnyOccupiedLong in the simulation.
   std::vector<ProbeMsg> stolen;
-  bool seen_long = state_ != State::kIdle && current_is_long_;
+  bool seen_long = occupied_long_ > 0;
+  const auto entry_is_long = [](const Entry& entry) {
+    return entry.is_probe ? entry.probe.is_long : entry.task.is_long;
+  };
   size_t begin = queue_.size();
   for (size_t i = 0; i < queue_.size(); ++i) {
-    const bool is_long = !queue_[i].is_probe && queue_[i].task.is_long;
-    if (is_long) {
+    if (entry_is_long(queue_[i])) {
       seen_long = true;
       continue;
     }
@@ -190,8 +244,11 @@ std::vector<ProbeMsg> NodeMonitor::ExtractStealableLocked() {
       break;
     }
   }
+  // Only probes can be relocated over the wire; a concrete task ends the
+  // group (concrete short tasks never coexist with stealing under the
+  // current shapes, so this matches the simulator's group rule in practice).
   size_t end = begin;
-  while (end < queue_.size() && queue_[end].is_probe) {
+  while (end < queue_.size() && queue_[end].is_probe && !queue_[end].probe.is_long) {
     ++end;
   }
   for (size_t i = begin; i < end; ++i) {
@@ -203,35 +260,37 @@ std::vector<ProbeMsg> NodeMonitor::ExtractStealableLocked() {
 }
 
 void NodeMonitor::ExecutorLoop() {
+  // One thread services every slot: running tasks are sleeps, so the thread
+  // tracks their completion deadlines in a min-heap and completes each task
+  // as it falls due instead of blocking one thread per slot.
   std::unique_lock<std::mutex> lock(mu_);
-  while (true) {
-    exec_cv_.wait(lock, [this] { return stopping_ || has_exec_task_; });
-    if (stopping_) {
-      return;
+  while (!stopping_) {
+    if (running_.empty()) {
+      exec_cv_.wait(lock, [this] { return stopping_ || !running_.empty(); });
+      continue;
     }
-    const TaskMsg task = exec_task_;
-    has_exec_task_ = false;
-    executing_.store(true, std::memory_order_relaxed);
-    lock.unlock();
-
-    // The paper's prototype runs sleep tasks whose durations are the scaled
-    // trace durations.
-    std::this_thread::sleep_for(std::chrono::microseconds(task.duration_us));
-
-    busy_us_.fetch_add(task.duration_us, std::memory_order_relaxed);
-    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
-    executing_.store(false, std::memory_order_relaxed);
-
-    TaskMsg done = task;
-    bus_->Send(address_, task.owner, kTaskDone, done.Encode());
-
-    lock.lock();
-    if (stopping_) {
-      return;
+    const Clock::time_point deadline = running_.top().deadline;
+    if (Clock::now() < deadline) {
+      // Wakes early when a shorter task starts or on shutdown; the loop
+      // re-evaluates either way.
+      exec_cv_.wait_until(lock, deadline);
+      continue;
     }
-    HAWK_CHECK(state_ == State::kExecuting);
-    state_ = State::kIdle;
-    Advance(lock);
+    const Clock::time_point now = Clock::now();
+    while (!running_.empty() && running_.top().deadline <= now) {
+      const TaskMsg task = running_.top().task;
+      running_.pop();
+      busy_us_.fetch_add(task.duration_us, std::memory_order_relaxed);
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      executing_slots_.fetch_sub(1, std::memory_order_relaxed);
+      ++free_slots_;
+      if (task.is_long) {
+        HAWK_CHECK_GT(occupied_long_, 0u);
+        --occupied_long_;
+      }
+      bus_->Send(address_, task.owner, kTaskDone, task.Encode());
+      Advance();
+    }
   }
 }
 

@@ -1,10 +1,16 @@
 // Node monitor: the per-worker agent of the prototype runtime (paper §3.8).
 //
-// Holds the worker's FIFO queue of probes and tasks, executes one task at a
-// time on a dedicated executor thread (tasks are sleeps, as in the paper's
-// prototype), performs Sparrow-style late binding over RPC, and implements
-// both sides of randomized work stealing: as a thief when it runs out of
-// work, and as a victim serving steal requests against its queue.
+// Holds the worker's FIFO queue of probes and tasks and executes up to
+// `slots` tasks concurrently (multi-slot workers, mirroring the simulator's
+// WorkerStore: the slots share one FIFO queue). Tasks are sleeps, as in the
+// paper's prototype; rather than burning one thread per slot, a single
+// executor thread tracks the running tasks' wall-clock completion deadlines
+// in a min-heap and completes them as they fall due. The monitor performs
+// Sparrow-style late binding over RPC — each free slot can park on its own
+// outstanding task request — and implements both sides of randomized work
+// stealing: as a thief when it runs out of queued work (victim selection via
+// the shared StealingPolicy over the run's layout cluster), and as a victim
+// serving steal requests against its queue (Fig. 3 group rule).
 #ifndef HAWK_RUNTIME_NODE_MONITOR_H_
 #define HAWK_RUNTIME_NODE_MONITOR_H_
 
@@ -12,11 +18,15 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <queue>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "src/cluster/cluster.h"
 #include "src/common/random.h"
 #include "src/common/types.h"
+#include "src/core/stealing_policy.h"
 #include "src/rpc/message_bus.h"
 #include "src/runtime/proto_messages.h"
 
@@ -24,10 +34,13 @@ namespace hawk {
 namespace runtime {
 
 struct NodeMonitorConfig {
-  uint32_t num_nodes = 100;
-  uint32_t general_count = 83;  // Nodes [0, general_count) form the general partition.
-  uint32_t steal_cap = 10;      // 0 disables stealing.
+  // The run's immutable cluster layout: worker slot counts, the general
+  // partition boundary, and the slot-index space stealing samples from.
+  // Shared read-only by every monitor; must outlive them.
+  const Cluster* layout = nullptr;
+  uint32_t steal_cap = 10;  // 0 disables stealing.
   bool stealing_enabled = true;
+  StealingPolicy::VictimSelection victim_selection = StealingPolicy::VictimSelection::kRandom;
 };
 
 class NodeMonitor {
@@ -44,7 +57,8 @@ class NodeMonitor {
   // Stops the executor thread; pending queue entries are dropped.
   void Stop();
 
-  bool ExecutingNow() const { return executing_.load(std::memory_order_relaxed); }
+  // Slots currently executing a task (utilization sampling).
+  uint32_t ExecutingSlots() const { return executing_slots_.load(std::memory_order_relaxed); }
 
   // Counters (racy reads are fine; read after Drain for exact values).
   uint64_t tasks_executed() const { return tasks_executed_.load(std::memory_order_relaxed); }
@@ -59,37 +73,61 @@ class NodeMonitor {
     TaskMsg task;    // Valid for tasks.
   };
 
-  enum class State : uint8_t { kIdle, kRequesting, kExecuting };
+  // A task occupying a slot until its wall-clock deadline.
+  struct RunningTask {
+    std::chrono::steady_clock::time_point deadline;
+    TaskMsg task;
+  };
+  struct DeadlineLater {
+    bool operator()(const RunningTask& a, const RunningTask& b) const {
+      return a.deadline > b.deadline;
+    }
+  };
 
   void HandleMessage(const rpc::BusMessage& message);
   void ExecutorLoop();
 
-  // Advances the queue state machine. Caller holds mu_.
-  void Advance(std::unique_lock<std::mutex>& lock);
+  // Fills free slots from the queue, then considers stealing. Caller holds mu_.
+  void Advance();
+  // Occupies a free slot with `task`. Centrally placed tasks report their
+  // start to the owning scheduler (§3.7 feedback). Caller holds mu_.
+  void StartTaskLocked(const TaskMsg& task, bool centrally_placed);
+  // Releases the slot a resolved (granted or cancelled) request was parked
+  // on. Caller holds mu_.
+  void ResolveRequestLocked(JobId job);
   // Starts or continues a steal round. Caller holds mu_.
   void TryStealLocked();
-  // Victim side: extract the first consecutive short group after a long
-  // entry (probes are short; placed tasks are long). Caller holds mu_.
+  // Victim side: extract the first consecutive group of short probes after a
+  // long entry (Fig. 3). Caller holds mu_.
   std::vector<ProbeMsg> ExtractStealableLocked();
 
   const rpc::Address address_;
   const NodeMonitorConfig config_;
   rpc::MessageBus* bus_;
-  Rng rng_;
+  // Shared steal-victim selection (same sampling and ordering as the
+  // simulation policies); seeded per monitor.
+  StealingPolicy stealing_;
 
   std::mutex mu_;
   std::condition_variable exec_cv_;
   std::deque<Entry> queue_;
-  State state_ = State::kIdle;
-  bool current_is_long_ = false;
+  // Initialized to the monitor's capacity (layout slot count).
+  uint32_t free_slots_;
+  uint32_t requesting_ = 0;
+  // Occupied slots (requesting or executing) holding long work — the steal
+  // screening input, mirroring WorkerStore::AnyOccupiedLong.
+  uint32_t occupied_long_ = 0;
+  // Outstanding late-binding requests per job: count and the probes' class
+  // (one class per job), so grants/cancels release the right accounting.
+  std::unordered_map<JobId, std::pair<uint32_t, bool>> outstanding_;
+  std::priority_queue<RunningTask, std::vector<RunningTask>, DeadlineLater> running_;
   bool steal_in_flight_ = false;
-  bool steal_round_exhausted_ = false;  // Round failed; wait for new work.
-  std::vector<rpc::Address> steal_victims_;  // Remaining victims this round.
-  bool has_exec_task_ = false;
-  TaskMsg exec_task_;
+  bool steal_round_exhausted_ = false;   // Round failed; wait for new work.
+  std::vector<WorkerId> steal_victims_;  // This round's contact list.
+  size_t next_victim_ = 0;               // Cursor into steal_victims_.
   bool stopping_ = false;
 
-  std::atomic<bool> executing_{false};
+  std::atomic<uint32_t> executing_slots_{0};
   std::atomic<uint64_t> tasks_executed_{0};
   std::atomic<uint64_t> steals_attempted_{0};
   std::atomic<uint64_t> entries_stolen_{0};

@@ -57,34 +57,59 @@ struct JobSubmitMsg {
 
 // kProbe. Also the unit stolen between node monitors: a probe retains its
 // owning frontend so the thief's task request goes to the right scheduler.
+// `slot` is the global slot index the frontend sampled (multi-slot capacity
+// weighting; the receiving monitor validates it owns the slot); `is_long`
+// is the probed job's scheduling class — node monitors need it for steal
+// screening, since long probes block a queue like long tasks do (§3.6).
 struct ProbeMsg {
   JobId job = 0;
   rpc::Address frontend = 0;
+  uint32_t slot = 0;
+  bool is_long = false;
+
+  // The field layout lives in WriteTo/ReadFrom only; Encode/Decode and the
+  // steal-response batch framing below all delegate, so a new field cannot
+  // silently miss one of the copies and misalign the wire.
+  void WriteTo(rpc::Writer& w) const {
+    w.WriteU32(job);
+    w.WriteU32(frontend);
+    w.WriteU32(slot);
+    w.WriteBool(is_long);
+  }
+  static ProbeMsg ReadFrom(rpc::Reader& r) {
+    ProbeMsg m;
+    m.job = r.ReadU32();
+    m.frontend = r.ReadU32();
+    m.slot = r.ReadU32();
+    m.is_long = r.ReadBool();
+    return m;
+  }
 
   std::vector<uint8_t> Encode() const {
     rpc::Writer w;
-    w.WriteU32(job);
-    w.WriteU32(frontend);
+    WriteTo(w);
     return w.Take();
   }
   static ProbeMsg Decode(const std::vector<uint8_t>& buf) {
     rpc::Reader r(buf);
-    ProbeMsg m;
-    m.job = r.ReadU32();
-    m.frontend = r.ReadU32();
-    return m;
+    return ReadFrom(r);
   }
 };
 
 // kTaskRequest / kTaskStarted / kTaskCancel: job + the sender's address.
+// For kTaskStarted, `slot` echoes the lane the backend charged at placement
+// (TaskMsg::slot), so the waiting-time feedback is routed to the exact lane
+// regardless of bus delivery order; unused (0) for the other types.
 struct JobRefMsg {
   JobId job = 0;
   rpc::Address sender = 0;
+  uint32_t slot = 0;
 
   std::vector<uint8_t> Encode() const {
     rpc::Writer w;
     w.WriteU32(job);
     w.WriteU32(sender);
+    w.WriteU32(slot);
     return w.Take();
   }
   static JobRefMsg Decode(const std::vector<uint8_t>& buf) {
@@ -92,17 +117,22 @@ struct JobRefMsg {
     JobRefMsg m;
     m.job = r.ReadU32();
     m.sender = r.ReadU32();
+    m.slot = r.ReadU32();
     return m;
   }
 };
 
-// kTaskGrant / kTaskPlace / kTaskDone.
+// kTaskGrant / kTaskPlace / kTaskDone. For kTaskPlace, `slot` is the global
+// slot index (§3.7 lane) the backend's waiting-time queue charged — the
+// receiving monitor validates it owns the slot. Grants and completions have
+// no slot affinity (the monitor's slots share one FIFO queue) and leave it 0.
 struct TaskMsg {
   JobId job = 0;
   TaskIndex task_index = 0;
   int64_t duration_us = 0;
   bool is_long = false;
   rpc::Address owner = 0;  // Scheduler to notify on completion.
+  uint32_t slot = 0;
 
   std::vector<uint8_t> Encode() const {
     rpc::Writer w;
@@ -111,6 +141,7 @@ struct TaskMsg {
     w.WriteI64(duration_us);
     w.WriteBool(is_long);
     w.WriteU32(owner);
+    w.WriteU32(slot);
     return w.Take();
   }
   static TaskMsg Decode(const std::vector<uint8_t>& buf) {
@@ -121,6 +152,7 @@ struct TaskMsg {
     m.duration_us = r.ReadI64();
     m.is_long = r.ReadBool();
     m.owner = r.ReadU32();
+    m.slot = r.ReadU32();
     return m;
   }
 };
@@ -149,8 +181,7 @@ struct StealResponseMsg {
     rpc::Writer w;
     w.WriteU32(static_cast<uint32_t>(probes.size()));
     for (const ProbeMsg& p : probes) {
-      w.WriteU32(p.job);
-      w.WriteU32(p.frontend);
+      p.WriteTo(w);
     }
     return w.Take();
   }
@@ -160,10 +191,7 @@ struct StealResponseMsg {
     const uint32_t count = r.ReadU32();
     m.probes.reserve(count);
     for (uint32_t i = 0; i < count; ++i) {
-      ProbeMsg p;
-      p.job = r.ReadU32();
-      p.frontend = r.ReadU32();
-      m.probes.push_back(p);
+      m.probes.push_back(ProbeMsg::ReadFrom(r));
     }
     return m;
   }

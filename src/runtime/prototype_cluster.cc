@@ -1,16 +1,21 @@
 #include "src/runtime/prototype_cluster.h"
 
-#include <atomic>
+#include <algorithm>
 #include <cmath>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
 #include "src/common/random.h"
+#include "src/core/job_classifier.h"
 #include "src/runtime/node_monitor.h"
 #include "src/runtime/proto_messages.h"
 #include "src/runtime/schedulers.h"
+#include "src/scheduler/registry.h"
 
 namespace hawk {
 namespace runtime {
@@ -18,56 +23,98 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-bool IsLongJob(const Job& job, const PrototypeConfig& config) {
-  if (config.cutoff_us == 0) {
-    return job.long_hint;
-  }
-  return job.AvgTaskDurationUs() >= static_cast<double>(config.cutoff_us);
-}
-
 }  // namespace
 
-RunResult RunPrototype(const Trace& trace, const PrototypeConfig& config) {
-  HAWK_CHECK_GT(config.num_nodes, 0u);
-  HAWK_CHECK_GT(config.num_frontends, 0u);
-  const bool hawk_mode = config.mode == PrototypeMode::kHawk;
+Status PrototypeConfig::Validate() const {
+  if (scheduler.empty()) {
+    return Status::Error("prototype scheduler name must not be empty");
+  }
+  const Status hawk_status = hawk.Validate();
+  if (!hawk_status.ok()) {
+    return hawk_status;
+  }
+  if (num_frontends == 0) {
+    return Status::Error("num_frontends must be nonzero");
+  }
+  if (bus_threads == 0) {
+    return Status::Error("bus_threads must be nonzero");
+  }
+  if (timeout.count() <= 0) {
+    return Status::Error("timeout must be positive");
+  }
+  return Status::Ok();
+}
+
+StatusOr<RunResult> RunPrototype(const Trace& trace, const PrototypeConfig& config) {
+  const Status valid = config.Validate();
+  if (!valid.ok()) {
+    return valid;
+  }
+  // Registry resolution — the same lookup RunExperiment performs, but with a
+  // clean Status instead of an abort: prototype configs frequently come from
+  // command-line flags.
+  const SchedulerRegistry::Entry* entry = SchedulerRegistry::Global().Find(config.scheduler);
+  if (entry == nullptr) {
+    return Status::Error("unknown scheduler '" + config.scheduler +
+                         "'; registered schedulers: " +
+                         SchedulerRegistry::Global().JoinedNames());
+  }
+  const std::unique_ptr<SchedulerPolicy> policy = entry->factory(config.hawk);
+  if (policy == nullptr) {
+    return Status::Error("scheduler '" + config.scheduler + "' factory returned null");
+  }
+  // The policy is consulted for its control-plane shape and partition, never
+  // attached: the runtime executes the shape with the shared components.
+  const RuntimeShape shape = policy->ShapeForRuntime(config.hawk);
   const uint32_t general_count =
-      hawk_mode ? std::max<uint32_t>(
-                      1, config.num_nodes -
-                             static_cast<uint32_t>(config.num_nodes *
-                                                   config.short_partition_fraction))
-                : config.num_nodes;
+      entry->general_count ? entry->general_count(config.hawk) : config.hawk.num_workers;
+  const HawkConfig& hawk = config.hawk;
 
-  rpc::MessageBus bus(config.bus_latency, config.bus_threads);
+  // The immutable layout every runtime component shares: slot counts per
+  // node, the general-partition boundary, and the slot-index space used by
+  // probe placement and steal-victim sampling.
+  const Cluster layout(hawk.num_workers, general_count, hawk.Slots());
+  if (shape.short_probe_span == RuntimeShape::ProbeSpan::kShortPartition &&
+      layout.GeneralSlots() == layout.TotalSlots()) {
+    return Status::Error("scheduler '" + config.scheduler +
+                         "' probes the short partition, but the partition is empty");
+  }
+
+  rpc::MessageBus bus(std::chrono::microseconds(hawk.net_delay_us), config.bus_threads);
   CompletionSink sink;
-  sink.ExpectJobs(trace.NumJobs());
+  {
+    std::vector<JobId> ids;
+    ids.reserve(trace.NumJobs());
+    for (const Job& job : trace.jobs()) {
+      ids.push_back(job.id);
+    }
+    sink.ExpectJobs(ids);
+  }
 
-  // Node monitors (bus addresses 0..num_nodes-1).
+  // Node monitors (bus addresses 0..num_workers-1).
   NodeMonitorConfig nm_config;
-  nm_config.num_nodes = config.num_nodes;
-  nm_config.general_count = general_count;
-  nm_config.steal_cap = config.steal_cap;
-  nm_config.stealing_enabled = hawk_mode;
+  nm_config.layout = &layout;
+  nm_config.steal_cap = hawk.steal_cap;
+  nm_config.stealing_enabled = shape.stealing && hawk.steal_cap > 0;
+  nm_config.victim_selection = shape.victim_selection;
   std::vector<std::unique_ptr<NodeMonitor>> monitors;
-  monitors.reserve(config.num_nodes);
-  Rng seeder(config.seed);
-  for (uint32_t n = 0; n < config.num_nodes; ++n) {
+  monitors.reserve(hawk.num_workers);
+  Rng seeder(hawk.seed);
+  for (uint32_t n = 0; n < hawk.num_workers; ++n) {
     monitors.push_back(std::make_unique<NodeMonitor>(n, nm_config, &bus, seeder.Next()));
   }
 
-  // Distributed frontends; short jobs probe the whole cluster in Hawk mode
-  // (§3.5) and in Sparrow mode.
+  // Distributed frontends, probing the spans the policy shape declares.
   std::vector<std::unique_ptr<DistributedFrontend>> frontends;
   frontends.reserve(config.num_frontends);
   for (uint32_t f = 0; f < config.num_frontends; ++f) {
     frontends.push_back(std::make_unique<DistributedFrontend>(
-        kFrontendBase + f, /*probe_first=*/0, /*probe_count=*/config.num_nodes,
-        config.probe_ratio, &bus, &sink, seeder.Next()));
+        kFrontendBase + f, &layout, shape, hawk.probe_ratio, &bus, &sink, seeder.Next()));
   }
 
   std::unique_ptr<CentralBackend> backend;
-  if (hawk_mode) {
-    backend = std::make_unique<CentralBackend>(kBackendAddress, general_count, &bus, &sink);
+  if (shape.centralized_long || shape.centralized_short) {
+    backend = std::make_unique<CentralBackend>(kBackendAddress, &layout, &bus, &sink);
   }
 
   for (auto& monitor : monitors) {
@@ -81,22 +128,34 @@ RunResult RunPrototype(const Trace& trace, const PrototypeConfig& config) {
   }
 
   // Utilization sampler thread (the wall-clock analogue of the simulator's
-  // 100 s snapshots).
-  std::atomic<bool> sampling{true};
+  // periodic snapshots): executing slots over total slots, like
+  // Cluster::Utilization. The inter-sample wait is interruptible so a
+  // period longer than the run (e.g. a spec carrying the simulator's 100 s
+  // default) cannot stall teardown until the next tick.
+  std::mutex sampler_mu;
+  std::condition_variable sampler_cv;
+  bool sampling = true;
   std::vector<double> utilization_samples;
   std::thread sampler([&] {
-    while (sampling.load(std::memory_order_relaxed)) {
-      uint32_t executing = 0;
+    const auto period = std::chrono::microseconds(hawk.util_sample_period_us);
+    std::unique_lock<std::mutex> lock(sampler_mu);
+    while (sampling) {
+      lock.unlock();
+      uint64_t executing = 0;
       for (const auto& monitor : monitors) {
-        if (monitor->ExecutingNow()) {
-          ++executing;
-        }
+        executing += monitor->ExecutingSlots();
       }
       utilization_samples.push_back(static_cast<double>(executing) /
-                                    static_cast<double>(config.num_nodes));
-      std::this_thread::sleep_for(config.util_sample_period);
+                                    static_cast<double>(layout.TotalSlots()));
+      lock.lock();
+      sampler_cv.wait_for(lock, period, [&] { return !sampling; });
     }
   });
+
+  // Shared classification (§3.3): the same classifier, cutoff and noise
+  // stream the simulation driver would construct for this config.
+  JobClassifier classifier(hawk.classify_mode, hawk.cutoff_us, hawk.estimate_noise_lo,
+                           hawk.estimate_noise_hi, Rng(hawk.seed).Next());
 
   // Submit jobs in real time following the trace's submission schedule.
   const Clock::time_point start = Clock::now();
@@ -109,15 +168,17 @@ RunResult RunPrototype(const Trace& trace, const PrototypeConfig& config) {
     for (const Job& job : trace.jobs()) {
       const Clock::time_point due = start + std::chrono::microseconds(job.submit_time);
       std::this_thread::sleep_until(due);
-      const bool is_long = IsLongJob(job, config);
+      const JobClass cls = classifier.Classify(job);
       JobSubmitMsg submit;
       submit.job = job.id;
-      submit.is_long = is_long;
-      submit.estimate_us = static_cast<int64_t>(std::llround(job.AvgTaskDurationUs()));
+      submit.is_long = cls.is_long_sched;
+      submit.estimate_us = std::llround(std::max(0.0, cls.estimate_us));
       submit.task_durations_us.assign(job.task_durations.begin(), job.task_durations.end());
       submit_times.emplace(job.id, Clock::now());
-      is_long_map.emplace(job.id, is_long);
-      if (is_long && hawk_mode) {
+      is_long_map.emplace(job.id, cls.is_long_metrics);
+      const bool to_backend =
+          cls.is_long_sched ? shape.centralized_long : shape.centralized_short;
+      if (to_backend) {
         bus.Send(kBackendAddress, kBackendAddress, kJobSubmit, submit.Encode());
       } else {
         const rpc::Address frontend = kFrontendBase + (next_frontend++ % config.num_frontends);
@@ -126,13 +187,17 @@ RunResult RunPrototype(const Trace& trace, const PrototypeConfig& config) {
     }
   }
 
-  const bool completed = sink.AwaitAll(config.timeout);
-  if (!completed) {
-    HAWK_LOG(Error) << "prototype run timed out; results are partial";
+  const Status completed = sink.AwaitAll(config.timeout);
+  if (!completed.ok()) {
+    HAWK_LOG(Error) << completed.message() << "; results are partial";
   }
   bus.Drain();
 
-  sampling.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(sampler_mu);
+    sampling = false;
+  }
+  sampler_cv.notify_all();
   sampler.join();
   for (auto& monitor : monitors) {
     monitor->Stop();
@@ -166,7 +231,42 @@ RunResult RunPrototype(const Trace& trace, const PrototypeConfig& config) {
     result.counters.entries_stolen += monitor->entries_stolen();
   }
   result.counters.events = bus.MessagesDelivered();
+  result.total_busy_us = 0;
+  for (const auto& monitor : monitors) {
+    result.total_busy_us += monitor->busy_us();
+  }
   return result;
+}
+
+StatusOr<RunResult> RunPrototype(const ExperimentSpec& spec, const PrototypeConfig& runtime) {
+  if (spec.trace == nullptr) {
+    return Status::Error("prototype experiment '" + spec.Label() + "' has no trace");
+  }
+  PrototypeConfig config = runtime;
+  config.scheduler = spec.scheduler;
+  config.hawk = spec.config;
+  // The sampler period is a wall-clock knob and stays with `runtime`: a
+  // spec tuned for the simulator typically carries the 100 s sim-time
+  // default, which on the wall clock would mean one utilization sample per
+  // run and a silently-zero median utilization.
+  config.hawk.util_sample_period_us = runtime.hawk.util_sample_period_us;
+  return RunPrototype(*spec.trace, config);
+}
+
+StatusOr<std::vector<SweepRun>> RunPrototypeSweep(const SweepSpec& sweep,
+                                                  const PrototypeConfig& runtime) {
+  std::vector<SweepRun> runs;
+  std::vector<ExperimentSpec> specs = sweep.Expand();
+  runs.reserve(specs.size());
+  for (ExperimentSpec& spec : specs) {
+    StatusOr<RunResult> result = RunPrototype(spec, runtime);
+    if (!result.ok()) {
+      return Status::Error("prototype sweep point '" + spec.Label() +
+                           "' failed: " + result.status().message());
+    }
+    runs.push_back(SweepRun{std::move(spec), std::move(result.value())});
+  }
+  return runs;
 }
 
 }  // namespace runtime

@@ -1,31 +1,75 @@
 #include "src/runtime/schedulers.h"
 
+#include <string>
+
 #include "src/common/check.h"
 #include "src/core/probe_placement.h"
 
 namespace hawk {
 namespace runtime {
+namespace {
+
+// Resolves a RuntimeShape probe span to a slot range of the layout cluster.
+void SpanSlotRange(const Cluster& layout, RuntimeShape::ProbeSpan span, SlotId* first,
+                   uint32_t* count) {
+  switch (span) {
+    case RuntimeShape::ProbeSpan::kWholeCluster:
+      *first = 0;
+      *count = static_cast<uint32_t>(layout.TotalSlots());
+      return;
+    case RuntimeShape::ProbeSpan::kGeneralPartition:
+      *first = 0;
+      *count = layout.GeneralSlots();
+      return;
+    case RuntimeShape::ProbeSpan::kShortPartition:
+      *first = layout.GeneralSlots();
+      *count = static_cast<uint32_t>(layout.TotalSlots() - layout.GeneralSlots());
+      return;
+  }
+  HAWK_CHECK(false) << "unhandled probe span";
+}
+
+}  // namespace
 
 // --- CompletionSink ---------------------------------------------------------
 
-void CompletionSink::ExpectJobs(size_t count) {
+void CompletionSink::ExpectJobs(const std::vector<JobId>& ids) {
   std::lock_guard<std::mutex> lock(mu_);
-  expected_ = count;
+  outstanding_.clear();
+  outstanding_.insert(ids.begin(), ids.end());
   completions_.clear();
-  completions_.reserve(count);
+  completions_.reserve(ids.size());
 }
 
 void CompletionSink::Record(JobId job, bool is_long) {
   std::lock_guard<std::mutex> lock(mu_);
   completions_.push_back(Completion{job, is_long, std::chrono::steady_clock::now()});
-  if (completions_.size() >= expected_) {
+  outstanding_.erase(job);
+  if (outstanding_.empty()) {
     cv_.notify_all();
   }
 }
 
-bool CompletionSink::AwaitAll(std::chrono::milliseconds timeout) {
+Status CompletionSink::AwaitAll(std::chrono::milliseconds timeout) {
   std::unique_lock<std::mutex> lock(mu_);
-  return cv_.wait_for(lock, timeout, [this] { return completions_.size() >= expected_; });
+  if (cv_.wait_for(lock, timeout, [this] { return outstanding_.empty(); })) {
+    return Status::Ok();
+  }
+  // Name the stragglers: "timed out, 0 of N done" is undebuggable; a job-id
+  // list points straight at the stuck scheduler or monitor.
+  constexpr size_t kMaxListed = 16;
+  std::string listed;
+  size_t shown = 0;
+  for (const JobId job : outstanding_) {
+    if (shown == kMaxListed) {
+      listed += ", ...";
+      break;
+    }
+    listed += (shown == 0 ? "" : ", ") + std::to_string(job);
+    ++shown;
+  }
+  return Status::Error("prototype run timed out with " + std::to_string(outstanding_.size()) +
+                       " job(s) outstanding: " + listed);
 }
 
 std::vector<CompletionSink::Completion> CompletionSink::TakeAll() {
@@ -35,20 +79,21 @@ std::vector<CompletionSink::Completion> CompletionSink::TakeAll() {
 
 // --- DistributedFrontend ----------------------------------------------------
 
-DistributedFrontend::DistributedFrontend(rpc::Address address, uint32_t probe_first,
-                                         uint32_t probe_count, uint32_t probe_ratio,
+DistributedFrontend::DistributedFrontend(rpc::Address address, const Cluster* layout,
+                                         const RuntimeShape& shape, uint32_t probe_ratio,
                                          rpc::MessageBus* bus, CompletionSink* sink,
                                          uint64_t seed)
     : address_(address),
-      probe_first_(probe_first),
-      probe_count_(probe_count),
+      layout_(layout),
+      shape_(shape),
       probe_ratio_(probe_ratio),
       bus_(bus),
       sink_(sink),
       rng_(seed) {
+  HAWK_CHECK(layout != nullptr);
   HAWK_CHECK(bus != nullptr);
   HAWK_CHECK(sink != nullptr);
-  HAWK_CHECK_GT(probe_count, 0u);
+  HAWK_CHECK_GT(probe_ratio, 0u);
 }
 
 void DistributedFrontend::Start() {
@@ -66,13 +111,22 @@ void DistributedFrontend::HandleMessage(const rpc::BusMessage& message) {
       const auto num_tasks = static_cast<uint32_t>(state.durations_us.size());
       HAWK_CHECK(jobs_.emplace(submit.job, std::move(state)).second);
       ++jobs_handled_;
-      const std::vector<WorkerId> targets =
-          ChooseProbeTargets(rng_, probe_first_, probe_count_, probe_ratio_ * num_tasks);
+      // Shared §3.5 placement: sample `ratio * t` slots without replacement
+      // from the span the policy shape declares for this class, weighting
+      // workers by capacity, and map each slot to its owning node monitor.
+      SlotId first = 0;
+      uint32_t count = 0;
+      SpanSlotRange(*layout_, submit.is_long ? shape_.long_probe_span : shape_.short_probe_span,
+                    &first, &count);
+      HAWK_CHECK_GT(count, 0u) << "probe span is empty for job " << submit.job;
+      ChooseProbeTargetsInto(rng_, first, count, probe_ratio_ * num_tasks, &targets_, &picks_);
       ProbeMsg probe;
       probe.job = submit.job;
       probe.frontend = address_;
-      for (const WorkerId target : targets) {
-        bus_->Send(address_, target, kProbe, probe.Encode());
+      probe.is_long = submit.is_long;
+      for (const SlotId slot : targets_) {
+        probe.slot = slot;
+        bus_->Send(address_, layout_->WorkerOfSlot(slot), kProbe, probe.Encode());
       }
       break;
     }
@@ -119,15 +173,19 @@ void DistributedFrontend::HandleMessage(const rpc::BusMessage& message) {
 
 // --- CentralBackend ---------------------------------------------------------
 
-CentralBackend::CentralBackend(rpc::Address address, uint32_t general_count,
+CentralBackend::CentralBackend(rpc::Address address, const Cluster* layout,
                                rpc::MessageBus* bus, CompletionSink* sink)
     : address_(address),
       bus_(bus),
       sink_(sink),
-      waiting_(general_count),
+      waiting_(*layout, layout->GeneralCount()),
       epoch_(std::chrono::steady_clock::now()) {
+  HAWK_CHECK(layout != nullptr);
   HAWK_CHECK(bus != nullptr);
   HAWK_CHECK(sink != nullptr);
+  lane_charges_.resize(waiting_.NumLanes());
+  lane_running_.assign(waiting_.NumLanes(), 0);
+  lane_deferred_finishes_.assign(waiting_.NumLanes(), 0);
 }
 
 void CentralBackend::Start() {
@@ -141,39 +199,66 @@ void CentralBackend::HandleMessage(const rpc::BusMessage& message) {
       const JobSubmitMsg submit = JobSubmitMsg::Decode(message.payload);
       JobState state;
       state.unfinished = static_cast<uint32_t>(submit.task_durations_us.size());
-      state.estimate_us = submit.estimate_us;
+      state.is_long = submit.is_long;
       HAWK_CHECK(jobs_.emplace(submit.job, state).second);
       ++jobs_handled_;
       const SimTime now = NowUs();
+      TaskMsg place;
+      place.job = submit.job;
+      place.is_long = submit.is_long;
+      place.owner = address_;
       for (uint32_t i = 0; i < submit.task_durations_us.size(); ++i) {
-        const WorkerId worker = waiting_.AssignTask(now, submit.estimate_us);
-        TaskMsg place;
-        place.job = submit.job;
+        SlotId lane = 0;
+        const WorkerId worker = waiting_.AssignTask(now, submit.estimate_us, &lane);
+        lane_charges_[lane].push_back(submit.estimate_us);
         place.task_index = i;
         place.duration_us = submit.task_durations_us[i];
-        place.is_long = true;
-        place.owner = address_;
+        place.slot = lane;
         bus_->Send(address_, worker, kTaskPlace, place.Encode());
       }
       break;
     }
     case kTaskStarted: {
       const JobRefMsg started = JobRefMsg::Decode(message.payload);
-      const auto it = jobs_.find(started.job);
-      HAWK_CHECK(it != jobs_.end());
-      waiting_.OnTaskStart(started.sender, NowUs(), it->second.estimate_us);
+      // Lane-routed feedback: the monitor echoes the lane charged at
+      // placement, so delivery reorderings on the multi-threaded bus cannot
+      // misattribute the estimate (see slot_waiting_queue.h). The estimate
+      // comes from the lane's charge FIFO, never from jobs_ — a short
+      // task's kTaskDone handler may have run first and erased the record.
+      HAWK_CHECK_LT(started.slot, lane_charges_.size());
+      std::deque<int64_t>& charges = lane_charges_[started.slot];
+      HAWK_CHECK(!charges.empty()) << "start on lane " << started.slot
+                                   << " with no assignment charged";
+      const int64_t estimate_us = charges.front();
+      charges.pop_front();
+      waiting_.OnTaskStartLane(started.slot, NowUs(), estimate_us);
+      ++lane_running_[started.slot];
+      // Replay a finish that overtook this start, so the lane is never left
+      // marked executing with its completion already consumed.
+      if (lane_deferred_finishes_[started.slot] > 0) {
+        --lane_deferred_finishes_[started.slot];
+        --lane_running_[started.slot];
+        waiting_.OnTaskFinishLane(started.slot, NowUs());
+      }
       break;
     }
     case kTaskDone: {
       const TaskMsg done = TaskMsg::Decode(message.payload);
-      // The sender is a node monitor; its bus address is its worker id.
-      waiting_.OnTaskFinish(message.from, NowUs());
+      HAWK_CHECK_LT(done.slot, lane_running_.size());
+      if (lane_running_[done.slot] > 0) {
+        --lane_running_[done.slot];
+        waiting_.OnTaskFinishLane(done.slot, NowUs());
+      } else {
+        // This task's own kTaskStarted handler has not run yet; park the
+        // finish for it to replay.
+        ++lane_deferred_finishes_[done.slot];
+      }
       const auto it = jobs_.find(done.job);
       HAWK_CHECK(it != jobs_.end());
       JobState& state = it->second;
       --state.unfinished;
       if (state.unfinished == 0) {
-        sink_->Record(done.job, /*is_long=*/true);
+        sink_->Record(done.job, state.is_long);
         jobs_.erase(it);
       }
       break;

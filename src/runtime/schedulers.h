@@ -1,22 +1,34 @@
 // Prototype schedulers (paper §3.8, §4.10): distributed frontends handling
-// short jobs via batch probing and one centralized backend placing long jobs
-// with the waiting-time queue. The prototype uses "1 centralized and 10
-// distributed schedulers" for its 100-node runs.
+// probed jobs and one centralized backend placing jobs with the §3.7
+// waiting-time queue. The prototype uses "1 centralized and 10 distributed
+// schedulers" for its 100-node runs.
+//
+// Which jobs go where, which slot span probes cover, and whether the backend
+// exists at all is decided by the registered policy's RuntimeShape
+// (src/scheduler/policy.h) — the frontends and backend are policy-agnostic
+// executors of the shared src/core/ components: ChooseProbeTargetsInto for
+// probe placement over the layout cluster's slot space and
+// SlotWaitingTimeQueue for multi-slot centralized placement.
 #ifndef HAWK_RUNTIME_SCHEDULERS_H_
 #define HAWK_RUNTIME_SCHEDULERS_H_
 
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "src/cluster/cluster.h"
 #include "src/common/random.h"
+#include "src/common/status.h"
 #include "src/common/types.h"
-#include "src/core/waiting_time_queue.h"
+#include "src/core/slot_waiting_queue.h"
 #include "src/rpc/message_bus.h"
 #include "src/runtime/proto_messages.h"
+#include "src/scheduler/policy.h"
 
 namespace hawk {
 namespace runtime {
@@ -30,26 +42,32 @@ class CompletionSink {
     std::chrono::steady_clock::time_point finished_at;
   };
 
-  void ExpectJobs(size_t count);
+  // Declares the job ids the run will complete; tracking ids (not just a
+  // count) lets a timeout name the jobs still outstanding.
+  void ExpectJobs(const std::vector<JobId>& ids);
   void Record(JobId job, bool is_long);
-  // Blocks until all expected jobs completed or the deadline passes; returns
-  // true on completion.
-  bool AwaitAll(std::chrono::milliseconds timeout);
+  // Blocks until all expected jobs completed or the deadline passes. On
+  // timeout the error lists the outstanding job ids (up to a cap) so a slow
+  // or stuck run is diagnosable from the log alone.
+  Status AwaitAll(std::chrono::milliseconds timeout);
   std::vector<Completion> TakeAll();
 
  private:
   std::mutex mu_;
   std::condition_variable cv_;
-  size_t expected_ = 0;
+  std::unordered_set<JobId> outstanding_;
   std::vector<Completion> completions_;
 };
 
 // A distributed scheduler frontend: owns the jobs submitted to it, places
-// `probe_ratio * t` probes over the whole cluster (or a sub-range, for the
-// split-cluster setup), and late-binds tasks on request.
+// `probe_ratio * t` probes over the slot span the policy's RuntimeShape
+// declares for the job's class, and late-binds tasks on request.
 class DistributedFrontend {
  public:
-  DistributedFrontend(rpc::Address address, uint32_t probe_first, uint32_t probe_count,
+  // `layout` is the run's immutable cluster layout (slot spans, capacity
+  // weighting); it must outlive the frontend and is shared read-only across
+  // all runtime components.
+  DistributedFrontend(rpc::Address address, const Cluster* layout, const RuntimeShape& shape,
                       uint32_t probe_ratio, rpc::MessageBus* bus, CompletionSink* sink,
                       uint64_t seed);
 
@@ -69,8 +87,8 @@ class DistributedFrontend {
   void HandleMessage(const rpc::BusMessage& message);
 
   const rpc::Address address_;
-  const uint32_t probe_first_;
-  const uint32_t probe_count_;
+  const Cluster* layout_;
+  const RuntimeShape shape_;
   const uint32_t probe_ratio_;
   rpc::MessageBus* bus_;
   CompletionSink* sink_;
@@ -78,16 +96,22 @@ class DistributedFrontend {
   std::mutex mu_;
   Rng rng_;
   std::unordered_map<JobId, JobState> jobs_;
+  // Probe-placement scratch (slot ids), reused across submissions.
+  std::vector<SlotId> targets_;
+  std::vector<uint32_t> picks_;
   uint64_t jobs_handled_ = 0;
   uint64_t cancels_sent_ = 0;
 };
 
-// The centralized backend: places every task of a long job on the general-
-// partition node with the minimum estimated waiting time; task start/finish
-// reports from the node monitors keep the estimates synchronized (§3.7).
+// The centralized backend: places every task of a submitted job on the
+// minimum-waiting slot lane of the tracked partition (§3.7), via the same
+// SlotWaitingTimeQueue the simulator's policies use; task start/finish
+// reports from the node monitors keep the estimates synchronized.
 class CentralBackend {
  public:
-  CentralBackend(rpc::Address address, uint32_t general_count, rpc::MessageBus* bus,
+  // Tracks the general partition of `layout` — the whole cluster when the
+  // policy registered no partition sizing.
+  CentralBackend(rpc::Address address, const Cluster* layout, rpc::MessageBus* bus,
                  CompletionSink* sink);
 
   void Start();
@@ -97,7 +121,7 @@ class CentralBackend {
  private:
   struct JobState {
     uint32_t unfinished = 0;
-    int64_t estimate_us = 0;
+    bool is_long = true;
   };
 
   void HandleMessage(const rpc::BusMessage& message);
@@ -107,8 +131,24 @@ class CentralBackend {
   CompletionSink* sink_;
 
   std::mutex mu_;
-  WaitingTimeQueue waiting_;
+  SlotWaitingTimeQueue waiting_;
   std::unordered_map<JobId, JobState> jobs_;
+  // Per-lane reorder absorption for the multi-threaded bus, where a short
+  // task's kTaskDone handler can run before its own kTaskStarted handler
+  // (and before the job record would be consulted):
+  //   - lane_charges_: estimates charged at assignment, discharged by
+  //     starts in per-lane FIFO order. Charges always precede placements,
+  //     so a lane's deque is never empty when its start arrives, whatever
+  //     the delivery order; if two same-lane tasks' starts swap, their
+  //     estimates swap with them — per-lane totals stay exact.
+  //   - lane_running_ / lane_deferred_finishes_: starts-minus-finishes
+  //     applied to the waiting queue, and finishes that arrived before any
+  //     matching start. An early finish is parked and replayed right after
+  //     the start lands, so a lane can never end up marked executing with
+  //     no finish coming.
+  std::vector<std::deque<int64_t>> lane_charges_;
+  std::vector<uint32_t> lane_running_;
+  std::vector<uint32_t> lane_deferred_finishes_;
   std::chrono::steady_clock::time_point epoch_;
   uint64_t jobs_handled_ = 0;
 

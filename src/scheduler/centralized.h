@@ -35,6 +35,17 @@ class CentralizedPolicy : public SchedulerPolicy {
     queue_->OnTaskFinish(worker, ctx_->Now());
   }
 
+  // Prototype shape: every job — both classes — is placed by the central
+  // backend's waiting-time queue over the whole cluster; no stealing.
+  RuntimeShape ShapeForRuntime(const HawkConfig& config) const override {
+    (void)config;
+    RuntimeShape shape;
+    shape.centralized_long = true;
+    shape.centralized_short = true;
+    shape.stealing = false;
+    return shape;
+  }
+
   std::string_view Name() const override { return "centralized"; }
 
   const SlotWaitingTimeQueue& waiting_times() const { return *queue_; }

@@ -39,11 +39,24 @@ const SchedulerRegistration kRegisterHawk(
     },
     [](const HawkConfig& config) { return config.GeneralCount(); });
 
+// Stealing variant (ROADMAP next-candidate): Hawk with power-of-d-choices
+// victim selection — the steal sample is contacted most-loaded-first instead
+// of in draw order, trading nothing for fewer victim probes per success.
+// Swept beside plain hawk in bench_ablation_steal_retry.
+const SchedulerRegistration kRegisterHawkDChoice(
+    "hawk-dchoice",
+    [](const HawkConfig& config) -> std::unique_ptr<SchedulerPolicy> {
+      return std::make_unique<HawkPolicy>(config, StealingPolicy::VictimSelection::kDChoice);
+    },
+    [](const HawkConfig& config) { return config.GeneralCount(); });
+
+// The empty-short-partition precondition is enforced in
+// SplitClusterPolicy::Attach (simulation) and by RunPrototype's span check
+// (runtime, as a clean Status) — not here: factories must stay abort-free so
+// the prototype can construct a policy just to read its RuntimeShape.
 const SchedulerRegistration kRegisterSplit(
     std::string(kSchedulerSplit),
     [](const HawkConfig& config) -> std::unique_ptr<SchedulerPolicy> {
-      HAWK_CHECK_LT(config.GeneralCount(), config.num_workers)
-          << "split cluster requires a non-empty short partition";
       return std::make_unique<SplitClusterPolicy>(config.probe_ratio);
     },
     [](const HawkConfig& config) { return config.GeneralCount(); });
@@ -169,13 +182,9 @@ RunResult RunExperiment(const ExperimentSpec& spec) {
                           << "': " << status.message();
   const SchedulerRegistry::Entry* entry = SchedulerRegistry::Global().Find(spec.scheduler);
   if (entry == nullptr) {
-    std::string known;
-    for (const std::string& name : SchedulerRegistry::Global().Names()) {
-      known += known.empty() ? "" : ", ";
-      known += name;
-    }
     HAWK_CHECK(false) << "unknown scheduler '" << spec.scheduler
-                      << "'; registered schedulers: " << known;
+                      << "'; registered schedulers: "
+                      << SchedulerRegistry::Global().JoinedNames();
   }
   const std::unique_ptr<SchedulerPolicy> policy = entry->factory(spec.config);
   HAWK_CHECK(policy != nullptr) << "scheduler '" << spec.scheduler

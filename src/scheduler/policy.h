@@ -15,6 +15,7 @@
 #include "src/cluster/results.h"
 #include "src/common/random.h"
 #include "src/core/job_classifier.h"
+#include "src/core/stealing_policy.h"
 #include "src/workload/job.h"
 
 namespace hawk {
@@ -43,11 +44,54 @@ class SchedulerContext {
   virtual void DeliverStolen(WorkerId thief, const std::vector<QueueEntry>& entries) = 0;
 };
 
+// How the threaded prototype runtime (src/runtime/) realizes a policy's
+// control plane. The simulator drives a policy's placement decisions
+// synchronously against shared cluster state; the prototype cannot — its
+// state lives across node-monitor threads — so a policy instead *describes*
+// its control-plane shape and the runtime assembles the matching frontends,
+// backend, and stealing configuration from the shared src/core/ components.
+// Probe placement is uniform over the declared slot span (the paper's
+// §3.5 mechanism); a policy whose simulated placement inspects live queue
+// state (e.g. the "hawk-lb" example) degrades to uniform probing on the
+// prototype — exactly the paper's argument that such state is impractical
+// to keep fresh over a real network.
+struct RuntimeShape {
+  // Slot spans, resolved against the runtime's cluster layout. The general
+  // partition is a slot-id prefix, the short partition the complementary
+  // suffix (see Cluster).
+  enum class ProbeSpan : uint8_t { kWholeCluster, kGeneralPartition, kShortPartition };
+
+  // Long jobs go to the centralized backend (§3.7 waiting-time queue over
+  // the general partition). Off: they are probed over long_probe_span.
+  bool centralized_long = true;
+  // Short jobs go to the centralized backend too (the §4.5 baseline).
+  bool centralized_short = false;
+  // Idle node monitors steal blocked short work (§3.6).
+  bool stealing = true;
+  // Steal-victim contact order (kDChoice degrades to kRandom on the
+  // prototype: its static layout cluster carries no live queue state).
+  StealingPolicy::VictimSelection victim_selection = StealingPolicy::VictimSelection::kRandom;
+  ProbeSpan short_probe_span = ProbeSpan::kWholeCluster;
+  ProbeSpan long_probe_span = ProbeSpan::kGeneralPartition;
+};
+
 class SchedulerPolicy {
  public:
   virtual ~SchedulerPolicy() = default;
 
   virtual void Attach(SchedulerContext* ctx) { ctx_ = ctx; }
+
+  // Control-plane shape for the prototype runtime. The default derives a
+  // Hawk-family shape from the config's §4.4 component toggles, which is
+  // also right for externally registered Hawk variants; non-hybrid policies
+  // (Sparrow, centralized, split) override. Called on a fresh, unattached
+  // instance — implementations must not touch ctx_.
+  virtual RuntimeShape ShapeForRuntime(const HawkConfig& config) const {
+    RuntimeShape shape;
+    shape.centralized_long = config.use_centralized_long;
+    shape.stealing = config.use_stealing && config.steal_cap > 0;
+    return shape;
+  }
 
   // A job arrived; `cls` carries the scheduling and metrics classifications
   // and the (possibly noisy) runtime estimate.

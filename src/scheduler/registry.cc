@@ -44,6 +44,15 @@ std::vector<std::string> SchedulerRegistry::Names() const {
   return names;
 }
 
+std::string SchedulerRegistry::JoinedNames() const {
+  std::string joined;
+  for (const std::string& name : Names()) {
+    joined += joined.empty() ? "" : ", ";
+    joined += name;
+  }
+  return joined;
+}
+
 SchedulerRegistration::SchedulerRegistration(std::string name, SchedulerRegistry::Factory factory,
                                              SchedulerRegistry::GeneralCountFn general_count) {
   const Status status = SchedulerRegistry::Global().Register(

@@ -58,6 +58,10 @@ class SchedulerRegistry {
   // All registered names, sorted.
   std::vector<std::string> Names() const;
 
+  // The registered names as one comma-separated string — the shared tail of
+  // every "unknown scheduler" error message.
+  std::string JoinedNames() const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, Entry, std::less<>> entries_;

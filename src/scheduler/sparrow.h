@@ -18,6 +18,17 @@ class SparrowPolicy : public SchedulerPolicy {
 
   void OnJobArrival(const Job& job, const JobClass& cls) override;
 
+  // Prototype shape: every job probed over the whole cluster, no backend,
+  // no partition, no stealing.
+  RuntimeShape ShapeForRuntime(const HawkConfig& config) const override {
+    (void)config;
+    RuntimeShape shape;
+    shape.centralized_long = false;
+    shape.stealing = false;
+    shape.long_probe_span = RuntimeShape::ProbeSpan::kWholeCluster;
+    return shape;
+  }
+
   std::string_view Name() const override { return "sparrow"; }
 
  private:

@@ -21,6 +21,8 @@ class SplitClusterPolicy : public SchedulerPolicy {
 
   void Attach(SchedulerContext* ctx) override {
     SchedulerPolicy::Attach(ctx);
+    HAWK_CHECK_GT(ctx->GetCluster().ShortPartitionCount(), 0u)
+        << "split cluster requires a non-empty short partition";
     queue_ = std::make_unique<SlotWaitingTimeQueue>(ctx->GetCluster(),
                                                     ctx->GetCluster().GeneralCount());
   }
@@ -40,6 +42,17 @@ class SplitClusterPolicy : public SchedulerPolicy {
       return;
     }
     queue_->OnTaskFinish(worker, ctx_->Now());
+  }
+
+  // Prototype shape: long jobs centrally placed on the long partition,
+  // short jobs probed over the disjoint short partition, no stealing.
+  RuntimeShape ShapeForRuntime(const HawkConfig& config) const override {
+    (void)config;
+    RuntimeShape shape;
+    shape.centralized_long = true;
+    shape.stealing = false;
+    shape.short_probe_span = RuntimeShape::ProbeSpan::kShortPartition;
+    return shape;
   }
 
   std::string_view Name() const override { return "split-cluster"; }

@@ -181,7 +181,7 @@ TEST(WorkerStoreTest, HeterogeneousSlotLayout) {
   uint32_t big = 0;
   for (WorkerId w = 0; w < 4; ++w) {
     EXPECT_EQ(store.Slots(w), spec.SlotsOf(w, 4));
-    big += store.Slots(w) == 4 ? 1 : 0;
+    big += store.Slots(w) == 4 ? 1u : 0u;
     // Round-trip: every slot in the worker's range maps back to it.
     for (SlotId s = store.SlotBegin(w); s < store.SlotBegin(w + 1); ++s) {
       EXPECT_EQ(store.WorkerOfSlot(s), w);

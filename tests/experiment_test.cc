@@ -58,7 +58,8 @@ void ExpectBitIdentical(const RunResult& a, const RunResult& b) {
 // --- Registry ---------------------------------------------------------------
 
 TEST(SchedulerRegistryTest, BuiltinsAreRegistered) {
-  for (const char* name : {"sparrow", "centralized", "hawk", "split"}) {
+  // The four paper schedulers plus the in-library d-choice stealing variant.
+  for (const char* name : {"sparrow", "centralized", "hawk", "split", "hawk-dchoice"}) {
     EXPECT_TRUE(SchedulerRegistry::Global().Contains(name)) << name;
   }
 }

@@ -76,17 +76,21 @@ TEST(ProtoMessagesTest, TaskAndStealRoundTrip) {
   t.duration_us = 777;
   t.is_long = true;
   t.owner = runtime::kBackendAddress;
+  t.slot = 41;
   const auto task = runtime::TaskMsg::Decode(t.Encode());
   EXPECT_EQ(task.owner, runtime::kBackendAddress);
   EXPECT_EQ(task.duration_us, 777);
+  EXPECT_EQ(task.slot, 41u);
 
   runtime::StealResponseMsg s;
-  s.probes.push_back({1, runtime::kFrontendBase});
-  s.probes.push_back({2, runtime::kFrontendBase + 3});
+  s.probes.push_back({1, runtime::kFrontendBase, 0, false});
+  s.probes.push_back({2, runtime::kFrontendBase + 3, 17, true});
   const auto steal = runtime::StealResponseMsg::Decode(s.Encode());
   ASSERT_EQ(steal.probes.size(), 2u);
   EXPECT_EQ(steal.probes[1].job, 2u);
   EXPECT_EQ(steal.probes[1].frontend, runtime::kFrontendBase + 3);
+  EXPECT_EQ(steal.probes[1].slot, 17u);
+  EXPECT_TRUE(steal.probes[1].is_long);
 }
 
 TEST(MessageBusTest, DeliversToRegisteredHandler) {

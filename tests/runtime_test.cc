@@ -1,42 +1,68 @@
 // End-to-end tests for the threaded prototype runtime: complete small traces
-// under both modes, verify completion, task conservation, stealing activity,
-// and agreement in shape with the simulator.
+// under registry-resolved schedulers, verify completion, task conservation,
+// stealing activity, multi-slot agreement in shape with the simulator, and
+// the clean-Status failure paths of the spec-driven entry points.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
 #include "src/metrics/comparison.h"
 #include "src/runtime/prototype_cluster.h"
+#include "src/runtime/schedulers.h"
 #include "src/scheduler/experiment.h"
 #include "src/workload/arrivals.h"
 #include "src/workload/google_trace.h"
 #include "src/workload/scaling.h"
 
+// ThreadSanitizer slows bus handlers and executor wakeups by 5-20x, which
+// distorts the injected 200 us RPC latency against the real sleep durations;
+// the shape tests still run end to end under TSan (that concurrency exercise
+// is the TSan job's whole point) but their wall-clock percentile assertions
+// are only meaningful uninstrumented.
+#if defined(__SANITIZE_THREAD__)
+#define HAWK_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HAWK_UNDER_TSAN 1
+#endif
+#endif
+#ifndef HAWK_UNDER_TSAN
+#define HAWK_UNDER_TSAN 0
+#endif
+
 namespace hawk {
 namespace {
 
-// A tiny Google-like trace in milliseconds-scale time.
-Trace SmallScaledTrace(uint32_t jobs, uint64_t seed, double util, uint32_t nodes) {
+// A tiny Google-like trace in milliseconds-scale time, sized for a fleet of
+// `total_slots` execution slots.
+Trace SmallScaledTrace(uint32_t jobs, uint64_t seed, double util, uint32_t total_slots) {
   GoogleTraceParams params;
   params.num_jobs = jobs;
   params.seed = seed;
-  Trace trace = CapTasksPreserveWork(GenerateGoogleTrace(params), nodes / 2);
+  Trace trace = CapTasksPreserveWork(GenerateGoogleTrace(params), total_slots / 2);
   // Scale total work down to ~4 wall-clock seconds.
   const double factor = 4e6 / static_cast<double>(trace.TotalWorkUs());
   trace = RescaleTime(trace, factor);
   Rng rng(seed);
-  AssignPoissonArrivals(&trace, MeanInterarrivalForUtilization(trace, util, nodes), &rng);
+  AssignPoissonArrivals(&trace, MeanInterarrivalForUtilization(trace, util, total_slots),
+                        &rng);
   return trace;
 }
 
-runtime::PrototypeConfig SmallConfig(runtime::PrototypeMode mode) {
+// Wall-clock-friendly runtime knobs shared by all tests; the scheduler and
+// the cluster shape come from the (shared, validated) HawkConfig.
+runtime::PrototypeConfig SmallConfig(std::string scheduler, uint32_t workers = 40,
+                                     uint32_t slots = 1) {
   runtime::PrototypeConfig config;
-  config.mode = mode;
-  config.num_nodes = 40;
+  config.scheduler = std::move(scheduler);
+  config.hawk.num_workers = workers;
+  config.hawk.slots_per_worker = slots;
+  config.hawk.classify_mode = ClassifyMode::kHint;
+  config.hawk.net_delay_us = 200;
+  config.hawk.util_sample_period_us = 20'000;
   config.num_frontends = 4;
-  config.bus_latency = std::chrono::microseconds(200);
-  config.util_sample_period = std::chrono::microseconds(20'000);
   config.timeout = std::chrono::milliseconds(60'000);
   return config;
 }
@@ -52,71 +78,175 @@ void CheckPrototypeInvariants(const Trace& trace, const RunResult& result) {
   EXPECT_EQ(result.counters.tasks_launched, trace.TotalTasks());
 }
 
-TEST(PrototypeTest, HawkModeCompletesAllJobs) {
+TEST(PrototypeTest, HawkCompletesAllJobs) {
   const Trace trace = SmallScaledTrace(30, 3, 0.8, 40);
-  const RunResult result =
-      runtime::RunPrototype(trace, SmallConfig(runtime::PrototypeMode::kHawk));
-  CheckPrototypeInvariants(trace, result);
-  EXPECT_GT(result.counters.events, trace.TotalTasks());  // RPC traffic happened.
+  const StatusOr<RunResult> result = runtime::RunPrototype(trace, SmallConfig("hawk"));
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  CheckPrototypeInvariants(trace, result.value());
+  EXPECT_GT(result.value().counters.events, trace.TotalTasks());  // RPC traffic happened.
 }
 
-TEST(PrototypeTest, SparrowModeCompletesAllJobs) {
+TEST(PrototypeTest, SparrowCompletesAllJobs) {
   const Trace trace = SmallScaledTrace(30, 5, 0.8, 40);
-  const RunResult result =
-      runtime::RunPrototype(trace, SmallConfig(runtime::PrototypeMode::kSparrow));
-  CheckPrototypeInvariants(trace, result);
-  // Sparrow mode has no backend and no stealing.
-  EXPECT_EQ(result.counters.entries_stolen, 0u);
+  const StatusOr<RunResult> result = runtime::RunPrototype(trace, SmallConfig("sparrow"));
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  CheckPrototypeInvariants(trace, result.value());
+  // Sparrow's runtime shape has no backend and no stealing.
+  EXPECT_EQ(result.value().counters.entries_stolen, 0u);
+}
+
+TEST(PrototypeTest, CentralizedAndSplitRunThroughTheirShapes) {
+  // The non-hybrid built-ins exercise the other RuntimeShape corners:
+  // centralized routes both classes through the backend; split probes short
+  // jobs over the short partition only.
+  const Trace trace = SmallScaledTrace(24, 13, 0.7, 40);
+  for (const char* scheduler : {"centralized", "split"}) {
+    SCOPED_TRACE(scheduler);
+    const StatusOr<RunResult> result = runtime::RunPrototype(trace, SmallConfig(scheduler));
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    CheckPrototypeInvariants(trace, result.value());
+    EXPECT_EQ(result.value().counters.entries_stolen, 0u);
+  }
 }
 
 TEST(PrototypeTest, StealingActivatesUnderLoad) {
   const Trace trace = SmallScaledTrace(60, 7, 1.3, 40);
-  const RunResult result =
-      runtime::RunPrototype(trace, SmallConfig(runtime::PrototypeMode::kHawk));
-  CheckPrototypeInvariants(trace, result);
-  EXPECT_GT(result.counters.steal_attempts, 0u);
+  const StatusOr<RunResult> result = runtime::RunPrototype(trace, SmallConfig("hawk"));
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  CheckPrototypeInvariants(trace, result.value());
+  EXPECT_GT(result.value().counters.steal_attempts, 0u);
 }
 
 TEST(PrototypeTest, UtilizationSamplesCollected) {
   const Trace trace = SmallScaledTrace(30, 9, 0.8, 40);
-  const RunResult result =
-      runtime::RunPrototype(trace, SmallConfig(runtime::PrototypeMode::kHawk));
-  EXPECT_GT(result.utilization_samples.size(), 3u);
-  for (const double u : result.utilization_samples) {
+  const StatusOr<RunResult> result = runtime::RunPrototype(trace, SmallConfig("hawk"));
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_GT(result.value().utilization_samples.size(), 3u);
+  for (const double u : result.value().utilization_samples) {
     EXPECT_GE(u, 0.0);
     EXPECT_LE(u, 1.0);
   }
 }
 
-TEST(PrototypeTest, AgreesWithSimulatorInShape) {
-  // The paper's §4.10 claim at small scale: under load, the prototype and
-  // the simulator agree that Hawk substantially improves short jobs.
-  const uint32_t nodes = 40;
-  const Trace trace = SmallScaledTrace(80, 11, 1.0, nodes);
+TEST(PrototypeTest, ExternallyRegisteredSchedulerRunsOnThePrototype) {
+  // Anything in the registry is a prototype citizen; hawk-dchoice is the
+  // in-library registered variant (its shape inherits Hawk's control plane).
+  const Trace trace = SmallScaledTrace(30, 15, 0.9, 40);
+  const StatusOr<RunResult> result = runtime::RunPrototype(trace, SmallConfig("hawk-dchoice"));
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  CheckPrototypeInvariants(trace, result.value());
+}
 
-  HawkConfig sim_config;
-  sim_config.num_workers = nodes;
-  sim_config.classify_mode = ClassifyMode::kHint;
-  sim_config.net_delay_us = 200;
-  const RunResult sim_hawk = RunExperiment(trace, sim_config, "hawk");
-  const RunResult sim_sparrow = RunExperiment(trace, sim_config, "sparrow");
+// --- spec-driven entry point and failure paths ------------------------------
+
+TEST(PrototypeSpecTest, UnknownSchedulerNameIsACleanStatus) {
+  const Trace trace = SmallScaledTrace(5, 17, 0.5, 40);
+  runtime::PrototypeConfig config = SmallConfig("no-such-scheduler");
+  const StatusOr<RunResult> result = runtime::RunPrototype(trace, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unknown scheduler"), std::string::npos);
+  EXPECT_NE(result.status().message().find("no-such-scheduler"), std::string::npos);
+  // The spec entry point takes the same path.
+  const StatusOr<RunResult> via_spec = runtime::RunPrototype(
+      ExperimentSpec("still-not-registered").WithConfig(config.hawk).WithTrace(&trace),
+      config);
+  ASSERT_FALSE(via_spec.ok());
+  EXPECT_NE(via_spec.status().message().find("unknown scheduler"), std::string::npos);
+}
+
+TEST(PrototypeSpecTest, InvalidConfigsAreCleanStatuses) {
+  const Trace trace = SmallScaledTrace(5, 19, 0.5, 40);
+  runtime::PrototypeConfig config = SmallConfig("hawk");
+  config.num_frontends = 0;
+  EXPECT_FALSE(runtime::RunPrototype(trace, config).ok());
+  config = SmallConfig("hawk");
+  config.hawk.probe_ratio = 0;  // Invalid by HawkConfig::Validate.
+  EXPECT_FALSE(runtime::RunPrototype(trace, config).ok());
+  const StatusOr<RunResult> no_trace =
+      runtime::RunPrototype(ExperimentSpec("hawk"), SmallConfig("hawk"));
+  ASSERT_FALSE(no_trace.ok());
+  EXPECT_NE(no_trace.status().message().find("no trace"), std::string::npos);
+  // A scheduler whose shape needs a short partition, on a config without
+  // one: a clean Status, not the factory/Attach abort the simulator gets.
+  config = SmallConfig("split");
+  config.hawk.use_partition = false;
+  const StatusOr<RunResult> no_partition = runtime::RunPrototype(trace, config);
+  ASSERT_FALSE(no_partition.ok());
+  EXPECT_NE(no_partition.status().message().find("short partition"), std::string::npos);
+}
+
+TEST(CompletionSinkTest, TimeoutNamesOutstandingJobs) {
+  runtime::CompletionSink sink;
+  sink.ExpectJobs({1, 2, 3});
+  sink.Record(2, /*is_long=*/false);
+  const Status status = sink.AwaitAll(std::chrono::milliseconds(10));
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("2 job(s) outstanding"), std::string::npos);
+  EXPECT_NE(status.message().find("1"), std::string::npos);
+  EXPECT_NE(status.message().find("3"), std::string::npos);
+  // Completing the stragglers resolves the wait.
+  sink.Record(1, false);
+  sink.Record(3, true);
+  EXPECT_TRUE(sink.AwaitAll(std::chrono::milliseconds(10)).ok());
+  EXPECT_EQ(sink.TakeAll().size(), 3u);
+}
+
+// --- agreement with the simulator -------------------------------------------
+
+// Shared body: under load, the prototype and the simulator agree that Hawk
+// substantially improves short jobs — the §4.10 claim — at the given slot
+// layout. The prototype measures real sleeps, so a background load spike
+// during one of the runs can flip the comparison on a shared machine; retry
+// a bounded number of times (a genuine scheduling regression fails every
+// attempt, transient contention does not).
+void ExpectImplMatchesSimShape(uint32_t workers, uint32_t slots, uint32_t jobs,
+                               uint64_t seed, double util) {
+  const uint32_t total_slots = workers * slots;
+  const Trace trace = SmallScaledTrace(jobs, seed, util, total_slots);
+
+  runtime::PrototypeConfig runtime_knobs = SmallConfig("hawk", workers, slots);
+  HawkConfig sim_config = runtime_knobs.hawk;
+
+  // One spec pair drives both worlds.
+  const ExperimentSpec hawk_spec =
+      ExperimentSpec("hawk").WithConfig(sim_config).WithTrace(&trace);
+  const ExperimentSpec sparrow_spec =
+      ExperimentSpec("sparrow").WithConfig(sim_config).WithTrace(&trace);
+
+  const RunResult sim_hawk = RunExperiment(hawk_spec);
+  const RunResult sim_sparrow = RunExperiment(sparrow_spec);
   const RunComparison sim = CompareRuns(sim_hawk, sim_sparrow);
   EXPECT_LT(sim.short_jobs.p90_ratio, 1.0);
 
-  // The prototype measures real sleeps, so a background load spike during
-  // one of the two runs can flip the comparison on a shared machine. Retry
-  // a bounded number of times: a genuine scheduling regression fails every
-  // attempt, transient contention does not.
   double best_p90_ratio = std::numeric_limits<double>::infinity();
-  for (int attempt = 0; attempt < 3 && !(best_p90_ratio < 1.0); ++attempt) {
-    const RunResult impl_hawk =
-        runtime::RunPrototype(trace, SmallConfig(runtime::PrototypeMode::kHawk));
-    const RunResult impl_sparrow =
-        runtime::RunPrototype(trace, SmallConfig(runtime::PrototypeMode::kSparrow));
-    const RunComparison impl = CompareRuns(impl_hawk, impl_sparrow);
+  const int max_attempts = HAWK_UNDER_TSAN ? 1 : 3;
+  for (int attempt = 0; attempt < max_attempts && !(best_p90_ratio < 1.0); ++attempt) {
+    const StatusOr<RunResult> impl_hawk = runtime::RunPrototype(hawk_spec, runtime_knobs);
+    const StatusOr<RunResult> impl_sparrow =
+        runtime::RunPrototype(sparrow_spec, runtime_knobs);
+    ASSERT_TRUE(impl_hawk.ok()) << impl_hawk.status().message();
+    ASSERT_TRUE(impl_sparrow.ok()) << impl_sparrow.status().message();
+    const RunComparison impl = CompareRuns(impl_hawk.value(), impl_sparrow.value());
     best_p90_ratio = std::min(best_p90_ratio, impl.short_jobs.p90_ratio);
   }
-  EXPECT_LT(best_p90_ratio, 1.0);
+  if (!HAWK_UNDER_TSAN) {
+    EXPECT_LT(best_p90_ratio, 1.0);
+  }
+}
+
+TEST(PrototypeTest, AgreesWithSimulatorInShape) {
+  ExpectImplMatchesSimShape(/*workers=*/40, /*slots=*/1, /*jobs=*/80, /*seed=*/11,
+                            /*util=*/1.0);
+}
+
+TEST(PrototypeTest, MultiSlotAgreesWithSimulatorInShape) {
+  // Same claim on a 4-slot fleet: 10 node monitors x 4 slots carry the same
+  // 40-slot capacity as the single-slot case above. Offered load is higher
+  // because pooled 4-slot servers absorb head-of-line blocking until deeper
+  // into overload — at util 1.0 the Hawk-vs-Sparrow p90 gap is within
+  // wall-clock noise, at 1.3 it is decisive.
+  ExpectImplMatchesSimShape(/*workers=*/10, /*slots=*/4, /*jobs=*/100, /*seed=*/21,
+                            /*util=*/1.3);
 }
 
 }  // namespace
