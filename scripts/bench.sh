@@ -13,6 +13,9 @@
 #                      hawk and the externally registered hawk-lb at 1 and 4
 #                      slots per node, smoke scale (wall-clock runs; compare
 #                      impl_* against sim_* columns, not across commits).
+#   BENCH_faults.json  fault-injection ablation: crash-rate x loss-rate x
+#                      every registered scheduler, simulated curves plus a
+#                      tiny real-crash prototype grid.
 #
 # See docs/performance.md for the methodology and how to read each artifact.
 #
@@ -30,6 +33,7 @@
 #   SWEEP_OUT   sweep JSON path (default: BENCH_sweep.json)
 #   HETERO_OUT  hetero-slots JSON path (default: BENCH_hetero_slots.json)
 #   IMPL_OUT    impl-vs-sim JSON path (default: BENCH_impl_vs_sim.json)
+#   FAULTS_OUT  fault-ablation JSON path (default: BENCH_faults.json)
 #   SWEEP_SCALE HAWK_BENCH_SCALE for the sweeps (default: 1)
 set -euo pipefail
 
@@ -41,6 +45,7 @@ OUT="${OUT:-BENCH_driver.json}"
 SWEEP_OUT="${SWEEP_OUT:-BENCH_sweep.json}"
 HETERO_OUT="${HETERO_OUT:-BENCH_hetero_slots.json}"
 IMPL_OUT="${IMPL_OUT:-BENCH_impl_vs_sim.json}"
+FAULTS_OUT="${FAULTS_OUT:-BENCH_faults.json}"
 SWEEP_SCALE="${SWEEP_SCALE:-1}"
 
 die() {
@@ -66,7 +71,7 @@ fi
 
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
       --target bench_driver_throughput bench_ablation_power_of_d bench_ablation_hetero_slots \
-               bench_fig16_17_impl_vs_sim \
+               bench_fig16_17_impl_vs_sim bench_ablation_faults \
   || die "bench build failed in '${BUILD_DIR}'"
 
 [[ -x "${BUILD_DIR}/bench_driver_throughput" ]] \
@@ -89,3 +94,8 @@ echo "Wrote ${OUT}"
 # tasks, so this is wall-clock bound — keep it small and serial.
 "${BUILD_DIR}/bench_fig16_17_impl_vs_sim" --jobs=16 --work-seconds=3 --num-ratios=2 \
   --json="${IMPL_OUT}"
+
+# Fault ablation: the sim grid scales with SWEEP_SCALE; the prototype half is
+# wall-clock bound (real crashes + sleep tasks) and stays at smoke scale.
+"${BUILD_DIR}/bench_ablation_faults" --scale="${SWEEP_SCALE}" --threads="${JOBS}" \
+  --proto-jobs=12 --proto-work-seconds=3 --json="${FAULTS_OUT}"

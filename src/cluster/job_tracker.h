@@ -47,9 +47,15 @@ class JobTracker {
   DurationUs EstimateUs(JobId id) const { return state(id).estimate_us; }
 
   // Hands out the next unassigned task, or nullopt if all tasks are out
-  // (the probe's request is answered with a cancel).
+  // (the probe's request is answered with a cancel). Tasks handed back by
+  // ReturnTask are re-issued first, oldest first.
   std::optional<TaskAssignment> TakeNextTask(JobId id) {
     State& s = state(id);
+    if (!s.returned.empty()) {
+      const TaskAssignment a = s.returned.front();
+      s.returned.erase(s.returned.begin());
+      return a;
+    }
     const Job& job = trace_->job(id);
     if (s.next_unassigned >= job.NumTasks()) {
       return std::nullopt;
@@ -58,8 +64,21 @@ class JobTracker {
     return TaskAssignment{idx, job.task_durations[idx]};
   }
 
+  // Hands a previously assigned task back for re-dispatch (its worker
+  // crashed or its placement was invalidated). The exactly-once guarantee
+  // holds because the caller only returns a task whose current placement is
+  // provably dead; an over-return of a finished job fails the unfinished
+  // CHECK below on the extra completion.
+  void ReturnTask(JobId id, const TaskAssignment& assignment) {
+    State& s = state(id);
+    HAWK_CHECK_LT(assignment.task_index, trace_->job(id).NumTasks());
+    HAWK_CHECK_GT(s.unfinished, 0u) << "task returned for finished job " << id;
+    s.returned.push_back(assignment);
+  }
+
   bool AllTasksAssigned(JobId id) const {
-    return state(id).next_unassigned >= trace_->job(id).NumTasks();
+    const State& s = state(id);
+    return s.returned.empty() && s.next_unassigned >= trace_->job(id).NumTasks();
   }
 
   // Marks one task finished; returns true when this completed the job.
@@ -89,6 +108,9 @@ class JobTracker {
     bool is_long_metrics = false;
     DurationUs estimate_us = 0;
     SimTime finish_time = -1;
+    // Tasks handed back by the fault layer, awaiting re-dispatch (empty in
+    // fault-free runs).
+    std::vector<TaskAssignment> returned;
   };
 
   State& state(JobId id) {

@@ -40,6 +40,20 @@ struct RunCounters {
   uint64_t short_queue_wait_us = 0;
   uint64_t long_queue_wait_us = 0;
 
+  // Fault-injection telemetry (all zero in fault-free runs). The prototype
+  // fills the same counters from its monitors/schedulers, so fault behavior
+  // is comparable across the two executors.
+  uint64_t worker_crashes = 0;       // Fail-stop crashes applied.
+  uint64_t worker_departures = 0;    // Graceful churn departures applied.
+  uint64_t worker_rejoins = 0;       // Workers brought back after downtime.
+  uint64_t messages_dropped = 0;     // Probe/task deliveries lost in transit.
+  uint64_t message_retries = 0;      // Retransmissions after a sender timeout.
+  uint64_t tasks_re_dispatched = 0;  // Tasks handed back for re-dispatch.
+  uint64_t probes_lost = 0;          // Probes that died with their worker.
+  uint64_t duplicate_completions = 0;  // Same task reported done twice
+                                       // (prototype re-dispatch races).
+  uint64_t wasted_work_us = 0;  // Partial execution thrown away by crashes.
+
   double AvgQueueWaitSeconds(bool long_class) const {
     const uint64_t count = long_class ? long_tasks_started : short_tasks_started;
     const uint64_t wait = long_class ? long_queue_wait_us : short_queue_wait_us;

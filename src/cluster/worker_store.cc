@@ -125,6 +125,8 @@ void WorkerStore::RemoveGroup(WorkerId id, size_t begin, size_t end) {
       --queue_short_[i];
     }
   }
+  HAWK_CHECK_GE(queued_total_, end - begin);
+  queued_total_ -= end - begin;
   queues_[i].EraseRange(begin, end);
 }
 

@@ -136,6 +136,7 @@ class WorkerStore {
     } else {
       ++queue_short_[i];
     }
+    ++queued_total_;
   }
 
   bool QueueEmpty(WorkerId id) const { return queues_[Check(id)].Empty(); }
@@ -152,7 +153,47 @@ class WorkerStore {
     } else {
       --queue_short_[i];
     }
+    HAWK_CHECK_GT(queued_total_, 0u);
+    --queued_total_;
     return entry;
+  }
+
+  // --- fault injection -----------------------------------------------------
+  // Removes and returns every queued entry of `id` (FIFO order). The fault
+  // layer hands the entries back to their schedulers for re-dispatch.
+  std::vector<QueueEntry> DrainQueue(WorkerId id) {
+    const size_t i = Check(id);
+    std::vector<QueueEntry> drained;
+    drained.reserve(queues_[i].Size());
+    while (!queues_[i].Empty()) {
+      drained.push_back(PopFront(id));
+    }
+    return drained;
+  }
+
+  // Fail-stop crash: releases every occupied slot (executing and requesting)
+  // in one stroke. The queue must already be drained; the caller is
+  // responsible for invalidating the in-flight completions/resolves whose
+  // slots this frees.
+  void ResetSlots(WorkerId id) {
+    const size_t i = Check(id);
+    HAWK_CHECK(queues_[i].Empty()) << "ResetSlots on worker " << id
+                                   << " with a non-empty queue (drain first)";
+    HAWK_CHECK_GE(executing_total_, executing_[i]);
+    executing_total_ -= executing_[i];
+    executing_[i] = 0;
+    requesting_[i] = 0;
+    occupied_long_[i] = 0;
+    free_[i] = slots_[i];
+  }
+
+  // Takes back execution time charged by BeginExecute for work a crash threw
+  // away (BeginExecute charges the full duration up front; a killed task only
+  // delivered part of it).
+  void DeductBusyUs(WorkerId id, DurationUs us) {
+    const size_t i = Check(id);
+    HAWK_CHECK_GE(busy_accum_us_[i], us);
+    busy_accum_us_[i] -= us;
   }
 
   // --- execution state transitions --------------------------------------
@@ -241,6 +282,10 @@ class WorkerStore {
   // Slots currently executing a task, across the whole store. O(1).
   uint64_t ExecutingTotal() const { return executing_total_; }
 
+  // Entries queued across the whole store. O(1); the steal-retry path uses it
+  // to tell "work is waiting somewhere" from "everything left is executing".
+  uint64_t TotalQueued() const { return queued_total_; }
+
   // Total microseconds of task execution accumulated on `id`.
   DurationUs BusyAccumUs(WorkerId id) const { return busy_accum_us_[Check(id)]; }
 
@@ -287,6 +332,7 @@ class WorkerStore {
 
   uint64_t total_slots_ = 0;
   uint64_t executing_total_ = 0;
+  uint64_t queued_total_ = 0;
 };
 
 }  // namespace hawk

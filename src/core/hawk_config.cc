@@ -63,6 +63,14 @@ constexpr FieldSetter kFields[] = {
        c.estimate_noise_lo = v;
        return true;
      }},
+    {"fault_seed", [](HawkConfig& c, double v) { return SetIntegerField(&c.fault_seed, v); }},
+    {"message_delay_jitter_us",
+     [](HawkConfig& c, double v) { return SetIntegerField(&c.message_delay_jitter_us, v); }},
+    {"message_loss_rate",
+     [](HawkConfig& c, double v) {
+       c.message_loss_rate = v;
+       return true;
+     }},
     {"net_delay_us",
      [](HawkConfig& c, double v) { return SetIntegerField(&c.net_delay_us, v); }},
     {"num_workers",
@@ -102,6 +110,18 @@ constexpr FieldSetter kFields[] = {
      }},
     {"util_sample_period_us",
      [](HawkConfig& c, double v) { return SetIntegerField(&c.util_sample_period_us, v); }},
+    {"worker_churn_rate",
+     [](HawkConfig& c, double v) {
+       c.worker_churn_rate = v;
+       return true;
+     }},
+    {"worker_crash_rate",
+     [](HawkConfig& c, double v) {
+       c.worker_crash_rate = v;
+       return true;
+     }},
+    {"worker_downtime_us",
+     [](HawkConfig& c, double v) { return SetIntegerField(&c.worker_downtime_us, v); }},
 };
 
 }  // namespace
@@ -203,6 +223,26 @@ Status HawkConfig::Validate() const {
   }
   if (util_sample_period_us <= 0) {
     return Status::Error("util_sample_period_us must be > 0");
+  }
+  if (!(worker_crash_rate >= 0.0)) {
+    return Status::Error("worker_crash_rate must be >= 0, got " +
+                         std::to_string(worker_crash_rate));
+  }
+  if (!(worker_churn_rate >= 0.0)) {
+    return Status::Error("worker_churn_rate must be >= 0, got " +
+                         std::to_string(worker_churn_rate));
+  }
+  if ((worker_crash_rate > 0.0 || worker_churn_rate > 0.0) && worker_downtime_us <= 0) {
+    return Status::Error("worker_downtime_us must be > 0 when crash/churn rates are set");
+  }
+  // Loss strictly below 1: retransmission terminates with probability 1 and
+  // the expected retry chain stays finite.
+  if (!(message_loss_rate >= 0.0 && message_loss_rate < 1.0)) {
+    return Status::Error("message_loss_rate must be in [0, 1), got " +
+                         std::to_string(message_loss_rate));
+  }
+  if (message_delay_jitter_us < 0) {
+    return Status::Error("message_delay_jitter_us must be >= 0");
   }
   return Status::Ok();
 }

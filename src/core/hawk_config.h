@@ -90,6 +90,45 @@ struct HawkConfig {
 
   uint64_t seed = 42;
 
+  // --- fault injection ------------------------------------------------------
+  // All knobs default to zero: a zero-fault run draws nothing from the fault
+  // RNG and is byte-identical to a build without the fault layer.
+
+  // Fail-stop crashes per worker-second (Poisson). A crashed worker loses its
+  // queue and its in-flight tasks; lost tasks are handed back to their
+  // scheduler lane for re-dispatch and the worker rejoins empty after
+  // `worker_downtime_us`.
+  double worker_crash_rate = 0.0;
+
+  // Graceful departures per worker-second (Poisson). A departing worker
+  // bounces queued and newly arriving entries back to their schedulers but
+  // lets executing tasks finish, then rejoins after `worker_downtime_us`.
+  double worker_churn_rate = 0.0;
+
+  // How long a crashed or departed worker stays out of service.
+  DurationUs worker_downtime_us = SecondsToUs(30.0);
+
+  // Probability in [0, 1) that a probe/task delivery is dropped. Drops are
+  // detected by a sender timeout and retransmitted (4x net_delay_us per
+  // retry), so no message is lost forever — only delayed.
+  double message_loss_rate = 0.0;
+
+  // Extra per-delivery latency, uniform in [0, jitter]. Nonzero jitter makes
+  // delivery order differ from send order, like a real network.
+  DurationUs message_delay_jitter_us = 0;
+
+  // Extra seed mixed into the fault RNG stream: sweeping fault_seed re-rolls
+  // crash times and message drops while keeping workload and scheduler
+  // decisions pinned to `seed`.
+  uint64_t fault_seed = 0;
+
+  // True when any fault axis is active (drives the fault-only bookkeeping in
+  // the driver and the prototype).
+  bool FaultsEnabled() const {
+    return worker_crash_rate > 0.0 || worker_churn_rate > 0.0 ||
+           message_loss_rate > 0.0 || message_delay_jitter_us > 0;
+  }
+
   // Sanity-checks the configuration; run entry points call this so a bad
   // config fails loudly instead of silently producing a nonsense run.
   Status Validate() const;

@@ -72,6 +72,22 @@ void HawkPolicy::OnTaskFinish(WorkerId worker, JobId job, bool is_long) {
   central_queue_->OnTaskFinish(worker, ctx_->Now());
 }
 
+void HawkPolicy::OnTaskLost(JobId job, bool is_long) {
+  // A centrally placed long task goes back through the waiting-time queue —
+  // its scheduler lane — so the replacement again lands on the worker with
+  // the minimum estimated wait. Everything else re-probes (base behavior).
+  if (is_long && config_.use_centralized_long) {
+    const DurationUs estimate_us = ctx_->Tracker().EstimateUs(job);
+    const auto assignment = ctx_->Tracker().TakeNextTask(job);
+    HAWK_CHECK(assignment.has_value()) << "lost task of job " << job << " not returned";
+    const WorkerId worker = central_queue_->AssignTask(ctx_->Now(), estimate_us);
+    ctx_->PlaceTask(worker, job, assignment->task_index, assignment->duration,
+                    /*is_long=*/true);
+    return;
+  }
+  SchedulerPolicy::OnTaskLost(job, is_long);
+}
+
 void HawkPolicy::OnWorkerIdle(WorkerId worker) {
   if (!config_.use_stealing || config_.steal_cap == 0) {
     return;

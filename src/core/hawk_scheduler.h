@@ -39,6 +39,7 @@ class HawkPolicy : public SchedulerPolicy {
   void OnWorkerIdle(WorkerId worker) override;
   void OnTaskStart(WorkerId worker, const QueueEntry& task) override;
   void OnTaskFinish(WorkerId worker, JobId job, bool is_long) override;
+  void OnTaskLost(JobId job, bool is_long) override;
 
   std::string_view Name() const override { return "hawk"; }
 

@@ -22,11 +22,34 @@ void MessageBus::Register(Address address, Handler handler) {
       << "duplicate rpc address " << address;
 }
 
+void MessageBus::EnableFaults(const FaultInjection& faults) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HAWK_CHECK_GE(faults.loss_rate, 0.0);
+  HAWK_CHECK_LT(faults.loss_rate, 1.0);
+  HAWK_CHECK(faults.loss_rate == 0.0 || faults.droppable != nullptr)
+      << "loss injection needs a droppable predicate";
+  faults_ = faults;
+  faults_enabled_ = true;
+  fault_rng_ = Rng(faults.seed);
+}
+
 void MessageBus::Send(Address from, Address to, uint32_t type, std::vector<uint8_t> payload) {
   std::lock_guard<std::mutex> lock(mu_);
   HAWK_CHECK(!shutdown_) << "send on stopped bus";
+  auto deliver_at = std::chrono::steady_clock::now() + latency_;
+  if (faults_enabled_) {
+    if (faults_.loss_rate > 0.0 && faults_.droppable(type) &&
+        fault_rng_.Bernoulli(faults_.loss_rate)) {
+      ++dropped_;
+      return;
+    }
+    if (faults_.jitter.count() > 0) {
+      deliver_at += std::chrono::microseconds(
+          fault_rng_.UniformInt(0, faults_.jitter.count()));
+    }
+  }
   Pending pending;
-  pending.deliver_at = std::chrono::steady_clock::now() + latency_;
+  pending.deliver_at = deliver_at;
   pending.seq = next_seq_++;
   pending.message = BusMessage{from, to, type, std::move(payload)};
   queue_.push(std::move(pending));
@@ -91,6 +114,11 @@ void MessageBus::Shutdown() {
 uint64_t MessageBus::MessagesDelivered() const {
   std::lock_guard<std::mutex> lock(mu_);
   return delivered_;
+}
+
+uint64_t MessageBus::MessagesDropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
 }
 
 }  // namespace rpc

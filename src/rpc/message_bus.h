@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/random.h"
 #include "src/common/types.h"
 
 namespace hawk {
@@ -46,6 +47,23 @@ class MessageBus {
 
   using Handler = std::function<void(const BusMessage&)>;
 
+  // Fault injection for the wire: messages whose type the `droppable`
+  // predicate accepts are lost with probability `loss_rate` at send time,
+  // and every delivery is delayed by an extra Uniform[0, jitter] on top of
+  // the base latency. The application layer supplies the predicate because
+  // only it knows which message types have timeout-based recovery — losing
+  // a type without one would wedge the protocol, which models a crashed
+  // endpoint, not a lossy wire.
+  struct FaultInjection {
+    double loss_rate = 0.0;
+    std::chrono::microseconds jitter{0};
+    uint64_t seed = 0;
+    std::function<bool(uint32_t type)> droppable;
+  };
+
+  // Enables wire faults. Call before any traffic (like Register).
+  void EnableFaults(const FaultInjection& faults);
+
   // Registers the handler for `address`. Must happen before messages are
   // sent to that address. Not thread-safe against concurrent Send.
   void Register(Address address, Handler handler);
@@ -60,6 +78,7 @@ class MessageBus {
   void Shutdown();
 
   uint64_t MessagesDelivered() const;
+  uint64_t MessagesDropped() const;
 
  private:
   struct Pending {
@@ -77,6 +96,12 @@ class MessageBus {
   void DeliveryLoop();
 
   const std::chrono::microseconds latency_;
+  // Wire faults; inert until EnableFaults. The RNG is guarded by mu_ (Send
+  // already holds it), so concurrent senders draw from one stream.
+  FaultInjection faults_;
+  bool faults_enabled_ = false;
+  Rng fault_rng_{0};
+  uint64_t dropped_ = 0;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable drained_cv_;

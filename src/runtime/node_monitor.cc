@@ -28,7 +28,8 @@ NodeMonitor::NodeMonitor(rpc::Address address, const NodeMonitorConfig& config,
       config_(config),
       bus_(bus),
       stealing_(config.steal_cap, seed, config.victim_selection),
-      free_slots_(SlotsOf(config, address)) {
+      capacity_(SlotsOf(config, address)),
+      free_slots_(capacity_) {
   HAWK_CHECK(bus != nullptr);
 }
 
@@ -53,9 +54,53 @@ void NodeMonitor::Stop() {
   }
 }
 
+void NodeMonitor::Crash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_ || stopping_) {
+    return;
+  }
+  crashed_ = true;
+  // Fail-stop: everything this node held dies with it. The elapsed part of
+  // each running task is wasted work — it is charged to busy time too, so
+  // cluster busy time keeps meaning "slot-seconds spent running", matching
+  // the simulator's accounting (completed work + wasted work).
+  const Clock::time_point now = Clock::now();
+  while (!running_.empty()) {
+    const RunningTask& running = running_.top();
+    const auto started = running.deadline - std::chrono::microseconds(running.task.duration_us);
+    const int64_t ran_us = std::max<int64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(now - started).count(), 0);
+    wasted_work_us_.fetch_add(ran_us, std::memory_order_relaxed);
+    busy_us_.fetch_add(ran_us, std::memory_order_relaxed);
+    running_.pop();
+  }
+  queue_.clear();
+  outstanding_.clear();
+  requesting_ = 0;
+  occupied_long_ = 0;
+  executing_slots_.store(0, std::memory_order_relaxed);
+  free_slots_ = capacity_;
+  steal_in_flight_ = false;
+  steal_victims_.clear();
+  next_victim_ = 0;
+  steal_round_exhausted_ = false;
+}
+
+void NodeMonitor::Rejoin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!crashed_ || stopping_) {
+    return;
+  }
+  crashed_ = false;
+  // Fresh and empty: give it a dispatch pass so it can start stealing.
+  Advance();
+}
+
 void NodeMonitor::HandleMessage(const rpc::BusMessage& message) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (stopping_) {
+  if (stopping_ || crashed_) {
+    // A crashed node is silent: probes and placed tasks die here (the
+    // schedulers' timeouts recover them), grants and steal traffic vanish.
     return;
   }
   switch (message.type) {
@@ -200,6 +245,13 @@ void NodeMonitor::ResolveRequestLocked(JobId job) {
 }
 
 void NodeMonitor::TryStealLocked() {
+  if (steal_in_flight_ && config_.steal_response_timeout.count() > 0 &&
+      Clock::now() > steal_deadline_) {
+    // The victim crashed (or its response was lost) after we contacted it;
+    // give it up so the round — and all future stealing — is not wedged on
+    // a reply that will never come.
+    steal_in_flight_ = false;
+  }
   if (steal_in_flight_ || steal_round_exhausted_) {
     return;
   }
@@ -217,6 +269,9 @@ void NodeMonitor::TryStealLocked() {
   }
   const rpc::Address victim = steal_victims_[next_victim_++];
   steal_in_flight_ = true;
+  if (config_.steal_response_timeout.count() > 0) {
+    steal_deadline_ = Clock::now() + config_.steal_response_timeout;
+  }
   StealRequestMsg request;
   request.thief = address_;
   bus_->Send(address_, victim, kStealRequest, request.Encode());

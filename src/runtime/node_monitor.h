@@ -41,6 +41,11 @@ struct NodeMonitorConfig {
   uint32_t steal_cap = 10;  // 0 disables stealing.
   bool stealing_enabled = true;
   StealingPolicy::VictimSelection victim_selection = StealingPolicy::VictimSelection::kRandom;
+  // Fault tolerance: when nonzero, a thief whose steal request has gone
+  // unanswered this long gives the victim up for dead and resumes its round
+  // — without it, one crashed victim permanently wedges the thief's
+  // stealing. Zero (the default) keeps the fault-free protocol untouched.
+  std::chrono::microseconds steal_response_timeout{0};
 };
 
 class NodeMonitor {
@@ -57,6 +62,15 @@ class NodeMonitor {
   // Stops the executor thread; pending queue entries are dropped.
   void Stop();
 
+  // Fail-stop crash: the monitor drops its queue, outstanding requests, and
+  // running tasks (their elapsed time is accounted as wasted work) and stops
+  // reacting to every message until Rejoin — from the outside it is simply
+  // silent, exactly like a dead node. The schedulers' timeout-based reaping
+  // is what recovers the work that died here.
+  void Crash();
+  // Brings a crashed monitor back, empty, with all slots free.
+  void Rejoin();
+
   // Slots currently executing a task (utilization sampling).
   uint32_t ExecutingSlots() const { return executing_slots_.load(std::memory_order_relaxed); }
 
@@ -65,6 +79,7 @@ class NodeMonitor {
   uint64_t steals_attempted() const { return steals_attempted_.load(std::memory_order_relaxed); }
   uint64_t entries_stolen() const { return entries_stolen_.load(std::memory_order_relaxed); }
   DurationUs busy_us() const { return busy_us_.load(std::memory_order_relaxed); }
+  DurationUs wasted_work_us() const { return wasted_work_us_.load(std::memory_order_relaxed); }
 
  private:
   struct Entry {
@@ -111,7 +126,9 @@ class NodeMonitor {
   std::mutex mu_;
   std::condition_variable exec_cv_;
   std::deque<Entry> queue_;
-  // Initialized to the monitor's capacity (layout slot count).
+  // The monitor's capacity (layout slot count); free_slots_ starts here and
+  // snaps back on crash.
+  const uint32_t capacity_;
   uint32_t free_slots_;
   uint32_t requesting_ = 0;
   // Occupied slots (requesting or executing) holding long work — the steal
@@ -125,6 +142,10 @@ class NodeMonitor {
   bool steal_round_exhausted_ = false;   // Round failed; wait for new work.
   std::vector<WorkerId> steal_victims_;  // This round's contact list.
   size_t next_victim_ = 0;               // Cursor into steal_victims_.
+  // When steal_in_flight_: give the victim up for dead past this point
+  // (only armed when the config sets a steal response timeout).
+  std::chrono::steady_clock::time_point steal_deadline_;
+  bool crashed_ = false;
   bool stopping_ = false;
 
   std::atomic<uint32_t> executing_slots_{0};
@@ -132,6 +153,7 @@ class NodeMonitor {
   std::atomic<uint64_t> steals_attempted_{0};
   std::atomic<uint64_t> entries_stolen_{0};
   std::atomic<int64_t> busy_us_{0};
+  std::atomic<int64_t> wasted_work_us_{0};
 
   std::thread executor_;
 };

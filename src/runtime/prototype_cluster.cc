@@ -42,6 +42,12 @@ Status PrototypeConfig::Validate() const {
   if (timeout.count() <= 0) {
     return Status::Error("timeout must be positive");
   }
+  if (fault_detection_timeout.count() <= 0) {
+    return Status::Error("fault_detection_timeout must be positive");
+  }
+  if (reap_period.count() <= 0) {
+    return Status::Error("reap_period must be positive");
+  }
   return Status::Ok();
 }
 
@@ -80,7 +86,28 @@ StatusOr<RunResult> RunPrototype(const Trace& trace, const PrototypeConfig& conf
                          "' probes the short partition, but the partition is empty");
   }
 
+  // Fault layer: all axes live in the shared HawkConfig, so a spec sweeps
+  // the simulator and the prototype identically. With every axis at zero the
+  // runtime is wired exactly as before — no reaper, no fault controller, no
+  // bus fault hook, no timeouts armed.
+  const bool faults_on = hawk.FaultsEnabled();
   rpc::MessageBus bus(std::chrono::microseconds(hawk.net_delay_us), config.bus_threads);
+  if (hawk.message_loss_rate > 0.0 || hawk.message_delay_jitter_us > 0) {
+    rpc::MessageBus::FaultInjection wire;
+    wire.loss_rate = hawk.message_loss_rate;
+    wire.jitter = std::chrono::microseconds(hawk.message_delay_jitter_us);
+    wire.seed = Rng(hawk.seed ^ 0xD207B175ULL ^ (hawk.fault_seed * 0x9E3779B97F4A7C15ULL)).Next();
+    // Only message types with timeout-based recovery are droppable: probes
+    // (re-probed by the frontend watchdog), placements and completions
+    // (re-dispatched by the owner's deadline reaper). Losing a grant,
+    // cancel, or steal message would leak a monitor slot or wedge a
+    // protocol round with no recovery path — that models a crashed
+    // endpoint, which the crash axis injects properly.
+    wire.droppable = [](uint32_t type) {
+      return type == kProbe || type == kTaskPlace || type == kTaskDone;
+    };
+    bus.EnableFaults(wire);
+  }
   CompletionSink sink;
   {
     std::vector<JobId> ids;
@@ -97,6 +124,10 @@ StatusOr<RunResult> RunPrototype(const Trace& trace, const PrototypeConfig& conf
   nm_config.steal_cap = hawk.steal_cap;
   nm_config.stealing_enabled = shape.stealing && hawk.steal_cap > 0;
   nm_config.victim_selection = shape.victim_selection;
+  if (faults_on) {
+    nm_config.steal_response_timeout =
+        std::chrono::duration_cast<std::chrono::microseconds>(config.fault_detection_timeout);
+  }
   std::vector<std::unique_ptr<NodeMonitor>> monitors;
   monitors.reserve(hawk.num_workers);
   Rng seeder(hawk.seed);
@@ -104,17 +135,23 @@ StatusOr<RunResult> RunPrototype(const Trace& trace, const PrototypeConfig& conf
     monitors.push_back(std::make_unique<NodeMonitor>(n, nm_config, &bus, seeder.Next()));
   }
 
+  FaultRecoveryPolicy recovery;
+  recovery.enabled = faults_on;
+  recovery.detection_timeout =
+      std::chrono::duration_cast<std::chrono::microseconds>(config.fault_detection_timeout);
+
   // Distributed frontends, probing the spans the policy shape declares.
   std::vector<std::unique_ptr<DistributedFrontend>> frontends;
   frontends.reserve(config.num_frontends);
   for (uint32_t f = 0; f < config.num_frontends; ++f) {
-    frontends.push_back(std::make_unique<DistributedFrontend>(
-        kFrontendBase + f, &layout, shape, hawk.probe_ratio, &bus, &sink, seeder.Next()));
+    frontends.push_back(std::make_unique<DistributedFrontend>(kFrontendBase + f, &layout, shape,
+                                                              hawk.probe_ratio, recovery, &bus,
+                                                              &sink, seeder.Next()));
   }
 
   std::unique_ptr<CentralBackend> backend;
   if (shape.centralized_long || shape.centralized_short) {
-    backend = std::make_unique<CentralBackend>(kBackendAddress, &layout, &bus, &sink);
+    backend = std::make_unique<CentralBackend>(kBackendAddress, &layout, recovery, &bus, &sink);
   }
 
   for (auto& monitor : monitors) {
@@ -151,6 +188,92 @@ StatusOr<RunResult> RunPrototype(const Trace& trace, const PrototypeConfig& conf
       sampler_cv.wait_for(lock, period, [&] { return !sampling; });
     }
   });
+
+  // Fault controller: a Poisson process of real fail-stop crashes (the
+  // runtime analogue of the simulator's kCrashTick), with each victim
+  // rejoining empty after the configured downtime. The RNG derivation
+  // matches the simulator's, so fault_seed re-rolls faults here too without
+  // touching scheduling seeds.
+  std::mutex fault_mu;
+  std::condition_variable fault_cv;
+  bool fault_stop = false;
+  uint64_t worker_crashes = 0;
+  uint64_t worker_rejoins = 0;
+  std::thread fault_controller;
+  if (hawk.worker_crash_rate > 0.0) {
+    fault_controller = std::thread([&] {
+      Rng rng(Rng(hawk.seed ^ 0x8BADF00DDEADBEEFULL ^
+                  (hawk.fault_seed * 0x9E3779B97F4A7C15ULL))
+                  .Next());
+      const double mean_us = 1e6 / (hawk.worker_crash_rate * hawk.num_workers);
+      const auto draw_wait = [&rng, mean_us] {
+        return std::chrono::microseconds(
+            std::max<int64_t>(std::llround(rng.Exponential(mean_us)), 1));
+      };
+      std::vector<std::pair<Clock::time_point, WorkerId>> rejoins;
+      Clock::time_point next_crash = Clock::now() + draw_wait();
+      std::unique_lock<std::mutex> lock(fault_mu);
+      while (!fault_stop) {
+        Clock::time_point next = next_crash;
+        for (const auto& rejoin : rejoins) {
+          next = std::min(next, rejoin.first);
+        }
+        fault_cv.wait_until(lock, next, [&] { return fault_stop; });
+        if (fault_stop) {
+          break;
+        }
+        const Clock::time_point now = Clock::now();
+        for (auto it = rejoins.begin(); it != rejoins.end();) {
+          if (it->first <= now) {
+            monitors[it->second]->Rejoin();
+            ++worker_rejoins;
+            it = rejoins.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        if (now >= next_crash) {
+          const auto victim = static_cast<WorkerId>(rng.UniformInt(0, hawk.num_workers - 1));
+          const bool down = std::any_of(rejoins.begin(), rejoins.end(),
+                                        [victim](const auto& r) { return r.second == victim; });
+          if (!down) {
+            monitors[victim]->Crash();
+            ++worker_crashes;
+            rejoins.emplace_back(now + std::chrono::microseconds(hawk.worker_downtime_us),
+                                 victim);
+          }
+          next_crash = now + draw_wait();
+        }
+      }
+    });
+  }
+
+  // Reaper: periodically lets each scheduler re-dispatch work it presumes
+  // dead. This is the prototype's whole recovery engine — without it a
+  // crash or drop strands its tasks forever.
+  std::mutex reap_mu;
+  std::condition_variable reap_cv;
+  bool reap_stop = false;
+  std::thread reaper;
+  if (faults_on) {
+    reaper = std::thread([&] {
+      std::unique_lock<std::mutex> lock(reap_mu);
+      while (!reap_stop) {
+        reap_cv.wait_for(lock, config.reap_period, [&] { return reap_stop; });
+        if (reap_stop) {
+          break;
+        }
+        lock.unlock();
+        for (auto& frontend : frontends) {
+          frontend->ReapOverdue();
+        }
+        if (backend != nullptr) {
+          backend->ReapOverdue();
+        }
+        lock.lock();
+      }
+    });
+  }
 
   // Shared classification (§3.3): the same classifier, cutoff and noise
   // stream the simulation driver would construct for this config.
@@ -191,6 +314,24 @@ StatusOr<RunResult> RunPrototype(const Trace& trace, const PrototypeConfig& conf
   if (!completed.ok()) {
     HAWK_LOG(Error) << completed.message() << "; results are partial";
   }
+  // Stop the fault machinery before draining: the reaper sends on the bus,
+  // so it must be gone before the bus winds down.
+  if (fault_controller.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(fault_mu);
+      fault_stop = true;
+    }
+    fault_cv.notify_all();
+    fault_controller.join();
+  }
+  if (reaper.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(reap_mu);
+      reap_stop = true;
+    }
+    reap_cv.notify_all();
+    reaper.join();
+  }
   bus.Drain();
 
   {
@@ -229,8 +370,24 @@ StatusOr<RunResult> RunPrototype(const Trace& trace, const PrototypeConfig& conf
     result.counters.tasks_launched += monitor->tasks_executed();
     result.counters.steal_attempts += monitor->steals_attempted();
     result.counters.entries_stolen += monitor->entries_stolen();
+    result.counters.wasted_work_us += static_cast<uint64_t>(monitor->wasted_work_us());
   }
   result.counters.events = bus.MessagesDelivered();
+  // Fault counters, with the same meanings as the simulator's: parity lets
+  // bench_ablation_faults print one table over both executors.
+  result.counters.worker_crashes = worker_crashes;
+  result.counters.worker_rejoins = worker_rejoins;
+  result.counters.messages_dropped = bus.MessagesDropped();
+  result.counters.duplicate_completions = sink.duplicates();
+  for (const auto& frontend : frontends) {
+    result.counters.tasks_re_dispatched += frontend->tasks_re_dispatched();
+    result.counters.probes_lost += frontend->probes_re_sent();
+    result.counters.duplicate_completions += frontend->duplicate_completions();
+  }
+  if (backend != nullptr) {
+    result.counters.tasks_re_dispatched += backend->tasks_re_dispatched();
+    result.counters.duplicate_completions += backend->duplicate_completions();
+  }
   result.total_busy_us = 0;
   for (const auto& monitor : monitors) {
     result.total_busy_us += monitor->busy_us();

@@ -56,6 +56,17 @@ struct PrototypeConfig {
   // outstanding and returns partial results.
   std::chrono::milliseconds timeout{120'000};
 
+  // Fault recovery (active only when the embedded HawkConfig enables any
+  // fault axis): how long past a task's expected completion its scheduler
+  // waits before presuming the node dead and re-dispatching, and how often
+  // the reaper scans for overdue work. Both are wall-clock; the fault axes
+  // themselves (worker_crash_rate, message_loss_rate, ...) live in `hawk` so
+  // one spec sweeps the simulator and the prototype identically. The
+  // prototype implements crashes and wire faults; worker_churn_rate (a
+  // simulator refinement of crashing — graceful drain) is ignored here.
+  std::chrono::milliseconds fault_detection_timeout{750};
+  std::chrono::milliseconds reap_period{100};
+
   PrototypeConfig() {
     // Wall-clock-friendly defaults: the simulator's 0.5 ms delay is already
     // right, but 100 s between utilization samples would outlive most

@@ -1,5 +1,6 @@
 #include "src/runtime/schedulers.h"
 
+#include <algorithm>
 #include <string>
 
 #include "src/common/check.h"
@@ -35,16 +36,27 @@ void SpanSlotRange(const Cluster& layout, RuntimeShape::ProbeSpan span, SlotId* 
 
 void CompletionSink::ExpectJobs(const std::vector<JobId>& ids) {
   std::lock_guard<std::mutex> lock(mu_);
+  expected_.clear();
+  expected_.insert(ids.begin(), ids.end());
   outstanding_.clear();
   outstanding_.insert(ids.begin(), ids.end());
   completions_.clear();
   completions_.reserve(ids.size());
+  duplicates_ = 0;
 }
 
 void CompletionSink::Record(JobId job, bool is_long) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (outstanding_.erase(job) == 0) {
+    // Either the job already completed (a re-dispatched copy finishing
+    // behind the original — expected under fault recovery) or nobody ever
+    // expected it, which is a wiring bug no fault can produce.
+    HAWK_CHECK(expected_.count(job) != 0)
+        << "completion recorded for never-expected job " << job;
+    ++duplicates_;
+    return;
+  }
   completions_.push_back(Completion{job, is_long, std::chrono::steady_clock::now()});
-  outstanding_.erase(job);
   if (outstanding_.empty()) {
     cv_.notify_all();
   }
@@ -56,11 +68,15 @@ Status CompletionSink::AwaitAll(std::chrono::milliseconds timeout) {
     return Status::Ok();
   }
   // Name the stragglers: "timed out, 0 of N done" is undebuggable; a job-id
-  // list points straight at the stuck scheduler or monitor.
+  // list points straight at the stuck scheduler or monitor. Sorted, so two
+  // runs of the same stuck configuration produce comparable messages
+  // (hash-set order varies run to run).
   constexpr size_t kMaxListed = 16;
+  std::vector<JobId> ids(outstanding_.begin(), outstanding_.end());
+  std::sort(ids.begin(), ids.end());
   std::string listed;
   size_t shown = 0;
-  for (const JobId job : outstanding_) {
+  for (const JobId job : ids) {
     if (shown == kMaxListed) {
       listed += ", ...";
       break;
@@ -77,16 +93,23 @@ std::vector<CompletionSink::Completion> CompletionSink::TakeAll() {
   return std::move(completions_);
 }
 
+uint64_t CompletionSink::duplicates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return duplicates_;
+}
+
 // --- DistributedFrontend ----------------------------------------------------
 
 DistributedFrontend::DistributedFrontend(rpc::Address address, const Cluster* layout,
                                          const RuntimeShape& shape, uint32_t probe_ratio,
+                                         const FaultRecoveryPolicy& faults,
                                          rpc::MessageBus* bus, CompletionSink* sink,
                                          uint64_t seed)
     : address_(address),
       layout_(layout),
       shape_(shape),
       probe_ratio_(probe_ratio),
+      faults_(faults),
       bus_(bus),
       sink_(sink),
       rng_(seed) {
@@ -100,6 +123,29 @@ void DistributedFrontend::Start() {
   bus_->Register(address_, [this](const rpc::BusMessage& m) { HandleMessage(m); });
 }
 
+void DistributedFrontend::SendProbesLocked(JobId job, JobState& state, uint32_t count) {
+  // Shared §3.5 placement: sample `count` slots without replacement from the
+  // span the policy shape declares for this class, weighting workers by
+  // capacity, and map each slot to its owning node monitor.
+  SlotId first = 0;
+  uint32_t span_count = 0;
+  SpanSlotRange(*layout_, state.is_long ? shape_.long_probe_span : shape_.short_probe_span,
+                &first, &span_count);
+  HAWK_CHECK_GT(span_count, 0u) << "probe span is empty for job " << job;
+  ChooseProbeTargetsInto(rng_, first, span_count, count, &targets_, &picks_);
+  ProbeMsg probe;
+  probe.job = job;
+  probe.frontend = address_;
+  probe.is_long = state.is_long;
+  for (const SlotId slot : targets_) {
+    probe.slot = slot;
+    bus_->Send(address_, layout_->WorkerOfSlot(slot), kProbe, probe.Encode());
+  }
+  if (faults_.enabled) {
+    state.probe_deadline = std::chrono::steady_clock::now() + faults_.detection_timeout;
+  }
+}
+
 void DistributedFrontend::HandleMessage(const rpc::BusMessage& message) {
   std::lock_guard<std::mutex> lock(mu_);
   switch (message.type) {
@@ -107,35 +153,25 @@ void DistributedFrontend::HandleMessage(const rpc::BusMessage& message) {
       const JobSubmitMsg submit = JobSubmitMsg::Decode(message.payload);
       JobState state;
       state.durations_us = submit.task_durations_us;
+      state.tasks.resize(state.durations_us.size());
       state.is_long = submit.is_long;
       const auto num_tasks = static_cast<uint32_t>(state.durations_us.size());
-      HAWK_CHECK(jobs_.emplace(submit.job, std::move(state)).second);
+      const auto emplaced = jobs_.emplace(submit.job, std::move(state));
+      HAWK_CHECK(emplaced.second);
       ++jobs_handled_;
-      // Shared §3.5 placement: sample `ratio * t` slots without replacement
-      // from the span the policy shape declares for this class, weighting
-      // workers by capacity, and map each slot to its owning node monitor.
-      SlotId first = 0;
-      uint32_t count = 0;
-      SpanSlotRange(*layout_, submit.is_long ? shape_.long_probe_span : shape_.short_probe_span,
-                    &first, &count);
-      HAWK_CHECK_GT(count, 0u) << "probe span is empty for job " << submit.job;
-      ChooseProbeTargetsInto(rng_, first, count, probe_ratio_ * num_tasks, &targets_, &picks_);
-      ProbeMsg probe;
-      probe.job = submit.job;
-      probe.frontend = address_;
-      probe.is_long = submit.is_long;
-      for (const SlotId slot : targets_) {
-        probe.slot = slot;
-        bus_->Send(address_, layout_->WorkerOfSlot(slot), kProbe, probe.Encode());
-      }
+      SendProbesLocked(submit.job, emplaced.first->second, probe_ratio_ * num_tasks);
       break;
     }
     case kTaskRequest: {
       const JobRefMsg request = JobRefMsg::Decode(message.payload);
       const auto it = jobs_.find(request.job);
-      // Unknown job: it already completed and was garbage-collected, but
-      // surplus probes for it are still queued somewhere. Cancel them.
-      if (it == jobs_.end() || it->second.next_unassigned >= it->second.durations_us.size()) {
+      // No assignable task: either the job already completed and was
+      // garbage-collected (surplus probes for it are still queued somewhere)
+      // or everything is granted/done. Cancel the reservation.
+      const bool assignable =
+          it != jobs_.end() && (!it->second.returned.empty() ||
+                                it->second.next_unassigned < it->second.durations_us.size());
+      if (!assignable) {
         JobRefMsg cancel;
         cancel.job = request.job;
         cancel.sender = address_;
@@ -144,21 +180,58 @@ void DistributedFrontend::HandleMessage(const rpc::BusMessage& message) {
         break;
       }
       JobState& state = it->second;
+      // Tasks returned by fault recovery are re-granted before the cursor
+      // advances, mirroring JobTracker::TakeNextTask.
+      uint32_t index = 0;
+      if (!state.returned.empty()) {
+        index = state.returned.back();
+        state.returned.pop_back();
+      } else {
+        index = state.next_unassigned++;
+      }
+      TaskState& task = state.tasks[index];
+      task.phase = TaskPhase::kGranted;
+      if (faults_.enabled) {
+        task.deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(state.durations_us[index]) +
+                        faults_.detection_timeout;
+        state.probe_deadline = task.deadline;
+      }
       TaskMsg grant;
       grant.job = request.job;
-      grant.task_index = state.next_unassigned;
-      grant.duration_us = state.durations_us[state.next_unassigned];
+      grant.task_index = index;
+      grant.duration_us = state.durations_us[index];
       grant.is_long = state.is_long;
       grant.owner = address_;
-      ++state.next_unassigned;
       bus_->Send(address_, request.sender, kTaskGrant, grant.Encode());
       break;
     }
     case kTaskDone: {
       const TaskMsg done = TaskMsg::Decode(message.payload);
       const auto it = jobs_.find(done.job);
-      HAWK_CHECK(it != jobs_.end());
+      if (it == jobs_.end()) {
+        // The job finished and was garbage-collected; this is a
+        // re-dispatched copy completing behind the original.
+        ++duplicate_completions_;
+        break;
+      }
       JobState& state = it->second;
+      HAWK_CHECK_LT(done.task_index, state.tasks.size());
+      TaskState& task = state.tasks[done.task_index];
+      if (task.phase == TaskPhase::kDone) {
+        ++duplicate_completions_;
+        break;
+      }
+      // The completion may come from a copy recovery already presumed dead
+      // (phase back to kUnassigned) — it still finishes the task. Drop a
+      // stale returned index so it cannot be re-granted.
+      task.phase = TaskPhase::kDone;
+      state.returned.erase(std::remove(state.returned.begin(), state.returned.end(),
+                                       done.task_index),
+                           state.returned.end());
+      if (faults_.enabled) {
+        state.probe_deadline = std::chrono::steady_clock::now() + faults_.detection_timeout;
+      }
       ++state.finished;
       if (state.finished == state.durations_us.size()) {
         sink_->Record(done.job, state.is_long);
@@ -171,11 +244,64 @@ void DistributedFrontend::HandleMessage(const rpc::BusMessage& message) {
   }
 }
 
+void DistributedFrontend::ReapOverdue() {
+  if (!faults_.enabled) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto now = std::chrono::steady_clock::now();
+  for (auto& [job, state] : jobs_) {
+    // Overdue grants: the executing node is presumed dead. Return the task
+    // to the assignable pool and probe for a new slot to late-bind it.
+    uint32_t reaped = 0;
+    for (uint32_t i = 0; i < state.tasks.size(); ++i) {
+      TaskState& task = state.tasks[i];
+      if (task.phase == TaskPhase::kGranted && now > task.deadline) {
+        task.phase = TaskPhase::kUnassigned;
+        state.returned.push_back(i);
+        ++tasks_re_dispatched_;
+        ++reaped;
+      }
+    }
+    const auto unassigned = static_cast<uint32_t>(state.returned.size()) +
+                            static_cast<uint32_t>(state.durations_us.size()) -
+                            state.next_unassigned;
+    if (reaped > 0) {
+      probes_re_sent_ += reaped;
+      SendProbesLocked(job, state, reaped);
+    } else if (unassigned > 0 && now > state.probe_deadline) {
+      // No grant or completion progress for a full detection window while
+      // tasks sit unassigned: every outstanding probe died with a crashed
+      // node or was dropped by the bus. Replace them (one per pending task;
+      // the watchdog re-fires if those die too).
+      probes_re_sent_ += unassigned;
+      SendProbesLocked(job, state, unassigned);
+    }
+  }
+}
+
+uint64_t DistributedFrontend::tasks_re_dispatched() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_re_dispatched_;
+}
+
+uint64_t DistributedFrontend::probes_re_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return probes_re_sent_;
+}
+
+uint64_t DistributedFrontend::duplicate_completions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return duplicate_completions_;
+}
+
 // --- CentralBackend ---------------------------------------------------------
 
 CentralBackend::CentralBackend(rpc::Address address, const Cluster* layout,
-                               rpc::MessageBus* bus, CompletionSink* sink)
+                               const FaultRecoveryPolicy& faults, rpc::MessageBus* bus,
+                               CompletionSink* sink)
     : address_(address),
+      faults_(faults),
       bus_(bus),
       sink_(sink),
       waiting_(*layout, layout->GeneralCount()),
@@ -192,6 +318,28 @@ void CentralBackend::Start() {
   bus_->Register(address_, [this](const rpc::BusMessage& m) { HandleMessage(m); });
 }
 
+void CentralBackend::PlaceTaskLocked(JobId job, JobState& state, uint32_t task_index) {
+  SlotId lane = 0;
+  const WorkerId worker = waiting_.AssignTask(NowUs(), state.estimate_us, &lane);
+  lane_charges_[lane].push_back(state.estimate_us);
+  TaskMsg place;
+  place.job = job;
+  place.is_long = state.is_long;
+  place.owner = address_;
+  place.task_index = task_index;
+  place.duration_us = state.durations_us[task_index];
+  place.slot = lane;
+  if (faults_.enabled) {
+    // The deadline budgets the run itself plus the detection window; a task
+    // parked deep in a busy queue can overrun it and be re-placed while
+    // alive — the duplicate completion is counted and dropped.
+    state.tasks[task_index].deadline = std::chrono::steady_clock::now() +
+                                       std::chrono::microseconds(place.duration_us) +
+                                       faults_.detection_timeout;
+  }
+  bus_->Send(address_, worker, kTaskPlace, place.Encode());
+}
+
 void CentralBackend::HandleMessage(const rpc::BusMessage& message) {
   std::lock_guard<std::mutex> lock(mu_);
   switch (message.type) {
@@ -200,21 +348,14 @@ void CentralBackend::HandleMessage(const rpc::BusMessage& message) {
       JobState state;
       state.unfinished = static_cast<uint32_t>(submit.task_durations_us.size());
       state.is_long = submit.is_long;
-      HAWK_CHECK(jobs_.emplace(submit.job, state).second);
+      state.durations_us = submit.task_durations_us;
+      state.estimate_us = submit.estimate_us;
+      state.tasks.resize(state.durations_us.size());
+      const auto emplaced = jobs_.emplace(submit.job, std::move(state));
+      HAWK_CHECK(emplaced.second);
       ++jobs_handled_;
-      const SimTime now = NowUs();
-      TaskMsg place;
-      place.job = submit.job;
-      place.is_long = submit.is_long;
-      place.owner = address_;
-      for (uint32_t i = 0; i < submit.task_durations_us.size(); ++i) {
-        SlotId lane = 0;
-        const WorkerId worker = waiting_.AssignTask(now, submit.estimate_us, &lane);
-        lane_charges_[lane].push_back(submit.estimate_us);
-        place.task_index = i;
-        place.duration_us = submit.task_durations_us[i];
-        place.slot = lane;
-        bus_->Send(address_, worker, kTaskPlace, place.Encode());
+      for (uint32_t i = 0; i < emplaced.first->second.durations_us.size(); ++i) {
+        PlaceTaskLocked(submit.job, emplaced.first->second, i);
       }
       break;
     }
@@ -244,6 +385,10 @@ void CentralBackend::HandleMessage(const rpc::BusMessage& message) {
     }
     case kTaskDone: {
       const TaskMsg done = TaskMsg::Decode(message.payload);
+      // Lane feedback first, and unconditionally: whichever copy finished
+      // did start on the echoed lane, so the running count and waiting-time
+      // estimate come back down even when the completion is a duplicate at
+      // the job level.
       HAWK_CHECK_LT(done.slot, lane_running_.size());
       if (lane_running_[done.slot] > 0) {
         --lane_running_[done.slot];
@@ -254,8 +399,19 @@ void CentralBackend::HandleMessage(const rpc::BusMessage& message) {
         ++lane_deferred_finishes_[done.slot];
       }
       const auto it = jobs_.find(done.job);
-      HAWK_CHECK(it != jobs_.end());
+      if (it == jobs_.end()) {
+        // The job finished and was garbage-collected; a re-dispatched copy
+        // completed behind the original.
+        ++duplicate_completions_;
+        break;
+      }
       JobState& state = it->second;
+      HAWK_CHECK_LT(done.task_index, state.tasks.size());
+      if (state.tasks[done.task_index].done) {
+        ++duplicate_completions_;
+        break;
+      }
+      state.tasks[done.task_index].done = true;
       --state.unfinished;
       if (state.unfinished == 0) {
         sink_->Record(done.job, state.is_long);
@@ -266,6 +422,37 @@ void CentralBackend::HandleMessage(const rpc::BusMessage& message) {
     default:
       HAWK_CHECK(false) << "backend got unexpected message type " << message.type;
   }
+}
+
+void CentralBackend::ReapOverdue() {
+  if (!faults_.enabled) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto now = std::chrono::steady_clock::now();
+  for (auto& [job, state] : jobs_) {
+    for (uint32_t i = 0; i < state.tasks.size(); ++i) {
+      if (!state.tasks[i].done && now > state.tasks[i].deadline) {
+        // Presumed dead with its node; place a fresh copy through the
+        // waiting-time queue (which also re-arms the deadline). The dead
+        // copy's lane charge stays in its FIFO — per-lane totals remain
+        // self-consistent because charges and starts pair up in lane order,
+        // and a never-started charge only pads that lane's estimate.
+        ++tasks_re_dispatched_;
+        PlaceTaskLocked(job, state, i);
+      }
+    }
+  }
+}
+
+uint64_t CentralBackend::tasks_re_dispatched() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_re_dispatched_;
+}
+
+uint64_t CentralBackend::duplicate_completions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return duplicate_completions_;
 }
 
 }  // namespace runtime

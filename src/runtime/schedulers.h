@@ -45,18 +45,39 @@ class CompletionSink {
   // Declares the job ids the run will complete; tracking ids (not just a
   // count) lets a timeout name the jobs still outstanding.
   void ExpectJobs(const std::vector<JobId>& ids);
+  // Records a completion. A job already recorded (possible when fault
+  // recovery re-dispatches a task whose original copy was merely slow) is
+  // counted as a duplicate and dropped rather than double-counted; a job id
+  // that was never expected aborts — that is a wiring bug, not a fault.
   void Record(JobId job, bool is_long);
   // Blocks until all expected jobs completed or the deadline passes. On
-  // timeout the error lists the outstanding job ids (up to a cap) so a slow
-  // or stuck run is diagnosable from the log alone.
+  // timeout the error lists the outstanding job ids (up to a cap, sorted so
+  // runs are comparable) so a slow or stuck run is diagnosable from the log
+  // alone.
   Status AwaitAll(std::chrono::milliseconds timeout);
   std::vector<Completion> TakeAll();
 
+  uint64_t duplicates() const;
+
  private:
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
+  std::unordered_set<JobId> expected_;  // Every id ever passed to ExpectJobs.
   std::unordered_set<JobId> outstanding_;
   std::vector<Completion> completions_;
+  uint64_t duplicates_ = 0;
+};
+
+// Wall-clock fault-recovery knobs shared by the scheduler executors. A
+// zero-initialized policy (enabled = false) makes every fault path inert:
+// no deadlines are armed and ReapOverdue is a no-op.
+struct FaultRecoveryPolicy {
+  bool enabled = false;
+  // How long past a task's expected completion (grant/placement time +
+  // duration) the owner waits before presuming the executing node dead and
+  // re-dispatching, and how long a job with unassigned tasks may sit with no
+  // grant/completion progress before its probes are presumed lost.
+  std::chrono::microseconds detection_timeout{750'000};
 };
 
 // A distributed scheduler frontend: owns the jobs submitted to it, places
@@ -68,32 +89,60 @@ class DistributedFrontend {
   // weighting); it must outlive the frontend and is shared read-only across
   // all runtime components.
   DistributedFrontend(rpc::Address address, const Cluster* layout, const RuntimeShape& shape,
-                      uint32_t probe_ratio, rpc::MessageBus* bus, CompletionSink* sink,
-                      uint64_t seed);
+                      uint32_t probe_ratio, const FaultRecoveryPolicy& faults,
+                      rpc::MessageBus* bus, CompletionSink* sink, uint64_t seed);
 
   void Start();
 
+  // Fault recovery (no-op unless the policy enables it): returns overdue
+  // granted tasks to the assignable pool and re-probes for them, and
+  // re-probes jobs whose unassigned tasks have made no progress — their
+  // probes died with a crashed node or were dropped by the bus. Driven by
+  // the harness's reaper thread.
+  void ReapOverdue();
+
   uint64_t jobs_handled() const { return jobs_handled_; }
   uint64_t cancels_sent() const { return cancels_sent_; }
+  uint64_t tasks_re_dispatched() const;
+  uint64_t probes_re_sent() const;
+  uint64_t duplicate_completions() const;
 
  private:
+  // Per-task lifecycle; kGranted tasks carry a presumed-dead deadline.
+  enum class TaskPhase : uint8_t { kUnassigned, kGranted, kDone };
+  struct TaskState {
+    TaskPhase phase = TaskPhase::kUnassigned;
+    std::chrono::steady_clock::time_point deadline;
+  };
   struct JobState {
     std::vector<int64_t> durations_us;
+    std::vector<TaskState> tasks;
     uint32_t next_unassigned = 0;
+    // Task indices returned by fault recovery, re-granted before the cursor
+    // advances (the runtime twin of JobTracker's returned list).
+    std::vector<uint32_t> returned;
     uint32_t finished = 0;
     bool is_long = false;
+    // Probe-loss watchdog: pushed forward by any grant/completion progress
+    // and by (re-)probing; expiring with unassigned tasks means every
+    // outstanding probe is sitting on a dead node or was dropped.
+    std::chrono::steady_clock::time_point probe_deadline;
   };
 
   void HandleMessage(const rpc::BusMessage& message);
+  // Sends `count` fresh probes for `job` over the class's slot span. Caller
+  // holds mu_.
+  void SendProbesLocked(JobId job, JobState& state, uint32_t count);
 
   const rpc::Address address_;
   const Cluster* layout_;
   const RuntimeShape shape_;
   const uint32_t probe_ratio_;
+  const FaultRecoveryPolicy faults_;
   rpc::MessageBus* bus_;
   CompletionSink* sink_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   Rng rng_;
   std::unordered_map<JobId, JobState> jobs_;
   // Probe-placement scratch (slot ids), reused across submissions.
@@ -101,6 +150,9 @@ class DistributedFrontend {
   std::vector<uint32_t> picks_;
   uint64_t jobs_handled_ = 0;
   uint64_t cancels_sent_ = 0;
+  uint64_t tasks_re_dispatched_ = 0;
+  uint64_t probes_re_sent_ = 0;
+  uint64_t duplicate_completions_ = 0;
 };
 
 // The centralized backend: places every task of a submitted job on the
@@ -111,26 +163,46 @@ class CentralBackend {
  public:
   // Tracks the general partition of `layout` — the whole cluster when the
   // policy registered no partition sizing.
-  CentralBackend(rpc::Address address, const Cluster* layout, rpc::MessageBus* bus,
-                 CompletionSink* sink);
+  CentralBackend(rpc::Address address, const Cluster* layout, const FaultRecoveryPolicy& faults,
+                 rpc::MessageBus* bus, CompletionSink* sink);
 
   void Start();
 
+  // Fault recovery (no-op unless the policy enables it): re-places overdue
+  // unfinished tasks through the waiting-time queue. A re-placed task whose
+  // original copy was merely slow can complete twice; the second completion
+  // is counted and dropped. Driven by the harness's reaper thread.
+  void ReapOverdue();
+
   uint64_t jobs_handled() const { return jobs_handled_; }
+  uint64_t tasks_re_dispatched() const;
+  uint64_t duplicate_completions() const;
 
  private:
+  struct TaskState {
+    bool done = false;
+    std::chrono::steady_clock::time_point deadline;
+  };
   struct JobState {
     uint32_t unfinished = 0;
     bool is_long = true;
+    // Kept for fault recovery: re-placement needs the duration and the
+    // original estimate to charge the new lane.
+    std::vector<int64_t> durations_us;
+    int64_t estimate_us = 0;
+    std::vector<TaskState> tasks;
   };
 
   void HandleMessage(const rpc::BusMessage& message);
+  // Places one task through the waiting-time queue. Caller holds mu_.
+  void PlaceTaskLocked(JobId job, JobState& state, uint32_t task_index);
 
   const rpc::Address address_;
+  const FaultRecoveryPolicy faults_;
   rpc::MessageBus* bus_;
   CompletionSink* sink_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   SlotWaitingTimeQueue waiting_;
   std::unordered_map<JobId, JobState> jobs_;
   // Per-lane reorder absorption for the multi-threaded bus, where a short
@@ -151,6 +223,8 @@ class CentralBackend {
   std::vector<uint32_t> lane_deferred_finishes_;
   std::chrono::steady_clock::time_point epoch_;
   uint64_t jobs_handled_ = 0;
+  uint64_t tasks_re_dispatched_ = 0;
+  uint64_t duplicate_completions_ = 0;
 
   SimTime NowUs() const {
     return std::chrono::duration_cast<std::chrono::microseconds>(

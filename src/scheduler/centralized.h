@@ -35,6 +35,16 @@ class CentralizedPolicy : public SchedulerPolicy {
     queue_->OnTaskFinish(worker, ctx_->Now());
   }
 
+  // Every task is centrally placed, so every lost task is re-placed through
+  // the waiting-time queue. (No probes exist; OnProbeLost can never fire.)
+  void OnTaskLost(JobId job, bool is_long) override {
+    const DurationUs estimate_us = ctx_->Tracker().EstimateUs(job);
+    const auto assignment = ctx_->Tracker().TakeNextTask(job);
+    HAWK_CHECK(assignment.has_value()) << "lost task of job " << job << " not returned";
+    const WorkerId worker = queue_->AssignTask(ctx_->Now(), estimate_us);
+    ctx_->PlaceTask(worker, job, assignment->task_index, assignment->duration, is_long);
+  }
+
   // Prototype shape: every job — both classes — is placed by the central
   // backend's waiting-time queue over the whole cluster; no stealing.
   RuntimeShape ShapeForRuntime(const HawkConfig& config) const override {

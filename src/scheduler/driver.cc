@@ -14,24 +14,62 @@ SimulationDriver::SimulationDriver(const Trace* trace, const HawkConfig& config,
       tracker_(trace),
       classifier_(config.classify_mode, config.cutoff_us, config.estimate_noise_lo,
                   config.estimate_noise_hi, Rng(config.seed).Next()),
-      sched_rng_(Rng(config.seed ^ 0x5DEECE66DULL).Next()) {
+      sched_rng_(Rng(config.seed ^ 0x5DEECE66DULL).Next()),
+      fault_rng_(Rng(config.seed ^ 0x8BADF00DDEADBEEFULL ^
+                     (config.fault_seed * 0x9E3779B97F4A7C15ULL))
+                     .Next()) {
   HAWK_CHECK(trace != nullptr);
   HAWK_CHECK(policy != nullptr);
   retry_pending_.assign(config.num_workers, 0);
+  faults_enabled_ = config.FaultsEnabled();
+  net_faulty_ = config.message_loss_rate > 0.0 || config.message_delay_jitter_us > 0;
+  track_exec_ = config.worker_crash_rate > 0.0;
+  incarnation_.assign(config.num_workers, 0);
+  down_.assign(config.num_workers, DownKind::kUp);
+  if (track_exec_) {
+    exec_records_.resize(config.num_workers);
+  }
+  // Queried on the policy before Attach-dependent state matters;
+  // ShapeForRuntime is const and must not touch the context.
+  policy_can_steal_ = policy->ShapeForRuntime(config).stealing;
   policy_->Attach(this);
 }
 
 void SimulationDriver::PlaceProbe(WorkerId worker, JobId job, bool is_long) {
   result_.counters.probes_placed++;
-  events_.PushLane(kLaneNetDelay, now_ + config_.net_delay_us,
-                   SimEvent::ProbeArrive(worker, job, is_long));
+  PushDelivery(SimEvent::ProbeArrive(worker, job, is_long));
 }
 
 void SimulationDriver::PlaceTask(WorkerId worker, JobId job, TaskIndex task_index,
                                  DurationUs duration, bool is_long) {
   result_.counters.central_tasks_placed++;
-  events_.PushLane(kLaneNetDelay, now_ + config_.net_delay_us,
-                   SimEvent::TaskArrive(worker, job, task_index, duration, is_long));
+  PushDelivery(SimEvent::TaskArrive(worker, job, task_index, duration, is_long));
+}
+
+void SimulationDriver::PushDelivery(SimEvent ev) {
+  ev.incarnation = incarnation_[ev.worker];
+  ++inflight_deliveries_;
+  if (!net_faulty_) {
+    events_.PushLane(kLaneNetDelay, now_ + config_.net_delay_us, ev);
+    return;
+  }
+  // Lossy/jittery network: the retransmit chain is collapsed into a single
+  // delivery pushed at the time the first surviving copy arrives (each drop
+  // costs one sender timeout), and jitter draws extra uniform delay. Both
+  // break the lane's monotone-timestamp contract, so faulty deliveries pay
+  // for heap ordering — the fault-free path above stays O(1).
+  SimTime delay = config_.net_delay_us;
+  if (config_.message_loss_rate > 0.0) {
+    while (fault_rng_.Bernoulli(config_.message_loss_rate)) {
+      ++result_.counters.messages_dropped;
+      ++result_.counters.message_retries;
+      delay += RetryTimeoutUs();
+    }
+  }
+  if (config_.message_delay_jitter_us > 0) {
+    delay += fault_rng_.UniformInt(0, config_.message_delay_jitter_us);
+  }
+  events_.Push(now_ + delay, ev);
 }
 
 void SimulationDriver::DeliverStolen(WorkerId thief, const std::vector<QueueEntry>& entries) {
@@ -57,6 +95,14 @@ RunResult SimulationDriver::Run() {
   size_t next_job = 0;
   if (!jobs.empty()) {
     events_.Push(config_.util_sample_period_us, SimEvent::UtilSample());
+    // Fault processes are armed once here and re-arm themselves until the
+    // last job finishes; a zero rate never draws from the fault RNG.
+    if (config_.worker_crash_rate > 0.0) {
+      ScheduleFaultTick(SimEvent::Type::kCrashTick);
+    }
+    if (config_.worker_churn_rate > 0.0) {
+      ScheduleFaultTick(SimEvent::Type::kDepartTick);
+    }
   }
   while (next_job < jobs.size() || !events_.Empty()) {
     if (next_job < jobs.size() &&
@@ -94,6 +140,13 @@ void SimulationDriver::Dispatch(const SimEvent& ev) {
   WorkerStore& workers = cluster_.workers();
   switch (ev.type) {
     case SimEvent::Type::kProbeArrive: {
+      --inflight_deliveries_;
+      // Addressed to a dead incarnation (sent before a crash) or to a down
+      // worker: the probe is gone; replace it if the job still needs one.
+      if (ev.incarnation != incarnation_[ev.worker] || down_[ev.worker] != DownKind::kUp) {
+        LostProbe(ev.job, ev.is_long);
+        break;
+      }
       QueueEntry entry = QueueEntry::Probe(ev.job, ev.is_long);
       entry.enqueue_time = now_;
       workers.Enqueue(ev.worker, entry);
@@ -101,6 +154,13 @@ void SimulationDriver::Dispatch(const SimEvent& ev) {
       break;
     }
     case SimEvent::Type::kTaskArrive: {
+      --inflight_deliveries_;
+      // A concrete task bound for a dead/down worker goes back to its
+      // scheduler lane for re-dispatch.
+      if (ev.incarnation != incarnation_[ev.worker] || down_[ev.worker] != DownKind::kUp) {
+        LostTask(ev.job, ev.task_index, static_cast<DurationUs>(ev.arg), ev.is_long);
+        break;
+      }
       QueueEntry entry = QueueEntry::Task(ev.job, ev.task_index, ev.arg, ev.is_long);
       entry.enqueue_time = now_;
       workers.Enqueue(ev.worker, entry);
@@ -108,7 +168,19 @@ void SimulationDriver::Dispatch(const SimEvent& ev) {
       break;
     }
     case SimEvent::Type::kRequestResolve: {
+      if (ev.incarnation != incarnation_[ev.worker]) {
+        // The requesting slot died with the crash (ResetSlots already freed
+        // it); only the probe itself is left to account for.
+        LostProbe(ev.job, ev.is_long);
+        break;
+      }
       workers.ResolveRequest(ev.worker, ev.is_long);
+      if (down_[ev.worker] != DownKind::kUp) {
+        // Graceful departure while the request was in flight: release the
+        // slot but decline the work.
+        LostProbe(ev.job, ev.is_long);
+        break;
+      }
       const auto assignment = tracker_.TakeNextTask(ev.job);
       if (assignment.has_value()) {
         result_.counters.tasks_launched++;
@@ -126,10 +198,20 @@ void SimulationDriver::Dispatch(const SimEvent& ev) {
       break;
     }
     case SimEvent::Type::kTaskComplete: {
+      if (ev.incarnation != incarnation_[ev.worker]) {
+        // Completion of a task the crash already killed and returned; the
+        // re-dispatched copy is the only live one.
+        break;
+      }
       workers.FinishExecute(ev.worker, ev.is_long);
+      if (track_exec_) {
+        DropExecRecord(ev.worker, ev.job, ev.task_index);
+      }
       tracker_.OnTaskFinished(ev.job, now_);
       policy_->OnTaskFinish(ev.worker, ev.job, ev.is_long);
-      TryDispatch(ev.worker);
+      if (down_[ev.worker] == DownKind::kUp) {
+        TryDispatch(ev.worker);
+      }
       break;
     }
     case SimEvent::Type::kUtilSample: {
@@ -140,10 +222,24 @@ void SimulationDriver::Dispatch(const SimEvent& ev) {
       break;
     }
     case SimEvent::Type::kIdleRetry: {
+      if (ev.incarnation != incarnation_[ev.worker]) {
+        // Pre-crash timer; the pending bit was already cleared by the crash
+        // and may have been re-armed since — leave it alone.
+        break;
+      }
       retry_pending_[ev.worker] = 0;
-      if (workers.HasFreeSlot(ev.worker)) {
+      if (down_[ev.worker] == DownKind::kUp && workers.HasFreeSlot(ev.worker)) {
         TryDispatch(ev.worker);
       }
+      break;
+    }
+    case SimEvent::Type::kCrashTick:
+    case SimEvent::Type::kDepartTick: {
+      HandleFaultTick(ev.type);
+      break;
+    }
+    case SimEvent::Type::kWorkerRejoin: {
+      RejoinWorker(ev.worker);
       break;
     }
   }
@@ -177,12 +273,16 @@ void SimulationDriver::TryDispatch(WorkerId worker) {
         }
       }
       // Steal-retry extension: optionally re-notify the worker later if it
-      // is still idle (the paper's design stops at one round).
+      // is still idle (the paper's design stops at one round). Only armed
+      // while a retry could still find work — once the last jobs are down to
+      // executing tasks (nothing queued, nothing in flight, no arrivals
+      // left), a timer could only poll an empty cluster.
       if (config_.steal_retry_interval_us > 0 && retry_pending_[worker] == 0 &&
-          !tracker_.AllJobsFinished()) {
+          !tracker_.AllJobsFinished() && StealRetryUseful()) {
         retry_pending_[worker] = 1;
-        events_.PushLane(kLaneStealRetry, now_ + config_.steal_retry_interval_us,
-                         SimEvent::IdleRetry(worker));
+        SimEvent retry = SimEvent::IdleRetry(worker);
+        retry.incarnation = incarnation_[worker];
+        events_.PushLane(kLaneStealRetry, now_ + config_.steal_retry_interval_us, retry);
       }
       return;
     }
@@ -198,9 +298,12 @@ void SimulationDriver::TryDispatch(WorkerId worker) {
     // meanwhile.
     workers.BeginRequest(worker, entry.is_long);
     result_.counters.probe_requests++;
-    events_.PushLane(kLaneRtt, now_ + 2 * config_.net_delay_us,
-                     SimEvent::RequestResolve(worker, entry.job, entry.is_long,
-                                              entry.enqueue_time));
+    SimEvent resolve =
+        SimEvent::RequestResolve(worker, entry.job, entry.is_long, entry.enqueue_time);
+    resolve.incarnation = incarnation_[worker];
+    // The request/answer round trip is modeled on a reliable control channel
+    // (fixed RTT, monotone lane); only probe/task deliveries see loss/jitter.
+    events_.PushLane(kLaneRtt, now_ + 2 * config_.net_delay_us, resolve);
   }
 }
 
@@ -210,9 +313,156 @@ void SimulationDriver::StartExecute(WorkerId worker, const QueueEntry& task) {
   HAWK_CHECK(!task.is_long || cluster_.InGeneralPartition(worker))
       << "long task on short-partition worker " << worker;
   cluster_.workers().BeginExecute(worker, now_, task);
+  if (track_exec_) {
+    exec_records_[worker].push_back(
+        ExecRecord{task.job, task.task_index, task.duration, now_, task.is_long});
+  }
   policy_->OnTaskStart(worker, task);
-  events_.Push(now_ + task.duration,
-               SimEvent::TaskComplete(worker, task.job, task.task_index, task.is_long));
+  SimEvent complete = SimEvent::TaskComplete(worker, task.job, task.task_index, task.is_long);
+  complete.incarnation = incarnation_[worker];
+  events_.Push(now_ + task.duration, complete);
+}
+
+bool SimulationDriver::StealRetryUseful() const {
+  if (!policy_can_steal_) {
+    return false;
+  }
+  if (faults_enabled_) {
+    // Crashes and drops can re-queue work at any time; keep polling.
+    return true;
+  }
+  // Work can still reach some queue: jobs not yet arrived, entries queued
+  // somewhere, or deliveries in flight. Request resolves and completions
+  // never enqueue, so none of the remaining event kinds can create stealable
+  // work once these three sources are dry.
+  return result_.counters.jobs < trace_->NumJobs() || cluster_.workers().TotalQueued() > 0 ||
+         inflight_deliveries_ > 0;
+}
+
+void SimulationDriver::ScheduleFaultTick(SimEvent::Type type) {
+  const double rate_per_second = type == SimEvent::Type::kCrashTick
+                                     ? config_.worker_crash_rate
+                                     : config_.worker_churn_rate;
+  // Cluster-wide Poisson process: per-worker rate times fleet size.
+  const double mean_us = 1e6 / (rate_per_second * static_cast<double>(config_.num_workers));
+  const auto wait = static_cast<SimTime>(std::llround(fault_rng_.Exponential(mean_us)));
+  events_.Push(now_ + std::max<SimTime>(wait, 1),
+               type == SimEvent::Type::kCrashTick ? SimEvent::CrashTick()
+                                                  : SimEvent::DepartTick());
+}
+
+void SimulationDriver::HandleFaultTick(SimEvent::Type type) {
+  if (tracker_.AllJobsFinished()) {
+    // The run is over; let the process die out so the event loop drains.
+    return;
+  }
+  // Draw the victim before re-arming so the stream reads (victim, next-wait)
+  // per tick regardless of what the victim draw hits.
+  const auto victim =
+      static_cast<WorkerId>(fault_rng_.UniformInt(0, config_.num_workers - 1));
+  const bool up = down_[victim] == DownKind::kUp;
+  ScheduleFaultTick(type);
+  if (!up) {
+    // Already out of service; this tick fizzles (the fault process does not
+    // queue up faults behind a down node).
+    return;
+  }
+  if (type == SimEvent::Type::kCrashTick) {
+    CrashWorker(victim);
+  } else {
+    DepartWorker(victim);
+  }
+}
+
+void SimulationDriver::CrashWorker(WorkerId worker) {
+  WorkerStore& workers = cluster_.workers();
+  result_.counters.worker_crashes++;
+  down_[worker] = DownKind::kCrashed;
+  // Everything in flight to or from the dead incarnation — deliveries,
+  // request resolves, completions, idle retries — is now stale.
+  ++incarnation_[worker];
+  // A crashed worker must not leak a pending-retry bit that would suppress
+  // retries after it rejoins.
+  retry_pending_[worker] = 0;
+  const std::vector<QueueEntry> drained = workers.DrainQueue(worker);
+  std::vector<ExecRecord> killed;
+  if (track_exec_) {
+    killed.swap(exec_records_[worker]);
+  } else {
+    HAWK_CHECK_EQ(workers.ExecutingSlots(worker), 0u)
+        << "crash injection without exec tracking";
+  }
+  workers.ResetSlots(worker);
+  // Re-dispatch after the store is consistent: the policy callbacks below
+  // may place probes/tasks (even back onto this worker — they bounce off the
+  // down check on arrival).
+  for (const QueueEntry& entry : drained) {
+    ReDispatchEntry(entry);
+  }
+  for (const ExecRecord& rec : killed) {
+    const DurationUs ran = now_ - rec.started_at;
+    // BeginExecute charged the full duration up front; the killed run only
+    // delivered `ran` of it, and even that is wasted.
+    workers.DeductBusyUs(worker, rec.duration - ran);
+    result_.counters.wasted_work_us += static_cast<uint64_t>(ran);
+    LostTask(rec.job, rec.task_index, rec.duration, rec.is_long);
+  }
+  events_.Push(now_ + config_.worker_downtime_us, SimEvent::WorkerRejoin(worker));
+}
+
+void SimulationDriver::DepartWorker(WorkerId worker) {
+  WorkerStore& workers = cluster_.workers();
+  result_.counters.worker_departures++;
+  down_[worker] = DownKind::kDeparted;
+  // Graceful: queued entries are bounced back to their schedulers right
+  // away, executing tasks run to completion, and in-flight requests resolve
+  // as declines (see kRequestResolve). No incarnation bump — completions
+  // from this incarnation are still good.
+  const std::vector<QueueEntry> drained = workers.DrainQueue(worker);
+  for (const QueueEntry& entry : drained) {
+    ReDispatchEntry(entry);
+  }
+  events_.Push(now_ + config_.worker_downtime_us, SimEvent::WorkerRejoin(worker));
+}
+
+void SimulationDriver::RejoinWorker(WorkerId worker) {
+  down_[worker] = DownKind::kUp;
+  result_.counters.worker_rejoins++;
+  // Fresh and empty: give it a dispatch pass so it can steal straight away.
+  TryDispatch(worker);
+}
+
+void SimulationDriver::ReDispatchEntry(const QueueEntry& entry) {
+  if (entry.kind == EntryKind::kTask) {
+    LostTask(entry.job, entry.task_index, entry.duration, entry.is_long);
+  } else {
+    LostProbe(entry.job, entry.is_long);
+  }
+}
+
+void SimulationDriver::LostProbe(JobId job, bool is_long) {
+  result_.counters.probes_lost++;
+  policy_->OnProbeLost(job, is_long);
+}
+
+void SimulationDriver::LostTask(JobId job, TaskIndex task_index, DurationUs duration,
+                                bool is_long) {
+  tracker_.ReturnTask(job, TaskAssignment{task_index, duration});
+  result_.counters.tasks_re_dispatched++;
+  policy_->OnTaskLost(job, is_long);
+}
+
+void SimulationDriver::DropExecRecord(WorkerId worker, JobId job, TaskIndex task_index) {
+  std::vector<ExecRecord>& records = exec_records_[worker];
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].job == job && records[i].task_index == task_index) {
+      records[i] = records.back();
+      records.pop_back();
+      return;
+    }
+  }
+  HAWK_CHECK(false) << "no exec record for job " << job << " task " << task_index
+                    << " on worker " << worker;
 }
 
 void SimulationDriver::CollectResults() {

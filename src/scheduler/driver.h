@@ -16,6 +16,7 @@
 #ifndef HAWK_SCHEDULER_DRIVER_H_
 #define HAWK_SCHEDULER_DRIVER_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "src/cluster/cluster.h"
@@ -64,6 +65,11 @@ class SimulationDriver : public SchedulerContext {
       kTaskComplete,
       kUtilSample,
       kIdleRetry,  // Steal-retry extension: re-notify a still-idle worker.
+      // Fault layer (all zero-rate by default, so none of these exist in a
+      // fault-free run):
+      kCrashTick,      // Poisson tick: fail-stop crash of a random worker.
+      kDepartTick,     // Poisson tick: graceful departure of a random worker.
+      kWorkerRejoin,   // A down worker comes back (empty) after downtime.
     };
     Type type = Type::kUtilSample;
     bool is_long = false;
@@ -73,6 +79,12 @@ class SimulationDriver : public SchedulerContext {
     // Type-dependent slot: the task duration for kTaskArrive, the entry's
     // original enqueue time for kRequestResolve (queueing-delay telemetry).
     int64_t arg = 0;
+    // Which incarnation of `worker` this event was addressed to. A crash
+    // bumps the worker's incarnation, so everything already in flight toward
+    // (or from) the dead incarnation — deliveries, request resolves, task
+    // completions, idle retries — is recognized as stale at pop time.
+    // Always 0 in fault-free runs, matching the worker's never-bumped count.
+    uint32_t incarnation = 0;
 
     static SimEvent ProbeArrive(WorkerId worker, JobId job, bool is_long) {
       SimEvent e;
@@ -120,6 +132,38 @@ class SimulationDriver : public SchedulerContext {
       e.worker = worker;
       return e;
     }
+    static SimEvent CrashTick() {
+      SimEvent e;
+      e.type = Type::kCrashTick;
+      return e;
+    }
+    static SimEvent DepartTick() {
+      SimEvent e;
+      e.type = Type::kDepartTick;
+      return e;
+    }
+    static SimEvent WorkerRejoin(WorkerId worker) {
+      SimEvent e;
+      e.type = Type::kWorkerRejoin;
+      e.worker = worker;
+      return e;
+    }
+  };
+
+  // Why a worker is out of service. A crashed worker loses everything
+  // (queue, requests, in-flight tasks — all invalidated via the incarnation
+  // bump); a departed worker bounces new work but lets executing tasks
+  // finish.
+  enum class DownKind : uint8_t { kUp = 0, kCrashed, kDeparted };
+
+  // In-flight execution record, kept per worker only while crash injection
+  // is active: a crash must know which (job, task) pairs die with the node.
+  struct ExecRecord {
+    JobId job;
+    TaskIndex task_index;
+    DurationUs duration;
+    SimTime started_at;
+    bool is_long;
   };
 
   // Classifies a newly submitted job and hands it to the policy.
@@ -132,6 +176,36 @@ class SimulationDriver : public SchedulerContext {
   void TryDispatch(WorkerId worker);
   void StartExecute(WorkerId worker, const QueueEntry& task);
   void CollectResults();
+
+  // --- fault layer ---------------------------------------------------------
+  // Queues a probe/task delivery: the fault-free path is the historical
+  // monotone lane push; with loss/jitter active the delivery may be dropped
+  // (and retransmitted after a sender timeout) or delayed, which forces the
+  // variable-delay heap.
+  void PushDelivery(SimEvent ev);
+  // True while another steal-retry timer can still observably help: the
+  // policy steals and work exists (or can still appear) outside this
+  // worker's empty queue. Stops the end-of-run dead timers that used to poll
+  // an already-drained cluster while the last tasks finished executing.
+  bool StealRetryUseful() const;
+  void ScheduleFaultTick(SimEvent::Type type);
+  // Poisson tick handlers: pick a victim (skipping already-down workers) and
+  // apply the fault, then re-arm the tick while the run is still live.
+  void HandleFaultTick(SimEvent::Type type);
+  void CrashWorker(WorkerId worker);
+  void DepartWorker(WorkerId worker);
+  void RejoinWorker(WorkerId worker);
+  // Hands a drained queue entry back to its scheduler (task -> ReturnTask +
+  // OnTaskLost, probe -> OnProbeLost).
+  void ReDispatchEntry(const QueueEntry& entry);
+  void LostProbe(JobId job, bool is_long);
+  void LostTask(JobId job, TaskIndex task_index, DurationUs duration, bool is_long);
+  void DropExecRecord(WorkerId worker, JobId job, TaskIndex task_index);
+  DurationUs RetryTimeoutUs() const {
+    // Sender-side retransmit timeout: two RTTs, with a floor so retries make
+    // progress even under a zero-delay cost model.
+    return std::max<DurationUs>(4 * config_.net_delay_us, 1);
+  }
 
   // Fixed-delay event classes get O(1) monotone lanes in the event queue;
   // only variable-delay events (task completions, utilization samples) pay
@@ -152,6 +226,25 @@ class SimulationDriver : public SchedulerContext {
   RunResult result_;
   // Steal-retry extension: one outstanding retry per worker.
   std::vector<uint8_t> retry_pending_;
+
+  // --- fault state ---------------------------------------------------------
+  // Dedicated RNG so fault draws never perturb scheduler decisions: a
+  // zero-fault run draws nothing from it and is byte-identical to pre-fault
+  // builds, and sweeping fault_seed re-rolls only the faults.
+  Rng fault_rng_;
+  bool faults_enabled_ = false;  // Any fault axis nonzero.
+  bool net_faulty_ = false;      // Loss or jitter active (heap deliveries).
+  bool track_exec_ = false;      // Crash injection needs in-flight records.
+  // Whether the policy's shape steals at all; retry timers are pointless
+  // otherwise.
+  bool policy_can_steal_ = false;
+  std::vector<uint32_t> incarnation_;  // Bumped on crash; stamps events.
+  std::vector<DownKind> down_;
+  // Per-worker in-flight tasks; empty vectors unless track_exec_.
+  std::vector<std::vector<ExecRecord>> exec_records_;
+  // Probe/task deliveries currently in flight (incl. to-be-dropped ones);
+  // feeds StealRetryUseful.
+  uint64_t inflight_deliveries_ = 0;
 };
 
 }  // namespace hawk

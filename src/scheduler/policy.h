@@ -114,9 +114,40 @@ class SchedulerPolicy {
     (void)is_long;
   }
 
+  // --- fault re-dispatch ---------------------------------------------------
+  // Only invoked by the fault layer; fault-free runs never call these.
+
+  // A placed task died (its worker crashed, or its delivery was invalidated)
+  // and was handed back through JobTracker::ReturnTask just before this call.
+  // The policy must give the job a fresh path to a grant. The default
+  // re-probes over the span the job's class is normally probed over (long ->
+  // general partition, short -> whole cluster), which is right for every
+  // probe-based policy; centralized policies override and re-place instead.
+  virtual void OnTaskLost(JobId job, bool is_long) { ReProbe(job, is_long); }
+
+  // A probe died with its worker (queued there, in flight to it, or parked
+  // on a late-binding request). A replacement is probed only while the job
+  // still has unassigned tasks — surplus probes would just resolve to
+  // cancels, so they are not replaced.
+  virtual void OnProbeLost(JobId job, bool is_long) {
+    if (ctx_->Tracker().AllTasksAssigned(job)) {
+      return;
+    }
+    ReProbe(job, is_long);
+  }
+
   virtual std::string_view Name() const = 0;
 
  protected:
+  // One replacement probe on a uniformly random slot; long jobs stay inside
+  // the general partition (§3.4 containment), short jobs may go anywhere.
+  void ReProbe(JobId job, bool is_long) {
+    Cluster& cluster = ctx_->GetCluster();
+    const uint64_t span = is_long ? cluster.GeneralSlots() : cluster.TotalSlots();
+    const auto slot = static_cast<SlotId>(ctx_->SchedRng().NextBounded(span));
+    ctx_->PlaceProbe(cluster.WorkerOfSlot(slot), job, is_long);
+  }
+
   SchedulerContext* ctx_ = nullptr;
 };
 

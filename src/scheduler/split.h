@@ -44,6 +44,30 @@ class SplitClusterPolicy : public SchedulerPolicy {
     queue_->OnTaskFinish(worker, ctx_->Now());
   }
 
+  // Lost long tasks re-place through the long partition's waiting-time
+  // queue; lost short work re-probes the disjoint short partition (the
+  // base-class whole-cluster default would violate the split).
+  void OnTaskLost(JobId job, bool is_long) override {
+    if (is_long) {
+      const DurationUs estimate_us = ctx_->Tracker().EstimateUs(job);
+      const auto assignment = ctx_->Tracker().TakeNextTask(job);
+      HAWK_CHECK(assignment.has_value()) << "lost task of job " << job << " not returned";
+      const WorkerId worker = queue_->AssignTask(ctx_->Now(), estimate_us);
+      ctx_->PlaceTask(worker, job, assignment->task_index, assignment->duration,
+                      /*is_long=*/true);
+      return;
+    }
+    ReProbeShortPartition(job);
+  }
+
+  void OnProbeLost(JobId job, bool is_long) override {
+    (void)is_long;  // Only short jobs probe under split.
+    if (ctx_->Tracker().AllTasksAssigned(job)) {
+      return;
+    }
+    ReProbeShortPartition(job);
+  }
+
   // Prototype shape: long jobs centrally placed on the long partition,
   // short jobs probed over the disjoint short partition, no stealing.
   RuntimeShape ShapeForRuntime(const HawkConfig& config) const override {
@@ -58,6 +82,15 @@ class SplitClusterPolicy : public SchedulerPolicy {
   std::string_view Name() const override { return "split-cluster"; }
 
  private:
+  void ReProbeShortPartition(JobId job) {
+    const Cluster& cluster = ctx_->GetCluster();
+    const SlotId short_first = cluster.GeneralSlots();
+    const uint64_t short_slots = cluster.TotalSlots() - short_first;
+    const auto slot =
+        static_cast<SlotId>(short_first + ctx_->SchedRng().NextBounded(short_slots));
+    ctx_->PlaceProbe(cluster.WorkerOfSlot(slot), job, /*is_long=*/false);
+  }
+
   uint32_t probe_ratio_;
   std::unique_ptr<SlotWaitingTimeQueue> queue_;
   // Probe-placement scratch (slot ids), reused across job arrivals.

@@ -1,0 +1,268 @@
+// Fault-injection layer tests: determinism under faults, work conservation
+// under crashes (every task completes exactly once; busy time splits exactly
+// into useful and wasted work), zero-fault inertness, and the prototype's
+// timeout-based crash recovery including duplicate-completion dedupe.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/hawk_config.h"
+#include "src/runtime/prototype_cluster.h"
+#include "src/scheduler/experiment.h"
+#include "src/workload/arrivals.h"
+#include "src/workload/cluster_workloads.h"
+#include "src/workload/trace.h"
+
+namespace hawk {
+namespace {
+
+// All four built-in policies plus the d-choices variant — the fault layer is
+// policy-agnostic and every registered scheduler must survive it.
+const char* kAllSchedulers[] = {"sparrow", "centralized", "hawk", "hawk-dchoice", "split"};
+
+Trace MakeTrace(uint32_t jobs = 150, uint64_t seed = 5, double interarrival_s = 2.0) {
+  Trace trace = GenerateClusterWorkload(FacebookParams(jobs, seed));
+  Rng arrivals_rng(11);
+  AssignPoissonArrivals(&trace, SecondsToUs(interarrival_s), &arrivals_rng);
+  return trace;
+}
+
+// Fault rates are per worker per second and must sit well below the
+// reciprocal of the longest task duration (a crashed task restarts from
+// scratch, so rate >~ 1/longest_task makes the tail statistically
+// non-terminating — exactly as on a real cluster). This trace's longest
+// tasks run ~1e6 simulated seconds, so rates live in the 1e-7 regime,
+// which still yields dozens of crash/depart events per run.
+HawkConfig FaultyConfig() {
+  HawkConfig config;
+  config.num_workers = 100;
+  config.classify_mode = ClassifyMode::kHint;
+  config.seed = 7;
+  config.worker_crash_rate = 3e-7;
+  config.worker_churn_rate = 2e-7;
+  config.worker_downtime_us = SecondsToUs(20.0);
+  config.message_loss_rate = 0.05;
+  config.message_delay_jitter_us = 2'000;
+  config.fault_seed = 3;
+  return config;
+}
+
+void ExpectIdentical(const RunResult& r1, const RunResult& r2) {
+  ASSERT_EQ(r1.jobs.size(), r2.jobs.size());
+  for (size_t i = 0; i < r1.jobs.size(); ++i) {
+    ASSERT_EQ(r1.jobs[i].id, r2.jobs[i].id);
+    ASSERT_EQ(r1.jobs[i].finish_time, r2.jobs[i].finish_time) << "job " << i;
+    ASSERT_EQ(r1.jobs[i].runtime_us, r2.jobs[i].runtime_us) << "job " << i;
+  }
+  EXPECT_EQ(r1.makespan_us, r2.makespan_us);
+  EXPECT_EQ(r1.total_busy_us, r2.total_busy_us);
+  EXPECT_EQ(r1.counters.events, r2.counters.events);
+  EXPECT_EQ(r1.counters.tasks_launched, r2.counters.tasks_launched);
+  EXPECT_EQ(r1.counters.worker_crashes, r2.counters.worker_crashes);
+  EXPECT_EQ(r1.counters.worker_departures, r2.counters.worker_departures);
+  EXPECT_EQ(r1.counters.worker_rejoins, r2.counters.worker_rejoins);
+  EXPECT_EQ(r1.counters.messages_dropped, r2.counters.messages_dropped);
+  EXPECT_EQ(r1.counters.message_retries, r2.counters.message_retries);
+  EXPECT_EQ(r1.counters.tasks_re_dispatched, r2.counters.tasks_re_dispatched);
+  EXPECT_EQ(r1.counters.probes_lost, r2.counters.probes_lost);
+  EXPECT_EQ(r1.counters.wasted_work_us, r2.counters.wasted_work_us);
+  EXPECT_EQ(r1.utilization_samples, r2.utilization_samples);
+}
+
+TEST(FaultConfigTest, ValidationRejectsBadKnobs) {
+  HawkConfig config;
+  config.worker_crash_rate = -1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = HawkConfig();
+  config.message_loss_rate = 1.0;  // Retransmission would never terminate.
+  EXPECT_FALSE(config.Validate().ok());
+  config = HawkConfig();
+  config.worker_churn_rate = 0.1;
+  config.worker_downtime_us = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = HawkConfig();
+  config.fault_seed = 42;  // A seed alone enables nothing and is valid.
+  EXPECT_TRUE(config.Validate().ok());
+  EXPECT_FALSE(config.FaultsEnabled());
+}
+
+// The fault seed must be dead code while every fault axis is zero: results
+// (down to event counts) match a config that never mentions faults.
+TEST(FaultDeterminismTest, ZeroRatesAreInert) {
+  const Trace trace = MakeTrace();
+  HawkConfig base;
+  base.num_workers = 100;
+  base.classify_mode = ClassifyMode::kHint;
+  base.seed = 7;
+  HawkConfig seeded = base;
+  seeded.fault_seed = 999;  // Only consulted when an axis is nonzero.
+  for (const char* scheduler : kAllSchedulers) {
+    ExpectIdentical(RunExperiment(trace, base, scheduler),
+                    RunExperiment(trace, seeded, scheduler));
+  }
+}
+
+// Same seed + same fault config => bit-identical runs, for every scheduler,
+// with every fault axis active at once.
+TEST(FaultDeterminismTest, FaultyRunsAreReproducible) {
+  const Trace trace_a = MakeTrace();
+  const Trace trace_b = MakeTrace();
+  const HawkConfig config = FaultyConfig();
+  for (const char* scheduler : kAllSchedulers) {
+    SCOPED_TRACE(scheduler);
+    ExpectIdentical(RunExperiment(trace_a, config, scheduler),
+                    RunExperiment(trace_b, config, scheduler));
+  }
+}
+
+// Sweep-thread invariance: the same fault grid run serially and on four
+// threads must produce identical results point by point.
+TEST(FaultDeterminismTest, SweepThreadCountInvariant) {
+  const Trace trace = MakeTrace(100, 5, 2.0);
+  HawkConfig config = FaultyConfig();
+  SweepSpec sweep(ExperimentSpec("hawk").WithTrace(&trace).WithConfig(config));
+  sweep.VarySchedulers({"sparrow", "hawk", "split"})
+      .Vary("worker_crash_rate", {0.0, 2e-7, 4e-7});
+  const std::vector<SweepRun> serial = RunSweep(sweep, /*num_threads=*/1);
+  const std::vector<SweepRun> parallel = RunSweep(sweep, /*num_threads=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(serial[i].spec.Label());
+    ExpectIdentical(serial[i].result, parallel[i].result);
+  }
+}
+
+// Work conservation under crashes: every job finishes, and cluster busy time
+// splits exactly into useful work (each task's full duration, once) plus the
+// wasted partial executions of crashed copies.
+TEST(FaultConservationTest, EveryTaskCompletesExactlyOnce) {
+  const Trace trace = MakeTrace(120, 9, 1.5);
+  HawkConfig config = FaultyConfig();
+  config.worker_crash_rate = 2e-6;  // Aggressive for this trace: hundreds of crashes.
+  config.worker_downtime_us = SecondsToUs(10.0);
+  for (const char* scheduler : kAllSchedulers) {
+    SCOPED_TRACE(scheduler);
+    const RunResult result = RunExperiment(trace, config, scheduler);
+    ASSERT_EQ(result.jobs.size(), trace.NumJobs());
+    for (const JobResult& job : result.jobs) {
+      EXPECT_GE(job.finish_time, job.submit_time);
+    }
+    EXPECT_GT(result.counters.worker_crashes, 0u);
+    EXPECT_EQ(result.total_busy_us,
+              static_cast<uint64_t>(trace.TotalWorkUs()) + result.counters.wasted_work_us);
+  }
+}
+
+// Lossy delivery alone (no crashes): every retransmitted message eventually
+// lands, so all jobs still finish and no work is wasted.
+TEST(FaultConservationTest, LossyDeliveryStillCompletesEverything) {
+  const Trace trace = MakeTrace(120, 9, 1.5);
+  HawkConfig config;
+  config.num_workers = 100;
+  config.classify_mode = ClassifyMode::kHint;
+  config.seed = 7;
+  config.message_loss_rate = 0.2;
+  config.message_delay_jitter_us = 1'000;
+  for (const char* scheduler : kAllSchedulers) {
+    SCOPED_TRACE(scheduler);
+    const RunResult result = RunExperiment(trace, config, scheduler);
+    ASSERT_EQ(result.jobs.size(), trace.NumJobs());
+    EXPECT_GT(result.counters.messages_dropped, 0u);
+    EXPECT_EQ(result.counters.messages_dropped, result.counters.message_retries);
+    EXPECT_EQ(result.counters.wasted_work_us, 0u);
+    EXPECT_EQ(result.total_busy_us, static_cast<uint64_t>(trace.TotalWorkUs()));
+  }
+}
+
+// --- prototype ---------------------------------------------------------------
+
+// A hand-built wall-clock trace: `jobs` jobs of `tasks` sleeps each.
+Trace WallClockTrace(uint32_t jobs, uint32_t tasks, DurationUs task_us, SimTime spacing_us) {
+  Trace trace;
+  for (uint32_t j = 0; j < jobs; ++j) {
+    Job job;
+    job.submit_time = j * spacing_us;
+    job.task_durations.assign(tasks, task_us);
+    trace.Add(job);
+  }
+  trace.SortAndRenumber();
+  return trace;
+}
+
+// Real crashes in the prototype: monitors go silent mid-run, and the
+// schedulers' timeout reaping re-dispatches the dead work — the run still
+// completes every job.
+TEST(PrototypeFaultTest, CrashedMonitorsRecoverViaReDispatch) {
+  const Trace trace = WallClockTrace(/*jobs=*/12, /*tasks=*/4, /*task_us=*/60'000,
+                                     /*spacing_us=*/50'000);
+  runtime::PrototypeConfig config;
+  config.scheduler = "sparrow";
+  config.hawk.num_workers = 8;
+  config.hawk.classify_mode = ClassifyMode::kHint;
+  config.hawk.net_delay_us = 200;
+  config.hawk.util_sample_period_us = 20'000;
+  // Mean time to first crash ~25 ms against a ~600 ms submission span: the
+  // run sees many crash/rejoin cycles with overwhelming probability, while
+  // each 60 ms task still survives its 200 ms per-worker MTBF often enough
+  // for re-dispatch to converge quickly.
+  config.hawk.worker_crash_rate = 5.0;
+  config.hawk.worker_downtime_us = 80'000;
+  config.hawk.fault_seed = 1;
+  config.num_frontends = 2;
+  config.fault_detection_timeout = std::chrono::milliseconds(80);
+  config.reap_period = std::chrono::milliseconds(20);
+  config.timeout = std::chrono::milliseconds(60'000);
+  const StatusOr<RunResult> result = runtime::RunPrototype(trace, config);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  ASSERT_EQ(result.value().jobs.size(), trace.NumJobs());
+  EXPECT_GT(result.value().counters.worker_crashes, 0u);
+}
+
+// Aggressive detection timeout with no crashes: the backend re-places queued
+// (but perfectly alive) tasks, both copies run, and the duplicate-completion
+// counters absorb the seconds — jobs still complete exactly once. The trace
+// needs a straggler: a run ends when its last job completes, so a duplicate
+// only registers if it drains while some original is still running.
+TEST(PrototypeFaultTest, DuplicateCompletionsAreCountedAndDeduped) {
+  Trace trace;
+  Job warmup;  // Fills both workers for 60 ms.
+  warmup.submit_time = 0;
+  warmup.task_durations = {60'000, 60'000};
+  trace.Add(warmup);
+  Job squeezed;  // Queued behind warmup: overdue long before it starts.
+  squeezed.submit_time = 5'000;
+  squeezed.task_durations = {30'000, 30'000};
+  trace.Add(squeezed);
+  Job straggler;  // Pins one worker while the other drains duplicate copies.
+  straggler.submit_time = 10'000;
+  straggler.task_durations = {400'000};
+  trace.Add(straggler);
+  trace.SortAndRenumber();
+  runtime::PrototypeConfig config;
+  config.scheduler = "centralized";  // Every task queues via kTaskPlace.
+  config.hawk.num_workers = 2;
+  config.hawk.classify_mode = ClassifyMode::kHint;
+  config.hawk.net_delay_us = 200;
+  config.hawk.util_sample_period_us = 20'000;
+  // Enable the fault layer without any actual fault: 1 us of jitter turns on
+  // the reaper, whose 10 ms detection window is far shorter than the
+  // squeezed job's queueing delay.
+  config.hawk.message_delay_jitter_us = 1;
+  config.fault_detection_timeout = std::chrono::milliseconds(10);
+  config.reap_period = std::chrono::milliseconds(10);
+  config.timeout = std::chrono::milliseconds(60'000);
+  const StatusOr<RunResult> result = runtime::RunPrototype(trace, config);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  // Exactly one completion per job despite the duplicates.
+  ASSERT_EQ(result.value().jobs.size(), trace.NumJobs());
+  EXPECT_GT(result.value().counters.tasks_re_dispatched, 0u);
+  EXPECT_GT(result.value().counters.duplicate_completions, 0u);
+}
+
+}  // namespace
+}  // namespace hawk
