@@ -16,6 +16,10 @@
 #   BENCH_faults.json  fault-injection ablation: crash-rate x loss-rate x
 #                      every registered scheduler, simulated curves plus a
 #                      tiny real-crash prototype grid.
+#   BENCH_stragglers.json  straggler ablation: straggler-rate x every
+#                      registered scheduler (hawk-spec shows speculation),
+#                      p50/p99 normalized runtimes, simulated curves plus a
+#                      tiny real-slowdown prototype grid.
 #
 # See docs/performance.md for the methodology and how to read each artifact.
 #
@@ -34,6 +38,7 @@
 #   HETERO_OUT  hetero-slots JSON path (default: BENCH_hetero_slots.json)
 #   IMPL_OUT    impl-vs-sim JSON path (default: BENCH_impl_vs_sim.json)
 #   FAULTS_OUT  fault-ablation JSON path (default: BENCH_faults.json)
+#   STRAGGLERS_OUT  straggler-ablation JSON path (default: BENCH_stragglers.json)
 #   SWEEP_SCALE HAWK_BENCH_SCALE for the sweeps (default: 1)
 set -euo pipefail
 
@@ -46,6 +51,7 @@ SWEEP_OUT="${SWEEP_OUT:-BENCH_sweep.json}"
 HETERO_OUT="${HETERO_OUT:-BENCH_hetero_slots.json}"
 IMPL_OUT="${IMPL_OUT:-BENCH_impl_vs_sim.json}"
 FAULTS_OUT="${FAULTS_OUT:-BENCH_faults.json}"
+STRAGGLERS_OUT="${STRAGGLERS_OUT:-BENCH_stragglers.json}"
 SWEEP_SCALE="${SWEEP_SCALE:-1}"
 
 die() {
@@ -71,7 +77,7 @@ fi
 
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
       --target bench_driver_throughput bench_ablation_power_of_d bench_ablation_hetero_slots \
-               bench_fig16_17_impl_vs_sim bench_ablation_faults \
+               bench_fig16_17_impl_vs_sim bench_ablation_faults bench_ablation_stragglers \
   || die "bench build failed in '${BUILD_DIR}'"
 
 [[ -x "${BUILD_DIR}/bench_driver_throughput" ]] \
@@ -99,3 +105,8 @@ echo "Wrote ${OUT}"
 # wall-clock bound (real crashes + sleep tasks) and stays at smoke scale.
 "${BUILD_DIR}/bench_ablation_faults" --scale="${SWEEP_SCALE}" --threads="${JOBS}" \
   --proto-jobs=12 --proto-work-seconds=3 --json="${FAULTS_OUT}"
+
+# Straggler ablation: same split — scaled sim grid, smoke-scale prototype grid
+# with real slowed-down executor sleeps.
+"${BUILD_DIR}/bench_ablation_stragglers" --scale="${SWEEP_SCALE}" --threads="${JOBS}" \
+  --proto-jobs=12 --proto-work-seconds=3 --json="${STRAGGLERS_OUT}"

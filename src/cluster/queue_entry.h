@@ -23,6 +23,11 @@ enum class EntryKind : uint8_t {
 struct QueueEntry {
   EntryKind kind = EntryKind::kProbe;
   bool is_long = false;     // Scheduling classification of the owning job.
+  // A speculative duplicate of an already-running task (kTask only). The
+  // copy is not owned by the JobTracker: losing it is not a lost task, and
+  // only the first completion of the pair reaches the tracker. The flag
+  // survives queueing and stealing.
+  bool speculative = false;
   JobId job = kInvalidJob;
   TaskIndex task_index = 0;   // Valid for kTask.
   DurationUs duration = 0;    // Valid for kTask.

@@ -52,7 +52,20 @@ struct RunCounters {
   uint64_t probes_lost = 0;          // Probes that died with their worker.
   uint64_t duplicate_completions = 0;  // Same task reported done twice
                                        // (prototype re-dispatch races).
-  uint64_t wasted_work_us = 0;  // Partial execution thrown away by crashes.
+  uint64_t wasted_work_us = 0;  // Partial execution thrown away by crashes,
+                                // straggler drag, and losing speculative
+                                // copies.
+
+  // Adaptive-recovery telemetry (all zero unless speculation or the retry
+  // budget actually fires).
+  uint64_t tasks_speculated = 0;   // Duplicate copies launched.
+  uint64_t speculative_wins = 0;   // Duplicates that finished first.
+  uint64_t speculative_wasted_us = 0;  // Execution time of losing copies.
+  uint64_t retries_suppressed = 0;  // Retransmits withheld by the budget.
+  uint64_t tasks_abandoned = 0;     // Task deliveries given up on after the
+                                    // retry budget (recovered via re-dispatch).
+  uint64_t node_suspicions = 0;     // Alive -> suspected transitions seen by
+                                    // the heartbeat detector (prototype only).
 
   double AvgQueueWaitSeconds(bool long_class) const {
     const uint64_t count = long_class ? long_tasks_started : short_tasks_started;

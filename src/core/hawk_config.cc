@@ -82,6 +82,8 @@ constexpr FieldSetter kFields[] = {
      }},
     {"probe_ratio",
      [](HawkConfig& c, double v) { return SetIntegerField(&c.probe_ratio, v); }},
+    {"retry_budget",
+     [](HawkConfig& c, double v) { return SetIntegerField(&c.retry_budget, v); }},
     {"seed", [](HawkConfig& c, double v) { return SetIntegerField(&c.seed, v); }},
     {"short_partition_fraction",
      [](HawkConfig& c, double v) {
@@ -90,9 +92,24 @@ constexpr FieldSetter kFields[] = {
      }},
     {"slots_per_worker",
      [](HawkConfig& c, double v) { return SetIntegerField(&c.slots_per_worker, v); }},
+    {"speculation_threshold",
+     [](HawkConfig& c, double v) {
+       c.speculation_threshold = v;
+       return true;
+     }},
     {"steal_cap", [](HawkConfig& c, double v) { return SetIntegerField(&c.steal_cap, v); }},
     {"steal_retry_interval_us",
      [](HawkConfig& c, double v) { return SetIntegerField(&c.steal_retry_interval_us, v); }},
+    {"straggler_rate",
+     [](HawkConfig& c, double v) {
+       c.straggler_rate = v;
+       return true;
+     }},
+    {"straggler_slowdown_factor",
+     [](HawkConfig& c, double v) {
+       c.straggler_slowdown_factor = v;
+       return true;
+     }},
     {"use_centralized_long",
      [](HawkConfig& c, double v) {
        c.use_centralized_long = v != 0.0;
@@ -243,6 +260,22 @@ Status HawkConfig::Validate() const {
   }
   if (message_delay_jitter_us < 0) {
     return Status::Error("message_delay_jitter_us must be >= 0");
+  }
+  if (!(straggler_rate >= 0.0 && straggler_rate <= 1.0)) {
+    return Status::Error("straggler_rate must be in [0, 1], got " +
+                         std::to_string(straggler_rate));
+  }
+  if (straggler_rate > 0.0 && !(straggler_slowdown_factor > 1.0)) {
+    return Status::Error(
+        "straggler_slowdown_factor must be > 1 when straggler_rate > 0, got " +
+        std::to_string(straggler_slowdown_factor));
+  }
+  if (!(speculation_threshold >= 0.0)) {
+    return Status::Error("speculation_threshold must be >= 0, got " +
+                         std::to_string(speculation_threshold));
+  }
+  if (retry_budget < 1) {
+    return Status::Error("retry_budget must be >= 1 (got 0)");
   }
   return Status::Ok();
 }

@@ -122,12 +122,38 @@ struct HawkConfig {
   // decisions pinned to `seed`.
   uint64_t fault_seed = 0;
 
+  // Probability in [0, 1] that a task execution is stricken slow: the copy
+  // runs straggler_slowdown_factor times its duration (the extra time is
+  // wasted work). The node stays alive and responsive — only this execution
+  // drags — which is the failure mode crash injection cannot model.
+  double straggler_rate = 0.0;
+
+  // How much slower a stricken execution runs (> 1). Inert at
+  // straggler_rate == 0.
+  double straggler_slowdown_factor = 8.0;
+
+  // Speculative re-execution (> 0 enables): when a running task's elapsed
+  // time exceeds speculation_threshold x the job's estimated task runtime,
+  // one duplicate copy is launched; the first completion wins and the loser
+  // is counted as speculative waste. 0 disables speculation entirely.
+  double speculation_threshold = 0.0;
+
+  // Max retransmits per delivery under message loss. When the budget is
+  // spent the sender abandons the delivery (counted, recovered through the
+  // same lost-task/lost-probe lanes a crash uses) instead of retrying
+  // forever — a storm limiter, not a correctness knob.
+  uint32_t retry_budget = 16;
+
   // True when any fault axis is active (drives the fault-only bookkeeping in
   // the driver and the prototype).
   bool FaultsEnabled() const {
     return worker_crash_rate > 0.0 || worker_churn_rate > 0.0 ||
-           message_loss_rate > 0.0 || message_delay_jitter_us > 0;
+           message_loss_rate > 0.0 || message_delay_jitter_us > 0 ||
+           straggler_rate > 0.0;
   }
+
+  // True when the speculative re-execution subsystem is on.
+  bool SpeculationEnabled() const { return speculation_threshold > 0.0; }
 
   // Sanity-checks the configuration; run entry points call this so a bad
   // config fails loudly instead of silently producing a nonsense run.

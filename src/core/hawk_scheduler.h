@@ -60,6 +60,24 @@ class HawkPolicy : public SchedulerPolicy {
   std::vector<uint32_t> picks_;
 };
 
+// "hawk-spec" registered variant: Hawk with speculative re-execution forced
+// on. A config that sets speculation_threshold explicitly still wins;
+// otherwise the variant supplies kDefaultSpeculationThreshold, so sweeping
+// {"hawk", "hawk-spec"} under one config isolates the effect of speculation.
+class HawkSpecPolicy : public HawkPolicy {
+ public:
+  static constexpr double kDefaultSpeculationThreshold = 2.0;
+
+  using HawkPolicy::HawkPolicy;
+
+  double SpeculationThreshold(const HawkConfig& config) const override {
+    return config.speculation_threshold > 0.0 ? config.speculation_threshold
+                                              : kDefaultSpeculationThreshold;
+  }
+
+  std::string_view Name() const override { return "hawk-spec"; }
+};
+
 }  // namespace hawk
 
 #endif  // HAWK_CORE_HAWK_SCHEDULER_H_

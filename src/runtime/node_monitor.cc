@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "src/common/check.h"
+#include "src/runtime/failure_detector.h"
 
 namespace hawk {
 namespace runtime {
@@ -28,6 +29,7 @@ NodeMonitor::NodeMonitor(rpc::Address address, const NodeMonitorConfig& config,
       config_(config),
       bus_(bus),
       stealing_(config.steal_cap, seed, config.victim_selection),
+      straggler_rng_(seed ^ 0x57A66E7ULL),
       capacity_(SlotsOf(config, address)),
       free_slots_(capacity_) {
   HAWK_CHECK(bus != nullptr);
@@ -67,7 +69,7 @@ void NodeMonitor::Crash() {
   const Clock::time_point now = Clock::now();
   while (!running_.empty()) {
     const RunningTask& running = running_.top();
-    const auto started = running.deadline - std::chrono::microseconds(running.task.duration_us);
+    const auto started = running.deadline - std::chrono::microseconds(running.actual_us);
     const int64_t ran_us = std::max<int64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(now - started).count(), 0);
     wasted_work_us_.fetch_add(ran_us, std::memory_order_relaxed);
@@ -94,6 +96,18 @@ void NodeMonitor::Rejoin() {
   crashed_ = false;
   // Fresh and empty: give it a dispatch pass so it can start stealing.
   Advance();
+}
+
+void NodeMonitor::SendHeartbeat() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_ || stopping_) {
+      return;  // A dead node is silent — that silence IS the failure signal.
+    }
+  }
+  HeartbeatMsg beat;
+  beat.node = address_;
+  bus_->Send(address_, kDetectorAddress, kHeartbeat, beat.Encode());
 }
 
 void NodeMonitor::HandleMessage(const rpc::BusMessage& message) {
@@ -213,7 +227,16 @@ void NodeMonitor::StartTaskLocked(const TaskMsg& task, bool centrally_placed) {
   if (task.is_long) {
     ++occupied_long_;
   }
-  running_.push(RunningTask{Clock::now() + std::chrono::microseconds(task.duration_us), task});
+  // Straggler injection: a stricken start really occupies the slot for the
+  // stretched duration — the owning scheduler still believes the nominal
+  // one, which is what its speculation/timeout machinery must see through.
+  int64_t actual_us = task.duration_us;
+  if (config_.straggler_rate > 0.0 && straggler_rng_.Bernoulli(config_.straggler_rate)) {
+    actual_us = std::max<int64_t>(
+        task.duration_us,
+        std::llround(static_cast<double>(task.duration_us) * config_.straggler_slowdown_factor));
+  }
+  running_.push(RunningTask{Clock::now() + std::chrono::microseconds(actual_us), actual_us, task});
   if (centrally_placed) {
     // §3.7 feedback: the owning (centralized) scheduler re-synchronizes its
     // waiting-time estimate on every start of a task it placed. The echoed
@@ -266,6 +289,23 @@ void NodeMonitor::TryStealLocked() {
       return;
     }
     steals_attempted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Suspected victims are skipped, not contacted-and-timed-out: a steal
+  // round pointed at a dead node would stall for the whole response timeout
+  // before moving on. Suspicion is advisory — a skipped-but-alive victim is
+  // simply sampled again in a later round, once its heartbeats resume. A
+  // round whose remaining victims are all suspected counts as exhausted
+  // (same as a round of empty responses), so the thief does not re-roll
+  // rounds in a tight loop.
+  if (config_.detector != nullptr) {
+    while (next_victim_ < steal_victims_.size() &&
+           config_.detector->Suspected(steal_victims_[next_victim_])) {
+      ++next_victim_;
+    }
+    if (next_victim_ >= steal_victims_.size()) {
+      steal_round_exhausted_ = true;
+      return;
+    }
   }
   const rpc::Address victim = steal_victims_[next_victim_++];
   steal_in_flight_ = true;
@@ -334,8 +374,12 @@ void NodeMonitor::ExecutorLoop() {
     const Clock::time_point now = Clock::now();
     while (!running_.empty() && running_.top().deadline <= now) {
       const TaskMsg task = running_.top().task;
+      const int64_t actual_us = running_.top().actual_us;
       running_.pop();
-      busy_us_.fetch_add(task.duration_us, std::memory_order_relaxed);
+      // Busy time is real slot occupancy; a straggler's stretch beyond the
+      // nominal duration is occupancy that did no new work — wasted.
+      busy_us_.fetch_add(actual_us, std::memory_order_relaxed);
+      wasted_work_us_.fetch_add(actual_us - task.duration_us, std::memory_order_relaxed);
       tasks_executed_.fetch_add(1, std::memory_order_relaxed);
       executing_slots_.fetch_sub(1, std::memory_order_relaxed);
       ++free_slots_;

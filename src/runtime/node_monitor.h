@@ -33,6 +33,8 @@
 namespace hawk {
 namespace runtime {
 
+class FailureDetector;
+
 struct NodeMonitorConfig {
   // The run's immutable cluster layout: worker slot counts, the general
   // partition boundary, and the slot-index space stealing samples from.
@@ -46,6 +48,15 @@ struct NodeMonitorConfig {
   // — without it, one crashed victim permanently wedges the thief's
   // stealing. Zero (the default) keeps the fault-free protocol untouched.
   std::chrono::microseconds steal_response_timeout{0};
+  // Straggler injection: each task start is stricken with probability
+  // `straggler_rate` and really runs `straggler_slowdown_factor` x its
+  // nominal duration on the slot (a genuinely slow executor, not a modeled
+  // one). The stretch is charged as wasted work, like the simulator's.
+  double straggler_rate = 0.0;
+  double straggler_slowdown_factor = 8.0;
+  // When set, steal rounds skip victims the detector currently suspects;
+  // null keeps victim selection detector-blind.
+  const FailureDetector* detector = nullptr;
 };
 
 class NodeMonitor {
@@ -71,6 +82,11 @@ class NodeMonitor {
   // Brings a crashed monitor back, empty, with all slots free.
   void Rejoin();
 
+  // Emits one heartbeat to the failure detector's address. Driven by the
+  // harness's heartbeat thread; a crashed monitor stays silent, which is
+  // exactly the signal the detector's suspicion machinery keys on.
+  void SendHeartbeat();
+
   // Slots currently executing a task (utilization sampling).
   uint32_t ExecutingSlots() const { return executing_slots_.load(std::memory_order_relaxed); }
 
@@ -88,9 +104,12 @@ class NodeMonitor {
     TaskMsg task;    // Valid for tasks.
   };
 
-  // A task occupying a slot until its wall-clock deadline.
+  // A task occupying a slot until its wall-clock deadline. `actual_us` is
+  // the real slot occupancy — the nominal duration, or its straggler
+  // stretch when the start was stricken.
   struct RunningTask {
     std::chrono::steady_clock::time_point deadline;
+    int64_t actual_us = 0;
     TaskMsg task;
   };
   struct DeadlineLater {
@@ -122,6 +141,9 @@ class NodeMonitor {
   // Shared steal-victim selection (same sampling and ordering as the
   // simulation policies); seeded per monitor.
   StealingPolicy stealing_;
+  // Straggler draws; a dedicated stream so enabling stragglers cannot
+  // perturb steal-victim sampling. Never drawn from at rate zero.
+  Rng straggler_rng_;
 
   std::mutex mu_;
   std::condition_variable exec_cv_;

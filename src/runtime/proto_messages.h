@@ -27,7 +27,8 @@ enum MessageType : uint32_t {
   kTaskStarted = 7,   // node monitor -> backend: long task began executing
   kTaskDone = 8,      // node monitor -> owner scheduler: task finished
   kStealRequest = 9,  // node monitor -> node monitor: try to steal short work
-  kStealResponse = 10  // victim -> thief: stolen probes (possibly none)
+  kStealResponse = 10,  // victim -> thief: stolen probes (possibly none)
+  kHeartbeat = 11  // node monitor -> failure detector: still alive
 };
 
 struct JobSubmitMsg {
@@ -197,10 +198,30 @@ struct StealResponseMsg {
   }
 };
 
+// kHeartbeat: the sending node. Deliberately minimal — the detector's
+// suspicion state is built entirely from arrival times, not payload.
+struct HeartbeatMsg {
+  rpc::Address node = 0;
+
+  std::vector<uint8_t> Encode() const {
+    rpc::Writer w;
+    w.WriteU32(node);
+    return w.Take();
+  }
+  static HeartbeatMsg Decode(const std::vector<uint8_t>& buf) {
+    rpc::Reader r(buf);
+    HeartbeatMsg m;
+    m.node = r.ReadU32();
+    return m;
+  }
+};
+
 // Address plan: node monitors get [0, num_nodes), frontends get
-// kFrontendBase + i, the backend gets kBackendAddress.
+// kFrontendBase + i, the backend gets kBackendAddress, the failure detector
+// gets kDetectorAddress.
 inline constexpr rpc::Address kFrontendBase = 1'000'000;
 inline constexpr rpc::Address kBackendAddress = 2'000'000;
+inline constexpr rpc::Address kDetectorAddress = 3'000'000;
 
 }  // namespace runtime
 }  // namespace hawk

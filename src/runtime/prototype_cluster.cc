@@ -12,6 +12,7 @@
 #include "src/common/logging.h"
 #include "src/common/random.h"
 #include "src/core/job_classifier.h"
+#include "src/runtime/failure_detector.h"
 #include "src/runtime/node_monitor.h"
 #include "src/runtime/proto_messages.h"
 #include "src/runtime/schedulers.h"
@@ -47,6 +48,9 @@ Status PrototypeConfig::Validate() const {
   }
   if (reap_period.count() <= 0) {
     return Status::Error("reap_period must be positive");
+  }
+  if (heartbeat_period.count() <= 0) {
+    return Status::Error("heartbeat_period must be positive");
   }
   return Status::Ok();
 }
@@ -99,12 +103,15 @@ StatusOr<RunResult> RunPrototype(const Trace& trace, const PrototypeConfig& conf
     wire.seed = Rng(hawk.seed ^ 0xD207B175ULL ^ (hawk.fault_seed * 0x9E3779B97F4A7C15ULL)).Next();
     // Only message types with timeout-based recovery are droppable: probes
     // (re-probed by the frontend watchdog), placements and completions
-    // (re-dispatched by the owner's deadline reaper). Losing a grant,
+    // (re-dispatched by the owner's deadline reaper), and heartbeats (the
+    // detector tolerates gaps by design — a dropped beat can at worst cause
+    // a transient suspicion the next arrival clears). Losing a grant,
     // cancel, or steal message would leak a monitor slot or wedge a
     // protocol round with no recovery path — that models a crashed
     // endpoint, which the crash axis injects properly.
     wire.droppable = [](uint32_t type) {
-      return type == kProbe || type == kTaskPlace || type == kTaskDone;
+      return type == kProbe || type == kTaskPlace || type == kTaskDone ||
+             type == kHeartbeat;
     };
     bus.EnableFaults(wire);
   }
@@ -118,12 +125,27 @@ StatusOr<RunResult> RunPrototype(const Trace& trace, const PrototypeConfig& conf
     sink.ExpectJobs(ids);
   }
 
+  // Heartbeat failure detector — only spun up when a fault axis is active,
+  // so fault-free runs carry no heartbeat traffic and match pre-fault
+  // message counts exactly. Registered on the bus before any node monitor
+  // starts, like every other endpoint.
+  std::unique_ptr<FailureDetector> detector;
+  if (faults_on) {
+    detector = std::make_unique<FailureDetector>(
+        hawk.num_workers,
+        std::chrono::duration_cast<std::chrono::microseconds>(config.heartbeat_period));
+    detector->Start(&bus);
+  }
+
   // Node monitors (bus addresses 0..num_workers-1).
   NodeMonitorConfig nm_config;
   nm_config.layout = &layout;
   nm_config.steal_cap = hawk.steal_cap;
   nm_config.stealing_enabled = shape.stealing && hawk.steal_cap > 0;
   nm_config.victim_selection = shape.victim_selection;
+  nm_config.straggler_rate = hawk.straggler_rate;
+  nm_config.straggler_slowdown_factor = hawk.straggler_slowdown_factor;
+  nm_config.detector = detector.get();
   if (faults_on) {
     nm_config.steal_response_timeout =
         std::chrono::duration_cast<std::chrono::microseconds>(config.fault_detection_timeout);
@@ -139,6 +161,10 @@ StatusOr<RunResult> RunPrototype(const Trace& trace, const PrototypeConfig& conf
   recovery.enabled = faults_on;
   recovery.detection_timeout =
       std::chrono::duration_cast<std::chrono::microseconds>(config.fault_detection_timeout);
+  recovery.retry_budget = hawk.retry_budget;
+  // The policy decides the effective threshold (the "hawk-spec" variant is
+  // default-on), exactly as the simulation driver asks it.
+  recovery.speculation_threshold = policy->SpeculationThreshold(hawk);
 
   // Distributed frontends, probing the spans the policy shape declares.
   std::vector<std::unique_ptr<DistributedFrontend>> frontends;
@@ -146,7 +172,8 @@ StatusOr<RunResult> RunPrototype(const Trace& trace, const PrototypeConfig& conf
   for (uint32_t f = 0; f < config.num_frontends; ++f) {
     frontends.push_back(std::make_unique<DistributedFrontend>(kFrontendBase + f, &layout, shape,
                                                               hawk.probe_ratio, recovery, &bus,
-                                                              &sink, seeder.Next()));
+                                                              &sink, seeder.Next(),
+                                                              detector.get()));
   }
 
   std::unique_ptr<CentralBackend> backend;
@@ -248,14 +275,37 @@ StatusOr<RunResult> RunPrototype(const Trace& trace, const PrototypeConfig& conf
     });
   }
 
+  // Heartbeat pump: one harness thread beats every live monitor each period
+  // (a per-monitor thread would be num_workers threads for a strictly
+  // periodic send). Crashed monitors stay silent inside SendHeartbeat — the
+  // silence is the detector's signal.
+  std::mutex hb_mu;
+  std::condition_variable hb_cv;
+  bool hb_stop = false;
+  std::thread heartbeat_pump;
+  if (detector != nullptr) {
+    heartbeat_pump = std::thread([&] {
+      std::unique_lock<std::mutex> lock(hb_mu);
+      while (!hb_stop) {
+        lock.unlock();
+        for (auto& monitor : monitors) {
+          monitor->SendHeartbeat();
+        }
+        lock.lock();
+        hb_cv.wait_for(lock, config.heartbeat_period, [&] { return hb_stop; });
+      }
+    });
+  }
+
   // Reaper: periodically lets each scheduler re-dispatch work it presumes
-  // dead. This is the prototype's whole recovery engine — without it a
-  // crash or drop strands its tasks forever.
+  // dead (and, when speculation is armed, clone stragglers). This is the
+  // prototype's whole recovery engine — without it a crash or drop strands
+  // its tasks forever.
   std::mutex reap_mu;
   std::condition_variable reap_cv;
   bool reap_stop = false;
   std::thread reaper;
-  if (faults_on) {
+  if (faults_on || recovery.SpeculationOn()) {
     reaper = std::thread([&] {
       std::unique_lock<std::mutex> lock(reap_mu);
       while (!reap_stop) {
@@ -310,7 +360,23 @@ StatusOr<RunResult> RunPrototype(const Trace& trace, const PrototypeConfig& conf
     }
   }
 
-  const Status completed = sink.AwaitAll(config.timeout);
+  // On timeout the sink lists the stuck jobs; the progress callback enriches
+  // each with how far its owner got (done/total tasks) — the difference
+  // between "never scheduled" and "one task wedged" when triaging a hang.
+  const auto progress = [&](JobId job) -> std::string {
+    uint32_t done = 0;
+    uint32_t total = 0;
+    for (const auto& frontend : frontends) {
+      if (frontend->JobProgress(job, &done, &total)) {
+        return " (" + std::to_string(done) + "/" + std::to_string(total) + " tasks done)";
+      }
+    }
+    if (backend != nullptr && backend->JobProgress(job, &done, &total)) {
+      return " (" + std::to_string(done) + "/" + std::to_string(total) + " tasks done)";
+    }
+    return " (owner already retired it)";
+  };
+  const Status completed = sink.AwaitAll(config.timeout, progress);
   if (!completed.ok()) {
     HAWK_LOG(Error) << completed.message() << "; results are partial";
   }
@@ -331,6 +397,14 @@ StatusOr<RunResult> RunPrototype(const Trace& trace, const PrototypeConfig& conf
     }
     reap_cv.notify_all();
     reaper.join();
+  }
+  if (heartbeat_pump.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(hb_mu);
+      hb_stop = true;
+    }
+    hb_cv.notify_all();
+    heartbeat_pump.join();
   }
   bus.Drain();
 
@@ -383,10 +457,19 @@ StatusOr<RunResult> RunPrototype(const Trace& trace, const PrototypeConfig& conf
     result.counters.tasks_re_dispatched += frontend->tasks_re_dispatched();
     result.counters.probes_lost += frontend->probes_re_sent();
     result.counters.duplicate_completions += frontend->duplicate_completions();
+    result.counters.tasks_speculated += frontend->tasks_speculated();
+    result.counters.speculative_wasted_us += frontend->speculative_wasted_us();
+    result.counters.retries_suppressed += frontend->retries_suppressed();
+    result.counters.tasks_abandoned += frontend->tasks_abandoned();
   }
   if (backend != nullptr) {
     result.counters.tasks_re_dispatched += backend->tasks_re_dispatched();
     result.counters.duplicate_completions += backend->duplicate_completions();
+    result.counters.retries_suppressed += backend->retries_suppressed();
+    result.counters.tasks_abandoned += backend->tasks_abandoned();
+  }
+  if (detector != nullptr) {
+    result.counters.node_suspicions = detector->suspicions();
   }
   result.total_busy_us = 0;
   for (const auto& monitor : monitors) {

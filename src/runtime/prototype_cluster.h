@@ -66,6 +66,10 @@ struct PrototypeConfig {
   // simulator refinement of crashing — graceful drain) is ignored here.
   std::chrono::milliseconds fault_detection_timeout{750};
   std::chrono::milliseconds reap_period{100};
+  // How often each live node monitor heartbeats the failure detector (only
+  // spun up when a fault axis is active). The detector's suspicion floor is
+  // FailureDetector::kMinIntervalsMissed x this period.
+  std::chrono::milliseconds heartbeat_period{100};
 
   PrototypeConfig() {
     // Wall-clock-friendly defaults: the simulator's 0.5 ms delay is already

@@ -62,15 +62,16 @@ void CompletionSink::Record(JobId job, bool is_long) {
   }
 }
 
-Status CompletionSink::AwaitAll(std::chrono::milliseconds timeout) {
+Status CompletionSink::AwaitAll(std::chrono::milliseconds timeout, const ProgressFn& progress) {
   std::unique_lock<std::mutex> lock(mu_);
   if (cv_.wait_for(lock, timeout, [this] { return outstanding_.empty(); })) {
     return Status::Ok();
   }
   // Name the stragglers: "timed out, 0 of N done" is undebuggable; a job-id
-  // list points straight at the stuck scheduler or monitor. Sorted, so two
-  // runs of the same stuck configuration produce comparable messages
-  // (hash-set order varies run to run).
+  // list — with each job's done/total task counts when the harness supplies
+  // a progress callback — points straight at the stuck scheduler, monitor,
+  // or individual task. Sorted, so two runs of the same stuck configuration
+  // produce comparable messages (hash-set order varies run to run).
   constexpr size_t kMaxListed = 16;
   std::vector<JobId> ids(outstanding_.begin(), outstanding_.end());
   std::sort(ids.begin(), ids.end());
@@ -82,6 +83,9 @@ Status CompletionSink::AwaitAll(std::chrono::milliseconds timeout) {
       break;
     }
     listed += (shown == 0 ? "" : ", ") + std::to_string(job);
+    if (progress != nullptr) {
+      listed += progress(job);
+    }
     ++shown;
   }
   return Status::Error("prototype run timed out with " + std::to_string(outstanding_.size()) +
@@ -100,11 +104,32 @@ uint64_t CompletionSink::duplicates() const {
 
 // --- DistributedFrontend ----------------------------------------------------
 
+namespace {
+
+// Adaptive detection window shared by both executors' constructors: seeded
+// at the configured detection timeout, floored at 1/16th of it (the window
+// may shrink toward observed overheads but never to nothing) and capped at
+// 64x (the backoff ceiling for a task that keeps dying).
+AdaptiveTimeout MakeRecoveryTimeout(const FaultRecoveryPolicy& faults) {
+  const auto expected = static_cast<double>(faults.detection_timeout.count());
+  const auto floor_us = std::max<DurationUs>(faults.detection_timeout.count() / 16, 1'000);
+  const auto cap_us = std::max<DurationUs>(64 * faults.detection_timeout.count(), floor_us);
+  return AdaptiveTimeout(expected, floor_us, cap_us);
+}
+
+// Key for deterministic deadline jitter (de-synchronizes the re-dispatch
+// herd after a crash kills many tasks at once).
+uint64_t TaskJitterKey(JobId job, uint32_t task_index) {
+  return (static_cast<uint64_t>(job) << 32) | task_index;
+}
+
+}  // namespace
+
 DistributedFrontend::DistributedFrontend(rpc::Address address, const Cluster* layout,
                                          const RuntimeShape& shape, uint32_t probe_ratio,
                                          const FaultRecoveryPolicy& faults,
                                          rpc::MessageBus* bus, CompletionSink* sink,
-                                         uint64_t seed)
+                                         uint64_t seed, const FailureDetector* detector)
     : address_(address),
       layout_(layout),
       shape_(shape),
@@ -112,7 +137,9 @@ DistributedFrontend::DistributedFrontend(rpc::Address address, const Cluster* la
       faults_(faults),
       bus_(bus),
       sink_(sink),
-      rng_(seed) {
+      detector_(detector),
+      rng_(seed),
+      rto_(MakeRecoveryTimeout(faults)) {
   HAWK_CHECK(layout != nullptr);
   HAWK_CHECK(bus != nullptr);
   HAWK_CHECK(sink != nullptr);
@@ -137,7 +164,19 @@ void DistributedFrontend::SendProbesLocked(JobId job, JobState& state, uint32_t 
   probe.job = job;
   probe.frontend = address_;
   probe.is_long = state.is_long;
-  for (const SlotId slot : targets_) {
+  for (SlotId slot : targets_) {
+    // Detector steering: a probe aimed at a suspected node is re-drawn a few
+    // times rather than filtered — the probe count must not shrink (fewer
+    // probes means fewer grant paths exactly when the cluster is sick). If
+    // every redraw also lands on a suspect, the last draw stands: suspicion
+    // is advisory, and a probe to a genuinely dead node is recovered by the
+    // probe-loss watchdog like any other.
+    if (detector_ != nullptr) {
+      for (int redraw = 0;
+           redraw < 4 && detector_->Suspected(layout_->WorkerOfSlot(slot)); ++redraw) {
+        slot = first + static_cast<SlotId>(rng_.NextBounded(span_count));
+      }
+    }
     probe.slot = slot;
     bus_->Send(address_, layout_->WorkerOfSlot(slot), kProbe, probe.Encode());
   }
@@ -191,10 +230,18 @@ void DistributedFrontend::HandleMessage(const rpc::BusMessage& message) {
       }
       TaskState& task = state.tasks[index];
       task.phase = TaskPhase::kGranted;
+      task.granted_at = std::chrono::steady_clock::now();
       if (faults_.enabled) {
-        task.deadline = std::chrono::steady_clock::now() +
+        // Adaptive deadline: the task's nominal runtime plus the Jacobson
+        // window, backed off exponentially per prior re-dispatch of this
+        // task and jittered deterministically so a mass-casualty crash does
+        // not re-dispatch its victims in lockstep.
+        const DurationUs window = rto_.BackoffTimeoutUs(task.attempts);
+        task.deadline = task.granted_at +
                         std::chrono::microseconds(state.durations_us[index]) +
-                        faults_.detection_timeout;
+                        std::chrono::microseconds(window) +
+                        std::chrono::microseconds(AdaptiveTimeout::JitterUs(
+                            TaskJitterKey(request.job, index), task.attempts, window / 4));
         state.probe_deadline = task.deadline;
       }
       TaskMsg grant;
@@ -220,7 +267,22 @@ void DistributedFrontend::HandleMessage(const rpc::BusMessage& message) {
       TaskState& task = state.tasks[done.task_index];
       if (task.phase == TaskPhase::kDone) {
         ++duplicate_completions_;
+        if (task.speculated) {
+          // The losing copy of a speculated pair: its whole nominal runtime
+          // was duplicate work.
+          speculative_wasted_us_ += static_cast<uint64_t>(done.duration_us);
+        }
         break;
+      }
+      // Karn's rule: only a copy that was never re-dispatched or duplicated
+      // feeds the estimator — a retransmitted task's completion cannot be
+      // attributed to one send, and would poison the smoothed overshoot.
+      if (task.phase == TaskPhase::kGranted && task.attempts == 0 && !task.speculated) {
+        const auto overshoot = std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - task.granted_at)
+                                   .count() -
+                               done.duration_us;
+        rto_.AddSample(static_cast<double>(std::max<int64_t>(overshoot, 0)));
       }
       // The completion may come from a copy recovery already presumed dead
       // (phase back to kUnassigned) — it still finishes the task. Drop a
@@ -245,7 +307,7 @@ void DistributedFrontend::HandleMessage(const rpc::BusMessage& message) {
 }
 
 void DistributedFrontend::ReapOverdue() {
-  if (!faults_.enabled) {
+  if (!faults_.Armed()) {
     return;
   }
   std::lock_guard<std::mutex> lock(mu_);
@@ -253,13 +315,44 @@ void DistributedFrontend::ReapOverdue() {
   for (auto& [job, state] : jobs_) {
     // Overdue grants: the executing node is presumed dead. Return the task
     // to the assignable pool and probe for a new slot to late-bind it.
+    // Running copies past the speculation threshold (but not yet presumed
+    // dead) get one duplicate grant path instead — the original stays
+    // granted, and whichever copy completes first wins.
     uint32_t reaped = 0;
     for (uint32_t i = 0; i < state.tasks.size(); ++i) {
       TaskState& task = state.tasks[i];
-      if (task.phase == TaskPhase::kGranted && now > task.deadline) {
+      if (task.phase != TaskPhase::kGranted) {
+        continue;
+      }
+      if (faults_.enabled && now > task.deadline) {
         task.phase = TaskPhase::kUnassigned;
+        ++task.attempts;
+        if (task.attempts > faults_.retry_budget) {
+          // Budget exhausted: the re-dispatch still happens (a wall-clock
+          // run must terminate) but is accounted as suppressed, and the
+          // task as abandoned exactly once, at the moment of exhaustion.
+          ++retries_suppressed_;
+          if (task.attempts == faults_.retry_budget + 1) {
+            ++tasks_abandoned_;
+          }
+        } else {
+          ++tasks_re_dispatched_;
+        }
+        // A speculated task may already have its duplicate's index parked
+        // in `returned`; don't queue it twice.
+        if (std::find(state.returned.begin(), state.returned.end(), i) ==
+            state.returned.end()) {
+          state.returned.push_back(i);
+          ++reaped;
+        }
+      } else if (faults_.SpeculationOn() && !task.speculated &&
+                 now - task.granted_at >
+                     std::chrono::microseconds(static_cast<int64_t>(
+                         faults_.speculation_threshold *
+                         static_cast<double>(state.durations_us[i])))) {
+        task.speculated = true;
+        ++tasks_speculated_;
         state.returned.push_back(i);
-        ++tasks_re_dispatched_;
         ++reaped;
       }
     }
@@ -269,7 +362,7 @@ void DistributedFrontend::ReapOverdue() {
     if (reaped > 0) {
       probes_re_sent_ += reaped;
       SendProbesLocked(job, state, reaped);
-    } else if (unassigned > 0 && now > state.probe_deadline) {
+    } else if (faults_.enabled && unassigned > 0 && now > state.probe_deadline) {
       // No grant or completion progress for a full detection window while
       // tasks sit unassigned: every outstanding probe died with a crashed
       // node or was dropped by the bus. Replace them (one per pending task;
@@ -295,6 +388,37 @@ uint64_t DistributedFrontend::duplicate_completions() const {
   return duplicate_completions_;
 }
 
+uint64_t DistributedFrontend::tasks_speculated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_speculated_;
+}
+
+uint64_t DistributedFrontend::speculative_wasted_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return speculative_wasted_us_;
+}
+
+uint64_t DistributedFrontend::retries_suppressed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retries_suppressed_;
+}
+
+uint64_t DistributedFrontend::tasks_abandoned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_abandoned_;
+}
+
+bool DistributedFrontend::JobProgress(JobId job, uint32_t* done, uint32_t* total) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(job);
+  if (it == jobs_.end()) {
+    return false;
+  }
+  *done = it->second.finished;
+  *total = static_cast<uint32_t>(it->second.durations_us.size());
+  return true;
+}
+
 // --- CentralBackend ---------------------------------------------------------
 
 CentralBackend::CentralBackend(rpc::Address address, const Cluster* layout,
@@ -305,6 +429,7 @@ CentralBackend::CentralBackend(rpc::Address address, const Cluster* layout,
       bus_(bus),
       sink_(sink),
       waiting_(*layout, layout->GeneralCount()),
+      rto_(MakeRecoveryTimeout(faults)),
       epoch_(std::chrono::steady_clock::now()) {
   HAWK_CHECK(layout != nullptr);
   HAWK_CHECK(bus != nullptr);
@@ -329,13 +454,19 @@ void CentralBackend::PlaceTaskLocked(JobId job, JobState& state, uint32_t task_i
   place.task_index = task_index;
   place.duration_us = state.durations_us[task_index];
   place.slot = lane;
+  state.tasks[task_index].placed_at = std::chrono::steady_clock::now();
   if (faults_.enabled) {
-    // The deadline budgets the run itself plus the detection window; a task
-    // parked deep in a busy queue can overrun it and be re-placed while
-    // alive — the duplicate completion is counted and dropped.
-    state.tasks[task_index].deadline = std::chrono::steady_clock::now() +
-                                       std::chrono::microseconds(place.duration_us) +
-                                       faults_.detection_timeout;
+    // The deadline budgets the run itself plus the adaptive detection
+    // window (which, unlike the frontend's, has absorbed typical queue
+    // wait), backed off per re-placement of this task; a task parked deep
+    // in a busy queue can still overrun it and be re-placed while alive —
+    // the duplicate completion is counted and dropped.
+    const DurationUs window = rto_.BackoffTimeoutUs(state.tasks[task_index].attempts);
+    state.tasks[task_index].deadline =
+        state.tasks[task_index].placed_at + std::chrono::microseconds(place.duration_us) +
+        std::chrono::microseconds(window) +
+        std::chrono::microseconds(AdaptiveTimeout::JitterUs(
+            TaskJitterKey(job, task_index), state.tasks[task_index].attempts, window / 4));
   }
   bus_->Send(address_, worker, kTaskPlace, place.Encode());
 }
@@ -411,6 +542,15 @@ void CentralBackend::HandleMessage(const rpc::BusMessage& message) {
         ++duplicate_completions_;
         break;
       }
+      // Karn's rule: only never-re-placed tasks feed the adaptive window.
+      if (state.tasks[done.task_index].attempts == 0) {
+        const auto overshoot = std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() -
+                                   state.tasks[done.task_index].placed_at)
+                                   .count() -
+                               done.duration_us;
+        rto_.AddSample(static_cast<double>(std::max<int64_t>(overshoot, 0)));
+      }
       state.tasks[done.task_index].done = true;
       --state.unfinished;
       if (state.unfinished == 0) {
@@ -434,11 +574,20 @@ void CentralBackend::ReapOverdue() {
     for (uint32_t i = 0; i < state.tasks.size(); ++i) {
       if (!state.tasks[i].done && now > state.tasks[i].deadline) {
         // Presumed dead with its node; place a fresh copy through the
-        // waiting-time queue (which also re-arms the deadline). The dead
-        // copy's lane charge stays in its FIFO — per-lane totals remain
-        // self-consistent because charges and starts pair up in lane order,
-        // and a never-started charge only pads that lane's estimate.
-        ++tasks_re_dispatched_;
+        // waiting-time queue (which also re-arms the deadline, backed off
+        // by the bumped attempt count). The dead copy's lane charge stays
+        // in its FIFO — per-lane totals remain self-consistent because
+        // charges and starts pair up in lane order, and a never-started
+        // charge only pads that lane's estimate.
+        ++state.tasks[i].attempts;
+        if (state.tasks[i].attempts > faults_.retry_budget) {
+          ++retries_suppressed_;
+          if (state.tasks[i].attempts == faults_.retry_budget + 1) {
+            ++tasks_abandoned_;
+          }
+        } else {
+          ++tasks_re_dispatched_;
+        }
         PlaceTaskLocked(job, state, i);
       }
     }
@@ -453,6 +602,27 @@ uint64_t CentralBackend::tasks_re_dispatched() const {
 uint64_t CentralBackend::duplicate_completions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return duplicate_completions_;
+}
+
+uint64_t CentralBackend::retries_suppressed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retries_suppressed_;
+}
+
+uint64_t CentralBackend::tasks_abandoned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_abandoned_;
+}
+
+bool CentralBackend::JobProgress(JobId job, uint32_t* done, uint32_t* total) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(job);
+  if (it == jobs_.end()) {
+    return false;
+  }
+  *total = static_cast<uint32_t>(it->second.durations_us.size());
+  *done = *total - it->second.unfinished;
+  return true;
 }
 
 }  // namespace runtime

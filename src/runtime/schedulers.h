@@ -15,8 +15,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -25,8 +27,10 @@
 #include "src/common/random.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
+#include "src/core/adaptive_timeout.h"
 #include "src/core/slot_waiting_queue.h"
 #include "src/rpc/message_bus.h"
+#include "src/runtime/failure_detector.h"
 #include "src/runtime/proto_messages.h"
 #include "src/scheduler/policy.h"
 
@@ -50,11 +54,19 @@ class CompletionSink {
   // counted as a duplicate and dropped rather than double-counted; a job id
   // that was never expected aborts — that is a wiring bug, not a fault.
   void Record(JobId job, bool is_long);
+  // Per-job progress annotation for timeout diagnostics: given a job id,
+  // returns a short suffix like " (3/10 tasks done)" — or "" when the
+  // caller cannot locate the job. Supplied by the harness, which can ask
+  // the schedulers that own the jobs; the sink itself only sees whole-job
+  // completions.
+  using ProgressFn = std::function<std::string(JobId)>;
+
   // Blocks until all expected jobs completed or the deadline passes. On
   // timeout the error lists the outstanding job ids (up to a cap, sorted so
-  // runs are comparable) so a slow or stuck run is diagnosable from the log
-  // alone.
-  Status AwaitAll(std::chrono::milliseconds timeout);
+  // runs are comparable), each annotated with its done/total task counts
+  // when `progress` is supplied — so a slow or stuck run is diagnosable
+  // from the log alone, down to the task that never came back.
+  Status AwaitAll(std::chrono::milliseconds timeout, const ProgressFn& progress = nullptr);
   std::vector<Completion> TakeAll();
 
   uint64_t duplicates() const;
@@ -69,15 +81,32 @@ class CompletionSink {
 };
 
 // Wall-clock fault-recovery knobs shared by the scheduler executors. A
-// zero-initialized policy (enabled = false) makes every fault path inert:
-// no deadlines are armed and ReapOverdue is a no-op.
+// zero-initialized policy (enabled = false, speculation off) makes every
+// fault path inert: no deadlines are armed and ReapOverdue is a no-op.
 struct FaultRecoveryPolicy {
   bool enabled = false;
-  // How long past a task's expected completion (grant/placement time +
-  // duration) the owner waits before presuming the executing node dead and
-  // re-dispatching, and how long a job with unassigned tasks may sit with no
-  // grant/completion progress before its probes are presumed lost.
+  // Seed and cap basis for the adaptive detection timeout: each executor
+  // tracks the observed grant->completion overshoot with a Jacobson
+  // estimator (src/core/adaptive_timeout.h) seeded from this value, so the
+  // effective detection window shrinks toward real overheads on a healthy
+  // cluster and backs off exponentially per re-dispatch of the same task.
+  // Also the (fixed) probe-loss watchdog window.
   std::chrono::microseconds detection_timeout{750'000};
+  // Re-dispatches of one task beyond this budget are counted as
+  // retries_suppressed (and the task as abandoned, once) instead of
+  // tasks_re_dispatched. Unlike the simulator — where an abandoned delivery
+  // is genuinely dropped and recovered through the loss path — the
+  // prototype keeps retrying at the maximum backoff interval: a wall-clock
+  // run must terminate, and the counters still expose the budget overrun.
+  uint32_t retry_budget = 16;
+  // Speculative re-execution: a granted task whose copy has been running
+  // longer than threshold x its nominal duration gets one duplicate grant;
+  // first completion wins, the loser is deduplicated. <= 0 disables.
+  double speculation_threshold = 0.0;
+
+  bool SpeculationOn() const { return speculation_threshold > 0.0; }
+  // Whether ReapOverdue has anything to do at all.
+  bool Armed() const { return enabled || SpeculationOn(); }
 };
 
 // A distributed scheduler frontend: owns the jobs submitted to it, places
@@ -88,24 +117,39 @@ class DistributedFrontend {
   // `layout` is the run's immutable cluster layout (slot spans, capacity
   // weighting); it must outlive the frontend and is shared read-only across
   // all runtime components.
+  // `detector` (optional) steers probe placement away from currently
+  // suspected nodes; null keeps placement detector-blind.
   DistributedFrontend(rpc::Address address, const Cluster* layout, const RuntimeShape& shape,
                       uint32_t probe_ratio, const FaultRecoveryPolicy& faults,
-                      rpc::MessageBus* bus, CompletionSink* sink, uint64_t seed);
+                      rpc::MessageBus* bus, CompletionSink* sink, uint64_t seed,
+                      const FailureDetector* detector = nullptr);
 
   void Start();
 
   // Fault recovery (no-op unless the policy enables it): returns overdue
-  // granted tasks to the assignable pool and re-probes for them, and
-  // re-probes jobs whose unassigned tasks have made no progress — their
-  // probes died with a crashed node or were dropped by the bus. Driven by
-  // the harness's reaper thread.
+  // granted tasks to the assignable pool and re-probes for them — with
+  // per-task exponential backoff on the adaptive detection window and the
+  // retry budget's accounting — and re-probes jobs whose unassigned tasks
+  // have made no progress (their probes died with a crashed node or were
+  // dropped by the bus). When speculation is on, also issues one duplicate
+  // grant path for any copy running past threshold x its duration. Driven
+  // by the harness's reaper thread.
   void ReapOverdue();
+
+  // Task-level progress of a job this frontend owns, for AwaitAll timeout
+  // diagnostics. False if the job is unknown here (finished, or owned by
+  // another scheduler).
+  bool JobProgress(JobId job, uint32_t* done, uint32_t* total) const;
 
   uint64_t jobs_handled() const { return jobs_handled_; }
   uint64_t cancels_sent() const { return cancels_sent_; }
   uint64_t tasks_re_dispatched() const;
   uint64_t probes_re_sent() const;
   uint64_t duplicate_completions() const;
+  uint64_t tasks_speculated() const;
+  uint64_t speculative_wasted_us() const;
+  uint64_t retries_suppressed() const;
+  uint64_t tasks_abandoned() const;
 
  private:
   // Per-task lifecycle; kGranted tasks carry a presumed-dead deadline.
@@ -113,6 +157,11 @@ class DistributedFrontend {
   struct TaskState {
     TaskPhase phase = TaskPhase::kUnassigned;
     std::chrono::steady_clock::time_point deadline;
+    // When the current copy was granted — the base of the speculation check
+    // and of the completion-overshoot sample fed to the adaptive estimator.
+    std::chrono::steady_clock::time_point granted_at;
+    uint32_t attempts = 0;   // Re-dispatches so far (backoff exponent).
+    bool speculated = false;  // One duplicate per logical task, ever.
   };
   struct JobState {
     std::vector<int64_t> durations_us;
@@ -130,7 +179,8 @@ class DistributedFrontend {
   };
 
   void HandleMessage(const rpc::BusMessage& message);
-  // Sends `count` fresh probes for `job` over the class's slot span. Caller
+  // Sends `count` fresh probes for `job` over the class's slot span,
+  // steering individual draws away from detector-suspected nodes. Caller
   // holds mu_.
   void SendProbesLocked(JobId job, JobState& state, uint32_t count);
 
@@ -141,9 +191,13 @@ class DistributedFrontend {
   const FaultRecoveryPolicy faults_;
   rpc::MessageBus* bus_;
   CompletionSink* sink_;
+  const FailureDetector* detector_;
 
   mutable std::mutex mu_;
   Rng rng_;
+  // Adaptive detection window (guarded by mu_): grant->completion overshoot
+  // of unretried, unspeculated copies, Jacobson-smoothed.
+  AdaptiveTimeout rto_;
   std::unordered_map<JobId, JobState> jobs_;
   // Probe-placement scratch (slot ids), reused across submissions.
   std::vector<SlotId> targets_;
@@ -153,6 +207,10 @@ class DistributedFrontend {
   uint64_t tasks_re_dispatched_ = 0;
   uint64_t probes_re_sent_ = 0;
   uint64_t duplicate_completions_ = 0;
+  uint64_t tasks_speculated_ = 0;
+  uint64_t speculative_wasted_us_ = 0;
+  uint64_t retries_suppressed_ = 0;
+  uint64_t tasks_abandoned_ = 0;
 };
 
 // The centralized backend: places every task of a submitted job on the
@@ -169,19 +227,29 @@ class CentralBackend {
   void Start();
 
   // Fault recovery (no-op unless the policy enables it): re-places overdue
-  // unfinished tasks through the waiting-time queue. A re-placed task whose
-  // original copy was merely slow can complete twice; the second completion
-  // is counted and dropped. Driven by the harness's reaper thread.
+  // unfinished tasks through the waiting-time queue, with per-task backoff
+  // on the adaptive detection window and retry-budget accounting. A
+  // re-placed task whose original copy was merely slow can complete twice;
+  // the second completion is counted and dropped. Driven by the harness's
+  // reaper thread.
   void ReapOverdue();
+
+  // Task-level progress of a job this backend owns, for AwaitAll timeout
+  // diagnostics. False if the job is unknown here.
+  bool JobProgress(JobId job, uint32_t* done, uint32_t* total) const;
 
   uint64_t jobs_handled() const { return jobs_handled_; }
   uint64_t tasks_re_dispatched() const;
   uint64_t duplicate_completions() const;
+  uint64_t retries_suppressed() const;
+  uint64_t tasks_abandoned() const;
 
  private:
   struct TaskState {
     bool done = false;
     std::chrono::steady_clock::time_point deadline;
+    std::chrono::steady_clock::time_point placed_at;
+    uint32_t attempts = 0;  // Re-placements so far (backoff exponent).
   };
   struct JobState {
     uint32_t unfinished = 0;
@@ -204,6 +272,11 @@ class CentralBackend {
 
   mutable std::mutex mu_;
   SlotWaitingTimeQueue waiting_;
+  // Adaptive detection window (guarded by mu_): placement->completion
+  // overshoot of unretried placements, Jacobson-smoothed. Unlike the
+  // frontend's, this one absorbs queue wait — centrally placed tasks park
+  // behind their lane's backlog, and that wait is genuine, not failure.
+  AdaptiveTimeout rto_;
   std::unordered_map<JobId, JobState> jobs_;
   // Per-lane reorder absorption for the multi-threaded bus, where a short
   // task's kTaskDone handler can run before its own kTaskStarted handler
@@ -225,6 +298,8 @@ class CentralBackend {
   uint64_t jobs_handled_ = 0;
   uint64_t tasks_re_dispatched_ = 0;
   uint64_t duplicate_completions_ = 0;
+  uint64_t retries_suppressed_ = 0;
+  uint64_t tasks_abandoned_ = 0;
 
   SimTime NowUs() const {
     return std::chrono::duration_cast<std::chrono::microseconds>(

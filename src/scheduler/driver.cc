@@ -17,13 +17,25 @@ SimulationDriver::SimulationDriver(const Trace* trace, const HawkConfig& config,
       sched_rng_(Rng(config.seed ^ 0x5DEECE66DULL).Next()),
       fault_rng_(Rng(config.seed ^ 0x8BADF00DDEADBEEFULL ^
                      (config.fault_seed * 0x9E3779B97F4A7C15ULL))
-                     .Next()) {
+                     .Next()),
+      // The retransmit-timeout estimator starts from the cost model's RTT
+      // (2 x one-way delay); the floor keeps retries at or above one RTT and
+      // the cap bounds the exponential backoff at 256x the historical fixed
+      // timeout (4 x one-way delay).
+      rto_(/*expected_us=*/2.0 * static_cast<double>(config.net_delay_us),
+           /*floor_us=*/std::max<DurationUs>(1, 2 * config.net_delay_us),
+           /*cap_us=*/256 * std::max<DurationUs>(1, 4 * config.net_delay_us)) {
   HAWK_CHECK(trace != nullptr);
   HAWK_CHECK(policy != nullptr);
   retry_pending_.assign(config.num_workers, 0);
   faults_enabled_ = config.FaultsEnabled();
   net_faulty_ = config.message_loss_rate > 0.0 || config.message_delay_jitter_us > 0;
   track_exec_ = config.worker_crash_rate > 0.0;
+  stragglers_on_ = config.straggler_rate > 0.0;
+  // The policy, not the raw config, owns the effective speculation threshold
+  // (hawk-spec forces it on). Queried before Attach; must not touch ctx_.
+  spec_threshold_ = policy->SpeculationThreshold(config);
+  speculation_enabled_ = spec_threshold_ > 0.0;
   incarnation_.assign(config.num_workers, 0);
   down_.assign(config.num_workers, DownKind::kUp);
   if (track_exec_) {
@@ -46,6 +58,17 @@ void SimulationDriver::PlaceTask(WorkerId worker, JobId job, TaskIndex task_inde
   PushDelivery(SimEvent::TaskArrive(worker, job, task_index, duration, is_long));
 }
 
+void SimulationDriver::PlaceSpeculative(WorkerId worker, JobId job, TaskIndex task_index,
+                                        DurationUs duration, bool is_long) {
+  HAWK_CHECK(speculation_enabled_) << "PlaceSpeculative outside a speculation run";
+  SpecState& st = spec_state_[TaskKey(job, task_index)];
+  ++st.spec_outstanding;
+  ++result_.counters.tasks_speculated;
+  SimEvent ev = SimEvent::TaskArrive(worker, job, task_index, duration, is_long);
+  ev.flags |= SimEvent::kFlagSpeculative;
+  PushDelivery(ev);
+}
+
 void SimulationDriver::PushDelivery(SimEvent ev) {
   ev.incarnation = incarnation_[ev.worker];
   ++inflight_deliveries_;
@@ -54,20 +77,50 @@ void SimulationDriver::PushDelivery(SimEvent ev) {
     return;
   }
   // Lossy/jittery network: the retransmit chain is collapsed into a single
-  // delivery pushed at the time the first surviving copy arrives (each drop
-  // costs one sender timeout), and jitter draws extra uniform delay. Both
-  // break the lane's monotone-timestamp contract, so faulty deliveries pay
-  // for heap ordering — the fault-free path above stays O(1).
-  SimTime delay = config_.net_delay_us;
+  // event pushed at the time the first surviving copy arrives. Each drop
+  // costs one sender timeout from the adaptive (Jacobson) estimator, backed
+  // off exponentially with a per-delivery deterministic jitter; the retry
+  // budget cuts the chain — a spent budget surfaces the loss to the
+  // recovery lanes when the final timeout fires (kFlagAbandoned) instead of
+  // retrying forever. Either way the lane's monotone-timestamp contract is
+  // broken, so faulty deliveries pay for heap ordering — the fault-free
+  // path above stays O(1).
+  const uint64_t jitter_key = delivery_seq_++;
+  SimTime delay = 0;
+  uint32_t drops = 0;
+  bool abandoned = false;
   if (config_.message_loss_rate > 0.0) {
     while (fault_rng_.Bernoulli(config_.message_loss_rate)) {
       ++result_.counters.messages_dropped;
+      DurationUs timeout = rto_.BackoffTimeoutUs(drops);
+      timeout += AdaptiveTimeout::JitterUs(jitter_key, drops, timeout / 4);
+      delay += timeout;
+      if (drops == config_.retry_budget) {
+        // That drop consumed the final permitted copy: give up.
+        ++result_.counters.retries_suppressed;
+        abandoned = true;
+        break;
+      }
+      ++drops;
       ++result_.counters.message_retries;
-      delay += RetryTimeoutUs();
     }
   }
+  if (abandoned) {
+    // Sender-local detection: the failure surfaces when the last timeout
+    // fires, with no further flight time.
+    ev.flags |= SimEvent::kFlagAbandoned;
+    events_.Push(now_ + std::max<SimTime>(delay, 1), ev);
+    return;
+  }
+  delay += config_.net_delay_us;
+  DurationUs jitter = 0;
   if (config_.message_delay_jitter_us > 0) {
-    delay += fault_rng_.UniformInt(0, config_.message_delay_jitter_us);
+    jitter = fault_rng_.UniformInt(0, config_.message_delay_jitter_us);
+    delay += jitter;
+  }
+  if (drops == 0) {
+    // Karn's rule: only first-transmission RTTs feed the estimator.
+    rto_.AddSample(2.0 * static_cast<double>(config_.net_delay_us + jitter));
   }
   events_.Push(now_ + delay, ev);
 }
@@ -141,9 +194,11 @@ void SimulationDriver::Dispatch(const SimEvent& ev) {
   switch (ev.type) {
     case SimEvent::Type::kProbeArrive: {
       --inflight_deliveries_;
-      // Addressed to a dead incarnation (sent before a crash) or to a down
-      // worker: the probe is gone; replace it if the job still needs one.
-      if (ev.incarnation != incarnation_[ev.worker] || down_[ev.worker] != DownKind::kUp) {
+      // Abandoned by the retry budget, addressed to a dead incarnation (sent
+      // before a crash), or to a down worker: the probe is gone; replace it
+      // if the job still needs one.
+      if ((ev.flags & SimEvent::kFlagAbandoned) != 0 ||
+          ev.incarnation != incarnation_[ev.worker] || down_[ev.worker] != DownKind::kUp) {
         LostProbe(ev.job, ev.is_long);
         break;
       }
@@ -155,13 +210,24 @@ void SimulationDriver::Dispatch(const SimEvent& ev) {
     }
     case SimEvent::Type::kTaskArrive: {
       --inflight_deliveries_;
-      // A concrete task bound for a dead/down worker goes back to its
-      // scheduler lane for re-dispatch.
-      if (ev.incarnation != incarnation_[ev.worker] || down_[ev.worker] != DownKind::kUp) {
-        LostTask(ev.job, ev.task_index, static_cast<DurationUs>(ev.arg), ev.is_long);
+      // A concrete task bound for a dead/down worker — or abandoned by the
+      // retry budget — goes back to its scheduler lane for re-dispatch. A
+      // speculative duplicate is not tracker-owned: losing it only matters
+      // if it was the last live copy.
+      if ((ev.flags & SimEvent::kFlagAbandoned) != 0 ||
+          ev.incarnation != incarnation_[ev.worker] || down_[ev.worker] != DownKind::kUp) {
+        if ((ev.flags & SimEvent::kFlagAbandoned) != 0) {
+          ++result_.counters.tasks_abandoned;
+        }
+        if ((ev.flags & SimEvent::kFlagSpeculative) != 0) {
+          SpecCopyVanished(ev.job, ev.task_index, static_cast<DurationUs>(ev.arg), ev.is_long);
+        } else {
+          LostTask(ev.job, ev.task_index, static_cast<DurationUs>(ev.arg), ev.is_long);
+        }
         break;
       }
       QueueEntry entry = QueueEntry::Task(ev.job, ev.task_index, ev.arg, ev.is_long);
+      entry.speculative = (ev.flags & SimEvent::kFlagSpeculative) != 0;
       entry.enqueue_time = now_;
       workers.Enqueue(ev.worker, entry);
       TryDispatch(ev.worker);
@@ -205,10 +271,19 @@ void SimulationDriver::Dispatch(const SimEvent& ev) {
       }
       workers.FinishExecute(ev.worker, ev.is_long);
       if (track_exec_) {
-        DropExecRecord(ev.worker, ev.job, ev.task_index);
+        DropExecRecord(ev.worker, ev.job, ev.task_index,
+                       (ev.flags & SimEvent::kFlagSpeculative) != 0);
       }
-      tracker_.OnTaskFinished(ev.job, now_);
-      policy_->OnTaskFinish(ev.worker, ev.job, ev.is_long);
+      // First completion of the logical task wins; a speculation loser is
+      // deduplicated here and never reaches the tracker. Finish feedback
+      // mirrors the start-side rule: only the tracker-owned copy reports,
+      // because only its start was charged to the policy's state.
+      if (!speculation_enabled_ || SpecCompletion(ev)) {
+        tracker_.OnTaskFinished(ev.job, now_);
+      }
+      if ((ev.flags & SimEvent::kFlagSpeculative) == 0) {
+        policy_->OnTaskFinish(ev.worker, ev.job, ev.is_long);
+      }
       if (down_[ev.worker] == DownKind::kUp) {
         TryDispatch(ev.worker);
       }
@@ -236,6 +311,10 @@ void SimulationDriver::Dispatch(const SimEvent& ev) {
     case SimEvent::Type::kCrashTick:
     case SimEvent::Type::kDepartTick: {
       HandleFaultTick(ev.type);
+      break;
+    }
+    case SimEvent::Type::kSpecCheck: {
+      HandleSpecCheck(ev);
       break;
     }
     case SimEvent::Type::kWorkerRejoin: {
@@ -288,8 +367,13 @@ void SimulationDriver::TryDispatch(WorkerId worker) {
     }
     const QueueEntry entry = workers.PopFront(worker);
     if (entry.kind == EntryKind::kTask) {
-      result_.counters.tasks_launched++;
-      RecordQueueWait(entry.is_long, now_ - entry.enqueue_time);
+      // Speculative duplicates are accounted in tasks_speculated, not
+      // tasks_launched, so `tasks_launched == trace tasks` holds for every
+      // scheduler; their queue wait is duplicate overhead, not job latency.
+      if (!entry.speculative) {
+        result_.counters.tasks_launched++;
+        RecordQueueWait(entry.is_long, now_ - entry.enqueue_time);
+      }
       StartExecute(worker, entry);
       continue;
     }
@@ -312,15 +396,58 @@ void SimulationDriver::StartExecute(WorkerId worker, const QueueEntry& task) {
   // partition, under any scheduler or ablation.
   HAWK_CHECK(!task.is_long || cluster_.InGeneralPartition(worker))
       << "long task on short-partition worker " << worker;
-  cluster_.workers().BeginExecute(worker, now_, task);
-  if (track_exec_) {
-    exec_records_[worker].push_back(
-        ExecRecord{task.job, task.task_index, task.duration, now_, task.is_long});
+  // Straggler injection: a stricken copy drags for slowdown x its duration.
+  // The stretch is real occupancy (charged to busy) but not useful work, so
+  // it is pre-charged to wasted here; a crash that kills the copy early
+  // corrects the pre-charge (see CrashWorker).
+  DurationUs actual = task.duration;
+  if (stragglers_on_ && fault_rng_.Bernoulli(config_.straggler_rate)) {
+    actual = std::max(task.duration,
+                      static_cast<DurationUs>(std::llround(
+                          static_cast<double>(task.duration) *
+                          config_.straggler_slowdown_factor)));
+    result_.counters.wasted_work_us += static_cast<uint64_t>(actual - task.duration);
   }
-  policy_->OnTaskStart(worker, task);
-  SimEvent complete = SimEvent::TaskComplete(worker, task.job, task.task_index, task.is_long);
+  QueueEntry charged = task;
+  charged.duration = actual;
+  cluster_.workers().BeginExecute(worker, now_, charged);
+  if (track_exec_) {
+    exec_records_[worker].push_back(ExecRecord{task.job, task.task_index, task.duration,
+                                               actual, now_, task.is_long, task.speculative});
+  }
+  // The policy sees the nominal duration: a straggler is indistinguishable
+  // from a healthy task at start time, exactly as on a real cluster.
+  // Speculative duplicates are invisible to execution feedback — a
+  // centralized waiting-time queue never assigned them, so a start charge
+  // for one would underflow the backlog of whatever worker runs the copy.
+  if (!task.speculative) {
+    policy_->OnTaskStart(worker, task);
+  }
+  if (speculation_enabled_ && !task.speculative) {
+    // Schedule the straggling check only when this copy will provably still
+    // be running when it fires — otherwise the completion beats it and the
+    // check could only no-op.
+    const DurationUs estimate = tracker_.EstimateUs(task.job);
+    if (estimate > 0) {
+      const auto delay = std::max<SimTime>(
+          1, static_cast<SimTime>(
+                 std::llround(spec_threshold_ * static_cast<double>(estimate))));
+      if (delay < actual && spec_state_.find(TaskKey(task.job, task.task_index)) ==
+                                spec_state_.end()) {
+        SimEvent check =
+            SimEvent::SpecCheck(worker, task.job, task.task_index, task.duration, task.is_long);
+        check.incarnation = incarnation_[worker];
+        events_.Push(now_ + delay, check);
+      }
+    }
+  }
+  SimEvent complete =
+      SimEvent::TaskComplete(worker, task.job, task.task_index, task.duration, task.is_long);
+  if (task.speculative) {
+    complete.flags |= SimEvent::kFlagSpeculative;
+  }
   complete.incarnation = incarnation_[worker];
-  events_.Push(now_ + task.duration, complete);
+  events_.Push(now_ + actual, complete);
 }
 
 bool SimulationDriver::StealRetryUseful() const {
@@ -401,10 +528,35 @@ void SimulationDriver::CrashWorker(WorkerId worker) {
   }
   for (const ExecRecord& rec : killed) {
     const DurationUs ran = now_ - rec.started_at;
-    // BeginExecute charged the full duration up front; the killed run only
-    // delivered `ran` of it, and even that is wasted.
-    workers.DeductBusyUs(worker, rec.duration - ran);
-    result_.counters.wasted_work_us += static_cast<uint64_t>(ran);
+    // BeginExecute charged the full (possibly straggler-stretched) duration
+    // up front; the killed run only delivered `ran` of it, and even that is
+    // wasted. A straggler's stretch was already pre-charged to wasted at
+    // start, so the correction nets the copy's waste to exactly `ran`.
+    workers.DeductBusyUs(worker, rec.actual_duration - ran);
+    const int64_t waste_delta = ran - (rec.actual_duration - rec.duration);
+    result_.counters.wasted_work_us = static_cast<uint64_t>(
+        static_cast<int64_t>(result_.counters.wasted_work_us) + waste_delta);
+    if (rec.speculative) {
+      SpecCopyVanished(rec.job, rec.task_index, rec.duration, rec.is_long);
+      continue;
+    }
+    if (speculation_enabled_) {
+      const uint64_t key = TaskKey(rec.job, rec.task_index);
+      auto it = spec_state_.find(key);
+      if (it != spec_state_.end()) {
+        // The primary died while duplicate machinery is live: if a duplicate
+        // is still out there (or the task already finished), it owns the
+        // outcome; only a fully orphaned task re-enters the lost-task lane.
+        SpecState& st = it->second;
+        st.primary_owned = false;
+        if (!st.done && st.spec_outstanding == 0) {
+          st.primary_owned = true;
+          LostTask(rec.job, rec.task_index, rec.duration, rec.is_long);
+        }
+        MaybeEraseSpec(key);
+        continue;
+      }
+    }
     LostTask(rec.job, rec.task_index, rec.duration, rec.is_long);
   }
   events_.Push(now_ + config_.worker_downtime_us, SimEvent::WorkerRejoin(worker));
@@ -434,7 +586,11 @@ void SimulationDriver::RejoinWorker(WorkerId worker) {
 
 void SimulationDriver::ReDispatchEntry(const QueueEntry& entry) {
   if (entry.kind == EntryKind::kTask) {
-    LostTask(entry.job, entry.task_index, entry.duration, entry.is_long);
+    if (entry.speculative) {
+      SpecCopyVanished(entry.job, entry.task_index, entry.duration, entry.is_long);
+    } else {
+      LostTask(entry.job, entry.task_index, entry.duration, entry.is_long);
+    }
   } else {
     LostProbe(entry.job, entry.is_long);
   }
@@ -452,10 +608,90 @@ void SimulationDriver::LostTask(JobId job, TaskIndex task_index, DurationUs dura
   policy_->OnTaskLost(job, is_long);
 }
 
-void SimulationDriver::DropExecRecord(WorkerId worker, JobId job, TaskIndex task_index) {
+void SimulationDriver::HandleSpecCheck(const SimEvent& ev) {
+  if (ev.incarnation != incarnation_[ev.worker]) {
+    // The watched copy died with its worker; crash re-dispatch owns recovery.
+    return;
+  }
+  const uint64_t key = TaskKey(ev.job, ev.task_index);
+  if (spec_state_.find(key) != spec_state_.end()) {
+    // Already speculated (at most one duplicate decision per logical task).
+    return;
+  }
+  // Checks are only scheduled when the copy outlives the threshold, so the
+  // primary is provably still running here: hand the placement decision to
+  // the policy. State is created by PlaceSpeculative, so a policy that
+  // declines leaves no trace.
+  policy_->OnTaskStraggling(ev.job, ev.task_index, static_cast<DurationUs>(ev.arg), ev.is_long);
+}
+
+void SimulationDriver::SpecCopyVanished(JobId job, TaskIndex task_index, DurationUs duration,
+                                        bool is_long) {
+  const uint64_t key = TaskKey(job, task_index);
+  auto it = spec_state_.find(key);
+  HAWK_CHECK(it != spec_state_.end()) << "speculative copy of job " << job << " task "
+                                      << task_index << " has no state";
+  SpecState& st = it->second;
+  HAWK_CHECK_GT(st.spec_outstanding, 0u);
+  --st.spec_outstanding;
+  if (!st.done && st.spec_outstanding == 0 && !st.primary_owned) {
+    // The duplicate was the last live copy: ownership reverts to the normal
+    // lost-task lane so the task still completes.
+    st.primary_owned = true;
+    LostTask(job, task_index, duration, is_long);
+  }
+  MaybeEraseSpec(key);
+}
+
+bool SimulationDriver::SpecCompletion(const SimEvent& ev) {
+  const uint64_t key = TaskKey(ev.job, ev.task_index);
+  const bool speculative = (ev.flags & SimEvent::kFlagSpeculative) != 0;
+  auto it = spec_state_.find(key);
+  if (it == spec_state_.end()) {
+    HAWK_CHECK(!speculative) << "speculative completion without state";
+    return true;  // Never speculated: the normal single-copy path.
+  }
+  SpecState& st = it->second;
+  if (speculative) {
+    HAWK_CHECK_GT(st.spec_outstanding, 0u);
+    --st.spec_outstanding;
+  } else {
+    st.primary_owned = false;
+  }
+  const bool first = !st.done;
+  if (first) {
+    st.done = true;
+    if (speculative) {
+      ++result_.counters.speculative_wins;
+    }
+  } else {
+    // The losing copy's nominal work is pure waste (its straggler stretch,
+    // if any, was already charged at start).
+    ++result_.counters.duplicate_completions;
+    result_.counters.speculative_wasted_us += static_cast<uint64_t>(ev.arg);
+    result_.counters.wasted_work_us += static_cast<uint64_t>(ev.arg);
+  }
+  MaybeEraseSpec(key);
+  return first;
+}
+
+void SimulationDriver::MaybeEraseSpec(uint64_t key) {
+  auto it = spec_state_.find(key);
+  if (it != spec_state_.end() && it->second.spec_outstanding == 0 &&
+      !it->second.primary_owned) {
+    HAWK_CHECK(it->second.done) << "speculation state dropped with the task unfinished";
+    spec_state_.erase(it);
+  }
+}
+
+void SimulationDriver::DropExecRecord(WorkerId worker, JobId job, TaskIndex task_index,
+                                      bool speculative) {
+  // The speculative flag disambiguates the (rare but legal) case of a
+  // primary and its duplicate executing on the same worker.
   std::vector<ExecRecord>& records = exec_records_[worker];
   for (size_t i = 0; i < records.size(); ++i) {
-    if (records[i].job == job && records[i].task_index == task_index) {
+    if (records[i].job == job && records[i].task_index == task_index &&
+        records[i].speculative == speculative) {
       records[i] = records.back();
       records.pop_back();
       return;

@@ -17,11 +17,13 @@
 #define HAWK_SCHEDULER_DRIVER_H_
 
 #include <algorithm>
+#include <unordered_map>
 #include <vector>
 
 #include "src/cluster/cluster.h"
 #include "src/cluster/job_tracker.h"
 #include "src/cluster/results.h"
+#include "src/core/adaptive_timeout.h"
 #include "src/core/hawk_config.h"
 #include "src/core/job_classifier.h"
 #include "src/scheduler/policy.h"
@@ -50,6 +52,8 @@ class SimulationDriver : public SchedulerContext {
   void PlaceProbe(WorkerId worker, JobId job, bool is_long) override;
   void PlaceTask(WorkerId worker, JobId job, TaskIndex task_index, DurationUs duration,
                  bool is_long) override;
+  void PlaceSpeculative(WorkerId worker, JobId job, TaskIndex task_index, DurationUs duration,
+                        bool is_long) override;
   void DeliverStolen(WorkerId thief, const std::vector<QueueEntry>& entries) override;
 
  private:
@@ -70,14 +74,22 @@ class SimulationDriver : public SchedulerContext {
       kCrashTick,      // Poisson tick: fail-stop crash of a random worker.
       kDepartTick,     // Poisson tick: graceful departure of a random worker.
       kWorkerRejoin,   // A down worker comes back (empty) after downtime.
+      kSpecCheck,      // Speculation: is this task copy still running?
     };
+    // Event flag bits (`flags`).
+    static constexpr uint8_t kFlagSpeculative = 1;  // Duplicate task copy.
+    static constexpr uint8_t kFlagAbandoned = 2;    // Delivery gave up: the
+                                                    // retry budget is spent.
     Type type = Type::kUtilSample;
     bool is_long = false;
+    uint8_t flags = 0;
     WorkerId worker = kInvalidWorker;
     JobId job = kInvalidJob;
     TaskIndex task_index = 0;
-    // Type-dependent slot: the task duration for kTaskArrive, the entry's
-    // original enqueue time for kRequestResolve (queueing-delay telemetry).
+    // Type-dependent slot: the task duration for kTaskArrive, kSpecCheck and
+    // kTaskComplete (the nominal duration — speculation-loser accounting
+    // needs it), the entry's original enqueue time for kRequestResolve
+    // (queueing-delay telemetry).
     int64_t arg = 0;
     // Which incarnation of `worker` this event was addressed to. A crash
     // bumps the worker's incarnation, so everything already in flight toward
@@ -116,13 +128,25 @@ class SimulationDriver : public SchedulerContext {
       return e;
     }
     static SimEvent TaskComplete(WorkerId worker, JobId job, TaskIndex task_index,
-                                 bool is_long) {
+                                 DurationUs duration, bool is_long) {
       SimEvent e;
       e.type = Type::kTaskComplete;
       e.is_long = is_long;
       e.worker = worker;
       e.job = job;
       e.task_index = task_index;
+      e.arg = duration;
+      return e;
+    }
+    static SimEvent SpecCheck(WorkerId worker, JobId job, TaskIndex task_index,
+                              DurationUs duration, bool is_long) {
+      SimEvent e;
+      e.type = Type::kSpecCheck;
+      e.is_long = is_long;
+      e.worker = worker;
+      e.job = job;
+      e.task_index = task_index;
+      e.arg = duration;
       return e;
     }
     static SimEvent UtilSample() { return SimEvent{}; }
@@ -161,10 +185,28 @@ class SimulationDriver : public SchedulerContext {
   struct ExecRecord {
     JobId job;
     TaskIndex task_index;
-    DurationUs duration;
+    DurationUs duration;         // Nominal (trace) duration.
+    DurationUs actual_duration;  // Stretched when the copy is a straggler.
     SimTime started_at;
     bool is_long;
+    bool speculative;
   };
+
+  // Per-task speculation state, created when a duplicate is launched and
+  // erased once neither lineage can produce further events. `primary_owned`
+  // means the logical task is still held by the normal single-copy machinery
+  // (a primary copy exists somewhere, or the tracker holds it for
+  // re-dispatch); `spec_outstanding` counts duplicate copies alive in any
+  // state (in flight, queued, executing).
+  struct SpecState {
+    uint8_t spec_outstanding = 0;
+    bool done = false;
+    bool primary_owned = true;
+  };
+
+  static uint64_t TaskKey(JobId job, TaskIndex task_index) {
+    return (static_cast<uint64_t>(job) << 32) | task_index;
+  }
 
   // Classifies a newly submitted job and hands it to the policy.
   void ArriveJob(const Job& job);
@@ -200,12 +242,22 @@ class SimulationDriver : public SchedulerContext {
   void ReDispatchEntry(const QueueEntry& entry);
   void LostProbe(JobId job, bool is_long);
   void LostTask(JobId job, TaskIndex task_index, DurationUs duration, bool is_long);
-  void DropExecRecord(WorkerId worker, JobId job, TaskIndex task_index);
-  DurationUs RetryTimeoutUs() const {
-    // Sender-side retransmit timeout: two RTTs, with a floor so retries make
-    // progress even under a zero-delay cost model.
-    return std::max<DurationUs>(4 * config_.net_delay_us, 1);
-  }
+  void DropExecRecord(WorkerId worker, JobId job, TaskIndex task_index, bool speculative);
+
+  // --- speculative re-execution --------------------------------------------
+  // kSpecCheck handler: the watched primary copy is provably still running
+  // when the check fires (checks are only scheduled when the stretch outlives
+  // the threshold), so unless it crashed or was already speculated, ask the
+  // policy to place a duplicate.
+  void HandleSpecCheck(const SimEvent& ev);
+  // A duplicate copy ceased to exist without completing (lost delivery,
+  // drained queue, crash kill). If it was the last live copy and the task is
+  // unfinished, ownership reverts to the normal lost-task lane.
+  void SpecCopyVanished(JobId job, TaskIndex task_index, DurationUs duration, bool is_long);
+  // Dedupe at completion: returns true when this completion is the first for
+  // the logical task (and so must reach the tracker), false for a loser.
+  bool SpecCompletion(const SimEvent& ev);
+  void MaybeEraseSpec(uint64_t key);
 
   // Fixed-delay event classes get O(1) monotone lanes in the event queue;
   // only variable-delay events (task completions, utilization samples) pay
@@ -235,6 +287,18 @@ class SimulationDriver : public SchedulerContext {
   bool faults_enabled_ = false;  // Any fault axis nonzero.
   bool net_faulty_ = false;      // Loss or jitter active (heap deliveries).
   bool track_exec_ = false;      // Crash injection needs in-flight records.
+  bool stragglers_on_ = false;   // straggler_rate > 0: executions may drag.
+  // Speculation (policy-effective threshold; hawk-spec forces it on).
+  bool speculation_enabled_ = false;
+  double spec_threshold_ = 0.0;
+  // Jacobson-style retransmit-timeout estimator for lossy deliveries, fed
+  // with first-transmission RTT observations (Karn's rule: retransmitted
+  // deliveries contribute no sample).
+  AdaptiveTimeout rto_;
+  uint64_t delivery_seq_ = 0;  // Keys the deterministic retry jitter.
+  // Tasks whose duplicate machinery is live; keyed by TaskKey. Only ever
+  // populated when speculation_enabled_.
+  std::unordered_map<uint64_t, SpecState> spec_state_;
   // Whether the policy's shape steals at all; retry timers are pointless
   // otherwise.
   bool policy_can_steal_ = false;

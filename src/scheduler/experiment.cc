@@ -50,6 +50,16 @@ const SchedulerRegistration kRegisterHawkDChoice(
     },
     [](const HawkConfig& config) { return config.GeneralCount(); });
 
+// Adaptive-recovery variant: Hawk with speculative re-execution on by
+// default (see HawkSpecPolicy::SpeculationThreshold). Swept beside plain
+// hawk in bench_ablation_stragglers.
+const SchedulerRegistration kRegisterHawkSpec(
+    "hawk-spec",
+    [](const HawkConfig& config) -> std::unique_ptr<SchedulerPolicy> {
+      return std::make_unique<HawkSpecPolicy>(config);
+    },
+    [](const HawkConfig& config) { return config.GeneralCount(); });
+
 // The empty-short-partition precondition is enforced in
 // SplitClusterPolicy::Attach (simulation) and by RunPrototype's span check
 // (runtime, as a clean Status) — not here: factories must stay abort-free so

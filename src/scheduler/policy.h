@@ -37,6 +37,13 @@ class SchedulerContext {
   virtual void PlaceTask(WorkerId worker, JobId job, TaskIndex task_index, DurationUs duration,
                          bool is_long) = 0;
 
+  // Sends a *speculative duplicate* of an already-running task to `worker`.
+  // The copy is outside JobTracker ownership: the first completion of the
+  // pair wins, the loser is deduplicated and counted as speculative waste.
+  // Only called from SchedulerPolicy::OnTaskStraggling implementations.
+  virtual void PlaceSpeculative(WorkerId worker, JobId job, TaskIndex task_index,
+                                DurationUs duration, bool is_long) = 0;
+
   // Appends stolen entries to the thief's queue. Only call for the worker the
   // current OnWorkerIdle() notification is about; the driver re-examines that
   // queue when the notification returns (stealing is free in the simulation
@@ -134,6 +141,32 @@ class SchedulerPolicy {
       return;
     }
     ReProbe(job, is_long);
+  }
+
+  // --- speculative re-execution --------------------------------------------
+  // Effective speculation threshold under `config`; <= 0 disables the
+  // subsystem. The default passes the config knob through; the "hawk-spec"
+  // registered variant overrides with a default-on threshold so speculation
+  // falls out of the registry without touching the config. Called on a
+  // fresh, unattached instance — implementations must not touch ctx_.
+  virtual double SpeculationThreshold(const HawkConfig& config) const {
+    return config.speculation_threshold;
+  }
+
+  // A running copy of (job, task_index) has exceeded
+  // speculation_threshold x the job's estimated task runtime and the driver
+  // decided to speculate. The policy picks where the duplicate goes and
+  // places it via PlaceSpeculative; the default mirrors ReProbe's span rule
+  // (long -> general partition, short -> anywhere), choosing a uniformly
+  // random slot. Centralized placements are deliberately not reused here:
+  // a straggler's duplicate must not queue behind the same backlog that
+  // delayed the original, so a random lightly-loaded node is the point.
+  virtual void OnTaskStraggling(JobId job, TaskIndex task_index, DurationUs duration,
+                                bool is_long) {
+    Cluster& cluster = ctx_->GetCluster();
+    const uint64_t span = is_long ? cluster.GeneralSlots() : cluster.TotalSlots();
+    const auto slot = static_cast<SlotId>(ctx_->SchedRng().NextBounded(span));
+    ctx_->PlaceSpeculative(cluster.WorkerOfSlot(slot), job, task_index, duration, is_long);
   }
 
   virtual std::string_view Name() const = 0;
