@@ -52,7 +52,14 @@ HETERO_OUT="${HETERO_OUT:-BENCH_hetero_slots.json}"
 IMPL_OUT="${IMPL_OUT:-BENCH_impl_vs_sim.json}"
 FAULTS_OUT="${FAULTS_OUT:-BENCH_faults.json}"
 STRAGGLERS_OUT="${STRAGGLERS_OUT:-BENCH_stragglers.json}"
-SWEEP_SCALE="${SWEEP_SCALE:-1}"
+# Scale contract: HAWK_BENCH_SCALE is parsed (strictly) in exactly one
+# place — bench/bench_util.h's BenchScale(). This script only routes
+# SWEEP_SCALE into that env var; it never parses or validates the value
+# itself, so a malformed scale fails with bench_util's message, not two
+# divergent ones. SWEEP_SCALE keeps working as the documented knob and an
+# already-exported HAWK_BENCH_SCALE is respected as its default.
+SWEEP_SCALE="${SWEEP_SCALE:-${HAWK_BENCH_SCALE:-1}}"
+export HAWK_BENCH_SCALE="${SWEEP_SCALE}"
 
 die() {
   echo "bench.sh: error: $*" >&2
@@ -90,10 +97,10 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" \
 echo "Wrote ${OUT}"
 
 # The benches print "Wrote ..." themselves on success.
-"${BUILD_DIR}/bench_ablation_power_of_d" --scale="${SWEEP_SCALE}" --threads="${JOBS}" \
+"${BUILD_DIR}/bench_ablation_power_of_d" --threads="${JOBS}" \
   --json="${SWEEP_OUT}"
 
-"${BUILD_DIR}/bench_ablation_hetero_slots" --scale="${SWEEP_SCALE}" --threads="${JOBS}" \
+"${BUILD_DIR}/bench_ablation_hetero_slots" --threads="${JOBS}" \
   --json="${HETERO_OUT}"
 
 # Prototype vs simulation at smoke scale: real node-monitor threads and sleep
@@ -103,10 +110,10 @@ echo "Wrote ${OUT}"
 
 # Fault ablation: the sim grid scales with SWEEP_SCALE; the prototype half is
 # wall-clock bound (real crashes + sleep tasks) and stays at smoke scale.
-"${BUILD_DIR}/bench_ablation_faults" --scale="${SWEEP_SCALE}" --threads="${JOBS}" \
+"${BUILD_DIR}/bench_ablation_faults" --threads="${JOBS}" \
   --proto-jobs=12 --proto-work-seconds=3 --json="${FAULTS_OUT}"
 
 # Straggler ablation: same split — scaled sim grid, smoke-scale prototype grid
 # with real slowed-down executor sleeps.
-"${BUILD_DIR}/bench_ablation_stragglers" --scale="${SWEEP_SCALE}" --threads="${JOBS}" \
+"${BUILD_DIR}/bench_ablation_stragglers" --threads="${JOBS}" \
   --proto-jobs=12 --proto-work-seconds=3 --json="${STRAGGLERS_OUT}"

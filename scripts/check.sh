@@ -20,3 +20,6 @@ HAWK_WERROR="${HAWK_WERROR:-ON}"
 cmake -B "${BUILD_DIR}" -S . -DHAWK_WERROR="${HAWK_WERROR}"
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" "$@"
+
+# Static analysis rides along: hawk_lint always, clang-tidy when installed.
+BUILD_DIR="${BUILD_DIR}" JOBS="${JOBS}" scripts/lint.sh

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Static analysis: hawk_lint (always) plus clang-tidy (when installed).
+#
+# hawk_lint is the repo's own determinism/invariant linter
+# (tools/hawk_lint, rules HL001-HL006 — see docs/development.md#hawk-lint).
+# It is dependency-free C++17 and is built here if missing. clang-tidy
+# covers the generic bug classes via the curated .clang-tidy profile; it is
+# optional locally and skipped with a message when absent — CI always runs
+# both (see .github/workflows/ci.yml, job `lint`).
+#
+# Usage:
+#   scripts/lint.sh               # hawk_lint + clang-tidy (if available)
+#
+# Environment:
+#   BUILD_DIR   build directory (default: build). Reused if configured;
+#               configured here (with compile_commands.json) otherwise.
+#   JOBS        parallelism (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+die() {
+  echo "lint.sh: error: $*" >&2
+  exit 1
+}
+
+command -v cmake > /dev/null 2>&1 \
+  || die "cmake not found on PATH — install CMake >= 3.16 (see README 'Build and test')"
+
+# Build hawk_lint (a no-op when up to date). clang-tidy needs the compilation
+# database, so export it at configure time.
+if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+  echo "lint.sh: configuring ${BUILD_DIR}"
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    || die "CMake configure failed in '${BUILD_DIR}'"
+fi
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target hawk_lint \
+  || die "hawk_lint build failed — was it disabled with HAWK_BUILD_TOOLS=OFF?"
+
+echo "lint.sh: running hawk_lint"
+"${BUILD_DIR}/hawk_lint" --root=.
+
+# clang-tidy pass — optional locally. The curated profile in .clang-tidy is
+# an explicit check allowlist with WarningsAsErrors, so any diagnostic fails.
+if command -v clang-tidy > /dev/null 2>&1; then
+  if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+    echo "lint.sh: exporting compile_commands.json in ${BUILD_DIR}"
+    cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null \
+      || die "CMake re-configure for compile_commands.json failed"
+  fi
+  echo "lint.sh: running clang-tidy over src/"
+  if command -v run-clang-tidy > /dev/null 2>&1; then
+    run-clang-tidy -quiet -p "${BUILD_DIR}" -j "${JOBS}" 'src/.*\.cc$'
+  else
+    # Serial fallback when only the bare clang-tidy binary is installed.
+    find src -name '*.cc' -print0 \
+      | xargs -0 -n 1 -P "${JOBS}" clang-tidy -p "${BUILD_DIR}" --quiet
+  fi
+  echo "lint.sh: clang-tidy clean"
+else
+  echo "lint.sh: clang-tidy not found on PATH — skipping the clang-tidy pass." \
+       "hawk_lint still ran; CI's lint job runs both (see .github/workflows/ci.yml)."
+fi
+
+echo "lint.sh: OK"

@@ -105,9 +105,7 @@ void NodeMonitor::SendHeartbeat() {
       return;  // A dead node is silent — that silence IS the failure signal.
     }
   }
-  HeartbeatMsg beat;
-  beat.node = address_;
-  bus_->Send(address_, kDetectorAddress, kHeartbeat, beat.Encode());
+  bus_->Send(address_, kDetectorAddress, kHeartbeat, HeartbeatMsg::From(address_).Encode());
 }
 
 void NodeMonitor::HandleMessage(const rpc::BusMessage& message) {
@@ -206,9 +204,7 @@ void NodeMonitor::Advance() {
       auto& record = outstanding_[entry.probe.job];
       ++record.first;
       record.second = entry.probe.is_long;
-      JobRefMsg request;
-      request.job = entry.probe.job;
-      request.sender = address_;
+      const JobRefMsg request = JobRefMsg::TaskRequest(entry.probe.job, address_);
       bus_->Send(address_, entry.probe.frontend, kTaskRequest, request.Encode());
       continue;
     }
@@ -241,10 +237,7 @@ void NodeMonitor::StartTaskLocked(const TaskMsg& task, bool centrally_placed) {
     // §3.7 feedback: the owning (centralized) scheduler re-synchronizes its
     // waiting-time estimate on every start of a task it placed. The echoed
     // slot routes the feedback to the exact lane the backend charged.
-    JobRefMsg started;
-    started.job = task.job;
-    started.sender = address_;
-    started.slot = task.slot;
+    const JobRefMsg started = JobRefMsg::TaskStarted(task.job, address_, task.slot);
     bus_->Send(address_, task.owner, kTaskStarted, started.Encode());
   }
   exec_cv_.notify_all();
@@ -312,9 +305,7 @@ void NodeMonitor::TryStealLocked() {
   if (config_.steal_response_timeout.count() > 0) {
     steal_deadline_ = Clock::now() + config_.steal_response_timeout;
   }
-  StealRequestMsg request;
-  request.thief = address_;
-  bus_->Send(address_, victim, kStealRequest, request.Encode());
+  bus_->Send(address_, victim, kStealRequest, StealRequestMsg::From(address_).Encode());
 }
 
 std::vector<ProbeMsg> NodeMonitor::ExtractStealableLocked() {

@@ -8,6 +8,7 @@
 #define HAWK_RUNTIME_PROTO_MESSAGES_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/common/types.h"
@@ -31,11 +32,27 @@ enum MessageType : uint32_t {
   kHeartbeat = 11  // node monitor -> failure detector: still alive
 };
 
+// Construction convention (hawk-lint rule HL001, mirroring the SimEvent
+// fix): every message below is built through a named factory that assigns
+// fields by name, never through positional brace-init — a reordered or
+// added field then cannot silently land in the wrong slot. The factories
+// are the only sanctioned senders' constructors; Decode/ReadFrom remain the
+// receivers' path.
 struct JobSubmitMsg {
   JobId job = 0;
   bool is_long = false;
   int64_t estimate_us = 0;
   std::vector<int64_t> task_durations_us;
+
+  static JobSubmitMsg Make(JobId job, bool is_long, int64_t estimate_us,
+                           std::vector<int64_t> task_durations_us) {
+    JobSubmitMsg m;
+    m.job = job;
+    m.is_long = is_long;
+    m.estimate_us = estimate_us;
+    m.task_durations_us = std::move(task_durations_us);
+    return m;
+  }
 
   std::vector<uint8_t> Encode() const {
     rpc::Writer w;
@@ -67,6 +84,15 @@ struct ProbeMsg {
   rpc::Address frontend = 0;
   uint32_t slot = 0;
   bool is_long = false;
+
+  static ProbeMsg Make(JobId job, rpc::Address frontend, uint32_t slot, bool is_long) {
+    ProbeMsg m;
+    m.job = job;
+    m.frontend = frontend;
+    m.slot = slot;
+    m.is_long = is_long;
+    return m;
+  }
 
   // The field layout lives in WriteTo/ReadFrom only; Encode/Decode and the
   // steal-response batch framing below all delegate, so a new field cannot
@@ -106,6 +132,27 @@ struct JobRefMsg {
   rpc::Address sender = 0;
   uint32_t slot = 0;
 
+  // One named constructor per message role the struct carries.
+  static JobRefMsg TaskRequest(JobId job, rpc::Address sender) {
+    JobRefMsg m;
+    m.job = job;
+    m.sender = sender;
+    return m;
+  }
+  static JobRefMsg TaskCancel(JobId job, rpc::Address sender) {
+    JobRefMsg m;
+    m.job = job;
+    m.sender = sender;
+    return m;
+  }
+  static JobRefMsg TaskStarted(JobId job, rpc::Address sender, uint32_t slot) {
+    JobRefMsg m;
+    m.job = job;
+    m.sender = sender;
+    m.slot = slot;
+    return m;
+  }
+
   std::vector<uint8_t> Encode() const {
     rpc::Writer w;
     w.WriteU32(job);
@@ -135,6 +182,27 @@ struct TaskMsg {
   rpc::Address owner = 0;  // Scheduler to notify on completion.
   uint32_t slot = 0;
 
+  // kTaskGrant: late-binding grant from a distributed frontend; the
+  // monitor's slots share one FIFO queue, so there is no slot affinity.
+  static TaskMsg Grant(JobId job, TaskIndex task_index, int64_t duration_us, bool is_long,
+                       rpc::Address owner) {
+    TaskMsg m;
+    m.job = job;
+    m.task_index = task_index;
+    m.duration_us = duration_us;
+    m.is_long = is_long;
+    m.owner = owner;
+    return m;
+  }
+  // kTaskPlace: direct placement by the centralized backend into the §3.7
+  // lane (`slot`) its waiting-time queue charged.
+  static TaskMsg Place(JobId job, TaskIndex task_index, int64_t duration_us, bool is_long,
+                       rpc::Address owner, uint32_t slot) {
+    TaskMsg m = Grant(job, task_index, duration_us, is_long, owner);
+    m.slot = slot;
+    return m;
+  }
+
   std::vector<uint8_t> Encode() const {
     rpc::Writer w;
     w.WriteU32(job);
@@ -161,6 +229,12 @@ struct TaskMsg {
 // kStealRequest: thief's address. kStealResponse: batch of stolen probes.
 struct StealRequestMsg {
   rpc::Address thief = 0;
+
+  static StealRequestMsg From(rpc::Address thief) {
+    StealRequestMsg m;
+    m.thief = thief;
+    return m;
+  }
 
   std::vector<uint8_t> Encode() const {
     rpc::Writer w;
@@ -202,6 +276,12 @@ struct StealResponseMsg {
 // suspicion state is built entirely from arrival times, not payload.
 struct HeartbeatMsg {
   rpc::Address node = 0;
+
+  static HeartbeatMsg From(rpc::Address node) {
+    HeartbeatMsg m;
+    m.node = node;
+    return m;
+  }
 
   std::vector<uint8_t> Encode() const {
     rpc::Writer w;

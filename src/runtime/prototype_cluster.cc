@@ -342,11 +342,9 @@ StatusOr<RunResult> RunPrototype(const Trace& trace, const PrototypeConfig& conf
       const Clock::time_point due = start + std::chrono::microseconds(job.submit_time);
       std::this_thread::sleep_until(due);
       const JobClass cls = classifier.Classify(job);
-      JobSubmitMsg submit;
-      submit.job = job.id;
-      submit.is_long = cls.is_long_sched;
-      submit.estimate_us = std::llround(std::max(0.0, cls.estimate_us));
-      submit.task_durations_us.assign(job.task_durations.begin(), job.task_durations.end());
+      const JobSubmitMsg submit = JobSubmitMsg::Make(
+          job.id, cls.is_long_sched, std::llround(std::max(0.0, cls.estimate_us)),
+          {job.task_durations.begin(), job.task_durations.end()});
       submit_times.emplace(job.id, Clock::now());
       is_long_map.emplace(job.id, cls.is_long_metrics);
       const bool to_backend =

@@ -160,10 +160,6 @@ void DistributedFrontend::SendProbesLocked(JobId job, JobState& state, uint32_t 
                 &first, &span_count);
   HAWK_CHECK_GT(span_count, 0u) << "probe span is empty for job " << job;
   ChooseProbeTargetsInto(rng_, first, span_count, count, &targets_, &picks_);
-  ProbeMsg probe;
-  probe.job = job;
-  probe.frontend = address_;
-  probe.is_long = state.is_long;
   for (SlotId slot : targets_) {
     // Detector steering: a probe aimed at a suspected node is re-drawn a few
     // times rather than filtered — the probe count must not shrink (fewer
@@ -177,7 +173,7 @@ void DistributedFrontend::SendProbesLocked(JobId job, JobState& state, uint32_t 
         slot = first + static_cast<SlotId>(rng_.NextBounded(span_count));
       }
     }
-    probe.slot = slot;
+    const ProbeMsg probe = ProbeMsg::Make(job, address_, slot, state.is_long);
     bus_->Send(address_, layout_->WorkerOfSlot(slot), kProbe, probe.Encode());
   }
   if (faults_.enabled) {
@@ -211,9 +207,7 @@ void DistributedFrontend::HandleMessage(const rpc::BusMessage& message) {
           it != jobs_.end() && (!it->second.returned.empty() ||
                                 it->second.next_unassigned < it->second.durations_us.size());
       if (!assignable) {
-        JobRefMsg cancel;
-        cancel.job = request.job;
-        cancel.sender = address_;
+        const JobRefMsg cancel = JobRefMsg::TaskCancel(request.job, address_);
         ++cancels_sent_;
         bus_->Send(address_, request.sender, kTaskCancel, cancel.Encode());
         break;
@@ -244,12 +238,8 @@ void DistributedFrontend::HandleMessage(const rpc::BusMessage& message) {
                             TaskJitterKey(request.job, index), task.attempts, window / 4));
         state.probe_deadline = task.deadline;
       }
-      TaskMsg grant;
-      grant.job = request.job;
-      grant.task_index = index;
-      grant.duration_us = state.durations_us[index];
-      grant.is_long = state.is_long;
-      grant.owner = address_;
+      const TaskMsg grant = TaskMsg::Grant(request.job, index, state.durations_us[index],
+                                           state.is_long, address_);
       bus_->Send(address_, request.sender, kTaskGrant, grant.Encode());
       break;
     }
@@ -447,13 +437,8 @@ void CentralBackend::PlaceTaskLocked(JobId job, JobState& state, uint32_t task_i
   SlotId lane = 0;
   const WorkerId worker = waiting_.AssignTask(NowUs(), state.estimate_us, &lane);
   lane_charges_[lane].push_back(state.estimate_us);
-  TaskMsg place;
-  place.job = job;
-  place.is_long = state.is_long;
-  place.owner = address_;
-  place.task_index = task_index;
-  place.duration_us = state.durations_us[task_index];
-  place.slot = lane;
+  const TaskMsg place = TaskMsg::Place(job, task_index, state.durations_us[task_index],
+                                       state.is_long, address_, lane);
   state.tasks[task_index].placed_at = std::chrono::steady_clock::now();
   if (faults_.enabled) {
     // The deadline budgets the run itself plus the adaptive detection

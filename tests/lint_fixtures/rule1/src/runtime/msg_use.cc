@@ -1,0 +1,20 @@
+// Fixture: HL001 must fire on a positional brace-init of a message struct.
+// (This file is never compiled; it only feeds hawk_lint.)
+#include "src/runtime/proto_messages.h"
+
+namespace hawk {
+namespace runtime {
+
+ProbeMsg BuildProbe() {
+  // Positional init: one field reorder away from the PR 2 SimEvent swap.
+  return ProbeMsg{7, 3, 12, true};
+}
+
+ProbeMsg BuildProbeOk() {
+  ProbeMsg ok;  // Default-init + per-field assignment is fine.
+  ok.job = 7;
+  return ok;
+}
+
+}  // namespace runtime
+}  // namespace hawk

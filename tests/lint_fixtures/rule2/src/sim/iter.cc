@@ -1,0 +1,20 @@
+// Fixture: HL002 must fire on unordered-container iteration in a
+// determinism-critical directory. (Never compiled; feeds hawk_lint only.)
+#include <cstdint>
+#include <unordered_map>
+
+namespace hawk {
+
+uint64_t SumValues(const std::unordered_map<uint32_t, uint64_t>& pending) {
+  uint64_t total = 0;
+  for (const auto& kv : pending) {  // Unspecified order: HL002.
+    total += kv.second;
+  }
+  return total;
+}
+
+bool Contains(const std::unordered_map<uint32_t, uint64_t>& pending, uint32_t key) {
+  return pending.find(key) != pending.end();  // Membership check: fine.
+}
+
+}  // namespace hawk

@@ -1,0 +1,18 @@
+// Fixture: HL003 must fire on wall-clock reads and rogue RNG outside the
+// allowlisted directories. (Never compiled; feeds hawk_lint only.)
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace hawk {
+
+int64_t RogueNow() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+int RogueDraw() {
+  std::mt19937 gen(std::random_device{}());
+  return static_cast<int>(gen()) + std::rand();
+}
+
+}  // namespace hawk

@@ -1,0 +1,17 @@
+// Fixture: HL004 must fire on floating-point accumulation into a
+// RunResult/RunCounters field without an ordered-reduction comment, and
+// stay quiet when the comment documents the fixed order.
+// (Never compiled; feeds hawk_lint only.)
+
+namespace hawk {
+
+void Accumulate(RunResult& result_, double busy_fraction) {
+  result_.total_busy_us += busy_fraction * 0.5;  // Order-dependent: HL004.
+
+  // ordered-reduction: folded in trace order by the single-threaded driver
+  result_.total_busy_us += busy_fraction * 0.5;
+
+  result_.counters.events += 1;  // Integral accumulation: fine.
+}
+
+}  // namespace hawk

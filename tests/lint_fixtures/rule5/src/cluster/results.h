@@ -1,0 +1,14 @@
+// Fixture: HL005 must fire for `uncovered` (no test assertion, no docs row)
+// and stay quiet for `covered`. (Never compiled; feeds hawk_lint only.)
+#include <cstdint>
+
+namespace hawk {
+
+struct RunCounters {
+  uint64_t covered = 0;    // Asserted in tests/cov_test.cc, listed in docs/.
+  uint64_t uncovered = 0;  // Nobody asserts or documents this one.
+
+  uint64_t Total() const { return covered + uncovered; }
+};
+
+}  // namespace hawk

@@ -1,0 +1,11 @@
+// Fixture test file for the HL005 cross-check: `covered` appears inside an
+// assertion macro, `uncovered` does not. (Never compiled.)
+#include "src/cluster/results.h"
+
+TEST(Counters, CoveredIsCounted) {
+  hawk::RunCounters counters;
+  counters.covered = 1;
+  uint64_t uncovered_local = counters.uncovered;  // Mentioned, but not asserted.
+  (void)uncovered_local;
+  EXPECT_EQ(counters.covered, 1u);
+}

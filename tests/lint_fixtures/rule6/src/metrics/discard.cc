@@ -1,0 +1,22 @@
+// Fixture: HL006 must fire on a bare statement discarding a Status/StatusOr
+// return value, and stay quiet when the value is consumed.
+// (Never compiled; feeds hawk_lint only.)
+
+namespace hawk {
+
+Status SaveReport(int rows);
+StatusOr<int> ParseRows(const char* text);
+
+void Discards() {
+  SaveReport(3);  // Discarded Status: HL006.
+}
+
+Status Consumes() {
+  const StatusOr<int> rows = ParseRows("3");
+  if (!rows.ok()) {
+    return rows.status();
+  }
+  return SaveReport(rows.value());
+}
+
+}  // namespace hawk

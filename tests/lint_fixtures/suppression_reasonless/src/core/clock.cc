@@ -1,0 +1,12 @@
+// Fixture: a reasonless suppression must be rejected — HL000 fires AND the
+// original HL003 finding is still reported. (Never compiled.)
+#include <chrono>
+
+namespace hawk {
+
+int64_t MeasuredSetupCost() {
+  // hawk-lint: allow(HL003)
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace hawk

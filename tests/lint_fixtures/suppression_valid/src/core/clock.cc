@@ -1,0 +1,12 @@
+// Fixture: a suppression WITH a reason must silence the finding entirely
+// (exit 0). (Never compiled; feeds hawk_lint only.)
+#include <chrono>
+
+namespace hawk {
+
+int64_t MeasuredSetupCost() {
+  // hawk-lint: allow(HL003) measures real setup wall time, never sim-visible
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace hawk
