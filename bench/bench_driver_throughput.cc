@@ -106,6 +106,49 @@ BENCHMARK_CAPTURE(BM_DriverThroughputMultiSlot, Hawk_100000nodes_4slots, "hawk",
                   1000)
     ->Unit(benchmark::kMillisecond);
 
+// Sharded-executor variant: the same workload through the epoch-synchronized
+// sharded driver, sweeping the shard count at the 100k- and 1M-worker scale
+// points (shards=1 is the serial driver, the scaling baseline). Thread pool
+// is left at the hardware default; docs/performance.md tabulates the scaling.
+void BM_DriverThroughputSharded(benchmark::State& state, const char* scheduler,
+                                uint32_t paper_nodes, uint32_t jobs, uint32_t shards) {
+  const Workload& workload = SharedWorkload(paper_nodes, jobs);
+  hawk::HawkConfig config = workload.config;
+  config.sim_shards = shards;
+  config.sim_threads = 0;
+  uint64_t events = 0;
+  uint64_t tasks = 0;
+  for (auto _ : state) {
+    const hawk::RunResult result = hawk::RunExperiment(workload.trace, config, scheduler);
+    events += result.counters.events;
+    tasks += result.counters.tasks_launched;
+    benchmark::DoNotOptimize(result.makespan_us);
+  }
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["tasks/s"] =
+      benchmark::Counter(static_cast<double>(tasks), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+}
+
+#define HAWK_SHARDED_BENCH(kind, scheduler, paper_nodes, jobs, nshards)              \
+  BENCHMARK_CAPTURE(BM_DriverThroughputSharded,                                      \
+                    kind##_##paper_nodes##nodes_##nshards##shards, scheduler,        \
+                    paper_nodes, jobs, nshards)                                      \
+      ->Unit(benchmark::kMillisecond)
+
+// 100k workers (1M paper nodes / 10).
+HAWK_SHARDED_BENCH(Hawk, "hawk", 1000000, 1000, 1);
+HAWK_SHARDED_BENCH(Hawk, "hawk", 1000000, 1000, 2);
+HAWK_SHARDED_BENCH(Hawk, "hawk", 1000000, 1000, 4);
+HAWK_SHARDED_BENCH(Hawk, "hawk", 1000000, 1000, 8);
+
+// 1M workers (10M paper nodes / 10): the WorkerStore-bound point.
+HAWK_SHARDED_BENCH(Hawk, "hawk", 10000000, 1000, 1);
+HAWK_SHARDED_BENCH(Hawk, "hawk", 10000000, 1000, 2);
+HAWK_SHARDED_BENCH(Hawk, "hawk", 10000000, 1000, 4);
+HAWK_SHARDED_BENCH(Hawk, "hawk", 10000000, 1000, 8);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -101,6 +101,17 @@ class WorkerStore {
   uint32_t NumWorkers() const { return static_cast<uint32_t>(slots_.size()); }
   uint64_t TotalSlots() const { return total_slots_; }
 
+  // --- sharded execution ---------------------------------------------------
+  // Splits the occupancy accumulators (queued/executing totals) by worker
+  // shard so concurrent shards of the sharded simulation executor never write
+  // one shared counter. `shard_begin` lists each shard's first worker id,
+  // strictly increasing and starting at 0; shard s owns the contiguous range
+  // [shard_begin[s], shard_begin[s+1]) (the last shard runs to NumWorkers()).
+  // Must be called before any entry is queued or executed. The default,
+  // unconfigured store keeps a single accumulator, so the serial driver's
+  // arithmetic is unchanged.
+  void ConfigureShards(const std::vector<WorkerId>& shard_begin);
+
   // --- slots -------------------------------------------------------------
   uint32_t Slots(WorkerId id) const { return slots_[Check(id)]; }
   uint32_t FreeSlots(WorkerId id) const { return free_[Check(id)]; }
@@ -136,7 +147,7 @@ class WorkerStore {
     } else {
       ++queue_short_[i];
     }
-    ++queued_total_;
+    ++totals_[ShardOf(i)].queued;
   }
 
   bool QueueEmpty(WorkerId id) const { return queues_[Check(id)].Empty(); }
@@ -153,8 +164,9 @@ class WorkerStore {
     } else {
       --queue_short_[i];
     }
-    HAWK_CHECK_GT(queued_total_, 0u);
-    --queued_total_;
+    ShardTotals& totals = totals_[ShardOf(i)];
+    HAWK_CHECK_GT(totals.queued, 0u);
+    --totals.queued;
     return entry;
   }
 
@@ -179,8 +191,9 @@ class WorkerStore {
     const size_t i = Check(id);
     HAWK_CHECK(queues_[i].Empty()) << "ResetSlots on worker " << id
                                    << " with a non-empty queue (drain first)";
-    HAWK_CHECK_GE(executing_total_, executing_[i]);
-    executing_total_ -= executing_[i];
+    ShardTotals& totals = totals_[ShardOf(i)];
+    HAWK_CHECK_GE(totals.executing, executing_[i]);
+    totals.executing -= executing_[i];
     executing_[i] = 0;
     requesting_[i] = 0;
     occupied_long_[i] = 0;
@@ -235,7 +248,7 @@ class WorkerStore {
       ++occupied_long_[i];
     }
     busy_accum_us_[i] += task.duration;
-    ++executing_total_;
+    ++totals_[ShardOf(i)].executing;
   }
 
   // Releases an executing slot. `was_long` must match the task's scheduling
@@ -250,8 +263,9 @@ class WorkerStore {
       HAWK_CHECK_GT(occupied_long_[i], 0u);
       --occupied_long_[i];
     }
-    HAWK_CHECK_GT(executing_total_, 0u);
-    --executing_total_;
+    ShardTotals& totals = totals_[ShardOf(i)];
+    HAWK_CHECK_GT(totals.executing, 0u);
+    --totals.executing;
   }
 
   // --- stealing (paper §3.6, Fig. 3) -------------------------------------
@@ -279,12 +293,26 @@ class WorkerStore {
   }
 
   // --- accounting ---------------------------------------------------------
-  // Slots currently executing a task, across the whole store. O(1).
-  uint64_t ExecutingTotal() const { return executing_total_; }
+  // Slots currently executing a task, across the whole store. O(shards);
+  // single-element in the default (unsharded) layout.
+  uint64_t ExecutingTotal() const {
+    uint64_t total = 0;
+    for (const ShardTotals& t : totals_) {
+      total += t.executing;
+    }
+    return total;
+  }
 
-  // Entries queued across the whole store. O(1); the steal-retry path uses it
-  // to tell "work is waiting somewhere" from "everything left is executing".
-  uint64_t TotalQueued() const { return queued_total_; }
+  // Entries queued across the whole store. O(shards); the steal-retry path
+  // uses it to tell "work is waiting somewhere" from "everything left is
+  // executing". Only meaningful between shard phases in sharded runs.
+  uint64_t TotalQueued() const {
+    uint64_t total = 0;
+    for (const ShardTotals& t : totals_) {
+      total += t.queued;
+    }
+    return total;
+  }
 
   // Total microseconds of task execution accumulated on `id`.
   DurationUs BusyAccumUs(WorkerId id) const { return busy_accum_us_[Check(id)]; }
@@ -298,10 +326,20 @@ class WorkerStore {
   }
 
  private:
+  // One cache line per shard: shards mutate their own totals concurrently, so
+  // neighbouring shards must never share a line (false sharing would only
+  // cost performance, but a shared counter would be a data race).
+  struct alignas(64) ShardTotals {
+    uint64_t executing = 0;
+    uint64_t queued = 0;
+  };
+
   size_t Check(WorkerId id) const {
     HAWK_CHECK_LT(id, slots_.size());
     return id;
   }
+
+  uint32_t ShardOf(size_t i) const { return shard_of_.empty() ? 0u : shard_of_[i]; }
 
   // Index (FIFO position) of the first entry of the stealable group, or the
   // queue size if none. Screens on the composition counters before scanning.
@@ -331,8 +369,10 @@ class WorkerStore {
   std::vector<WorkerId> slot_to_worker_; // Size TotalSlots; empty when uniform.
 
   uint64_t total_slots_ = 0;
-  uint64_t executing_total_ = 0;
-  uint64_t queued_total_ = 0;
+
+  // Occupancy accumulators, one per shard (exactly one until ConfigureShards).
+  std::vector<ShardTotals> totals_{1};
+  std::vector<uint32_t> shard_of_;  // Empty = everything in shard 0.
 };
 
 }  // namespace hawk

@@ -90,6 +90,23 @@ struct HawkConfig {
 
   uint64_t seed = 42;
 
+  // --- sharded simulation ---------------------------------------------------
+  // Number of worker-store shards the simulation executor may advance in
+  // parallel within one run. 1 (the default) selects the serial driver and is
+  // byte-identical to builds without the sharded executor. Values > 1 select
+  // the epoch-synchronized sharded executor: results are bit-identical across
+  // thread counts and across shard counts > 1 for a given seed, but are a
+  // sanctioned divergence from sim_shards=1 (stealing commits at epoch
+  // barriers and straggler draws use per-worker substreams; pinned by the
+  // golden-result fixtures). Simulation-only: the prototype runtime ignores
+  // this knob.
+  uint32_t sim_shards = 1;
+
+  // OS threads driving the shard phases. 0 (the default) uses
+  // min(sim_shards, hardware concurrency). Non-semantic: any value yields
+  // bit-identical results for a fixed sim_shards.
+  uint32_t sim_threads = 0;
+
   // --- fault injection ------------------------------------------------------
   // All knobs default to zero: a zero-fault run draws nothing from the fault
   // RNG and is byte-identical to a build without the fault layer.

@@ -1,0 +1,1036 @@
+#include "src/scheduler/sharded_driver.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hawk {
+namespace {
+
+// Field-wise sum of two counter sets. Every RunCounters field is an additive
+// event/time tally, so per-shard counters merge into the coordinator's by
+// plain summation. Listed explicitly: a new RunCounters field must be added
+// here (and the shard_test conservation checks will catch an omission).
+void MergeCounters(RunCounters& into, const RunCounters& from) {
+  into.jobs += from.jobs;
+  into.tasks_launched += from.tasks_launched;
+  into.probes_placed += from.probes_placed;
+  into.probe_requests += from.probe_requests;
+  into.cancels += from.cancels;
+  into.central_tasks_placed += from.central_tasks_placed;
+  into.steal_attempts += from.steal_attempts;
+  into.steal_victim_probes += from.steal_victim_probes;
+  into.steal_successes += from.steal_successes;
+  into.entries_stolen += from.entries_stolen;
+  into.events += from.events;
+  into.short_tasks_started += from.short_tasks_started;
+  into.long_tasks_started += from.long_tasks_started;
+  into.short_queue_wait_us += from.short_queue_wait_us;
+  into.long_queue_wait_us += from.long_queue_wait_us;
+  into.worker_crashes += from.worker_crashes;
+  into.worker_departures += from.worker_departures;
+  into.worker_rejoins += from.worker_rejoins;
+  into.messages_dropped += from.messages_dropped;
+  into.message_retries += from.message_retries;
+  into.tasks_re_dispatched += from.tasks_re_dispatched;
+  into.probes_lost += from.probes_lost;
+  into.duplicate_completions += from.duplicate_completions;
+  into.wasted_work_us += from.wasted_work_us;
+  into.tasks_speculated += from.tasks_speculated;
+  into.speculative_wins += from.speculative_wins;
+  into.speculative_wasted_us += from.speculative_wasted_us;
+  into.retries_suppressed += from.retries_suppressed;
+  into.tasks_abandoned += from.tasks_abandoned;
+  into.node_suspicions += from.node_suspicions;
+}
+
+void RecordQueueWait(RunCounters& counters, bool is_long, DurationUs wait_us) {
+  if (is_long) {
+    counters.long_tasks_started++;
+    counters.long_queue_wait_us += static_cast<uint64_t>(wait_us);
+  } else {
+    counters.short_tasks_started++;
+    counters.short_queue_wait_us += static_cast<uint64_t>(wait_us);
+  }
+}
+
+}  // namespace
+
+ShardedSimulationDriver::ShardedSimulationDriver(const Trace* trace, const HawkConfig& config,
+                                                 uint32_t general_count,
+                                                 SchedulerPolicy* policy)
+    : trace_(trace),
+      config_(config),
+      policy_(policy),
+      cluster_(config.num_workers, general_count, config.Slots()),
+      tracker_(trace),
+      classifier_(config.classify_mode, config.cutoff_us, config.estimate_noise_lo,
+                  config.estimate_noise_hi, Rng(config.seed).Next()),
+      // Identical stream derivations to the serial driver: scheduler
+      // decisions and loss/jitter/fault-tick draws come from the same seeds,
+      // in the same coordinator-serialized order.
+      sched_rng_(Rng(config.seed ^ 0x5DEECE66DULL).Next()),
+      fault_rng_(Rng(config.seed ^ 0x8BADF00DDEADBEEFULL ^
+                     (config.fault_seed * 0x9E3779B97F4A7C15ULL))
+                     .Next()),
+      rto_(/*expected_us=*/2.0 * static_cast<double>(config.net_delay_us),
+           /*floor_us=*/std::max<DurationUs>(1, 2 * config.net_delay_us),
+           /*cap_us=*/256 * std::max<DurationUs>(1, 4 * config.net_delay_us)) {
+  HAWK_CHECK(trace != nullptr);
+  HAWK_CHECK(policy != nullptr);
+  HAWK_CHECK_GE(config.sim_shards, 2u) << "sim_shards <= 1 runs the serial SimulationDriver";
+  HAWK_CHECK_LE(config.sim_shards, config.num_workers);
+  horizon_us_ = std::max<DurationUs>(1, config.net_delay_us);
+
+  // Contiguous shard boundaries balanced by slot capacity: shard s starts at
+  // the first worker whose slot range reaches share s/S of the cluster's
+  // slots, clamped so every shard keeps at least one worker. A pure function
+  // of the config, so identical across thread counts.
+  const WorkerStore& store = cluster_.workers();
+  const uint32_t num_shards = config.sim_shards;
+  const uint64_t total_slots = store.TotalSlots();
+  shard_begin_.reserve(num_shards);
+  shard_begin_.push_back(0);
+  for (uint32_t s = 1; s < num_shards; ++s) {
+    const uint64_t target = total_slots * s / num_shards;
+    WorkerId w = shard_begin_.back() + 1;
+    while (w < config.num_workers && static_cast<uint64_t>(store.SlotBegin(w)) < target) {
+      ++w;
+    }
+    const WorkerId max_begin = config.num_workers - (num_shards - s);
+    shard_begin_.push_back(std::min(w, max_begin));
+  }
+  cluster_.workers().ConfigureShards(shard_begin_);
+  shards_ = std::vector<Shard>(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    shards_[s].begin = shard_begin_[s];
+    shards_[s].end = s + 1 < num_shards ? shard_begin_[s + 1] : config.num_workers;
+  }
+
+  retry_pending_.assign(config.num_workers, 0);
+  faults_enabled_ = config.FaultsEnabled();
+  net_faulty_ = config.message_loss_rate > 0.0 || config.message_delay_jitter_us > 0;
+  track_exec_ = config.worker_crash_rate > 0.0;
+  stragglers_on_ = config.straggler_rate > 0.0;
+  spec_threshold_ = policy->SpeculationThreshold(config);
+  speculation_enabled_ = spec_threshold_ > 0.0;
+  incarnation_.assign(config.num_workers, 0);
+  down_.assign(config.num_workers, DownKind::kUp);
+  if (track_exec_) {
+    exec_records_.resize(config.num_workers);
+  }
+  if (stragglers_on_) {
+    // Substream salt derived like the fault stream (re-rolled by fault_seed,
+    // pinned by seed) but from a distinct constant, so straggler draws are
+    // uncorrelated with loss/crash draws.
+    straggler_salt_ =
+        Rng(config.seed ^ 0x5851F42D4C957F2DULL ^ (config.fault_seed * 0x9E3779B97F4A7C15ULL))
+            .Next();
+    straggler_seq_.assign(config.num_workers, 0);
+  }
+  policy_can_steal_ = policy->ShapeForRuntime(config).stealing;
+  policy_->Attach(this);
+}
+
+ShardedSimulationDriver::~ShardedSimulationDriver() { StopPool(); }
+
+uint32_t ShardedSimulationDriver::ShardOfWorker(WorkerId worker) const {
+  const auto it = std::upper_bound(shard_begin_.begin(), shard_begin_.end(), worker);
+  return static_cast<uint32_t>(it - shard_begin_.begin()) - 1;
+}
+
+// --- SchedulerContext placements (barrier-only) ------------------------------
+
+void ShardedSimulationDriver::PlaceProbe(WorkerId worker, JobId job, bool is_long) {
+  result_.counters.probes_placed++;
+  PushDelivery(ShardEvent::ProbeArrive(worker, job, is_long));
+}
+
+void ShardedSimulationDriver::PlaceTask(WorkerId worker, JobId job, TaskIndex task_index,
+                                        DurationUs duration, bool is_long) {
+  result_.counters.central_tasks_placed++;
+  PushDelivery(ShardEvent::TaskArrive(worker, job, task_index, duration, is_long));
+}
+
+void ShardedSimulationDriver::PlaceSpeculative(WorkerId worker, JobId job, TaskIndex task_index,
+                                               DurationUs duration, bool is_long) {
+  HAWK_CHECK(speculation_enabled_) << "PlaceSpeculative outside a speculation run";
+  SpecState& st = spec_state_[TaskKey(job, task_index)];
+  ++st.spec_outstanding;
+  ++result_.counters.tasks_speculated;
+  ShardEvent ev = ShardEvent::TaskArrive(worker, job, task_index, duration, is_long);
+  ev.flags |= ShardEvent::kFlagSpeculative;
+  PushDelivery(ev);
+}
+
+void ShardedSimulationDriver::DeliverStolen(WorkerId thief,
+                                            const std::vector<QueueEntry>& entries) {
+  WorkerStore& workers = cluster_.workers();
+  for (const QueueEntry& entry : entries) {
+    workers.Enqueue(thief, entry);
+  }
+  // No dispatch: the thief is inside its own TryDispatchCoord pass.
+}
+
+void ShardedSimulationDriver::PushDelivery(ShardEvent ev) {
+  ev.incarnation = incarnation_[ev.worker];
+  ++deliveries_pushed_;
+  Shard& shard = shards_[ShardOfWorker(ev.worker)];
+  if (!net_faulty_) {
+    // The coordinator clock is monotone (clamped), so fault-free deliveries
+    // keep the O(1) monotone lane even though epoch windows overlap.
+    shard.queue.PushLane(kLaneDelivery, now_ + config_.net_delay_us, ev);
+    return;
+  }
+  // Lossy/jittery network: identical retransmit-chain collapse to the serial
+  // driver (same fault RNG, drawn in coordinator order).
+  const uint64_t jitter_key = delivery_seq_++;
+  SimTime delay = 0;
+  uint32_t drops = 0;
+  bool abandoned = false;
+  if (config_.message_loss_rate > 0.0) {
+    while (fault_rng_.Bernoulli(config_.message_loss_rate)) {
+      ++result_.counters.messages_dropped;
+      DurationUs timeout = rto_.BackoffTimeoutUs(drops);
+      timeout += AdaptiveTimeout::JitterUs(jitter_key, drops, timeout / 4);
+      delay += timeout;
+      if (drops == config_.retry_budget) {
+        ++result_.counters.retries_suppressed;
+        abandoned = true;
+        break;
+      }
+      ++drops;
+      ++result_.counters.message_retries;
+    }
+  }
+  if (abandoned) {
+    ev.flags |= ShardEvent::kFlagAbandoned;
+    shard.queue.Push(now_ + std::max<SimTime>(delay, 1), ev);
+    return;
+  }
+  delay += config_.net_delay_us;
+  DurationUs jitter = 0;
+  if (config_.message_delay_jitter_us > 0) {
+    jitter = fault_rng_.UniformInt(0, config_.message_delay_jitter_us);
+    delay += jitter;
+  }
+  if (drops == 0) {
+    rto_.AddSample(2.0 * static_cast<double>(config_.net_delay_us + jitter));
+  }
+  shard.queue.Push(now_ + delay, ev);
+}
+
+void ShardedSimulationDriver::PushRequest(WorkerId worker, JobId job, bool is_long,
+                                          SimTime enqueued_at) {
+  CoordEvent request;
+  request.kind = CoordEvent::Kind::kRequest;
+  request.worker = worker;
+  request.job = job;
+  request.is_long = is_long;
+  request.enqueue_time = enqueued_at;
+  request.incarnation = incarnation_[worker];
+  pending_.Push(now_ + 2 * config_.net_delay_us, request);
+}
+
+// --- main loop ---------------------------------------------------------------
+
+RunResult ShardedSimulationDriver::Run() {
+  const std::vector<Job>& jobs = trace_->jobs();
+  size_t next_job = 0;
+  if (!jobs.empty()) {
+    CoordEvent sample;
+    sample.kind = CoordEvent::Kind::kUtilSample;
+    pending_.Push(config_.util_sample_period_us, sample);
+    if (config_.worker_crash_rate > 0.0) {
+      ScheduleFaultTick(CoordEvent::Kind::kCrashTick);
+    }
+    if (config_.worker_churn_rate > 0.0) {
+      ScheduleFaultTick(CoordEvent::Kind::kDepartTick);
+    }
+  }
+  // Phase pool. sim_threads is non-semantic: shard phases are pure functions
+  // of the pre-phase state, so any thread count (including inline execution)
+  // yields the same bits.
+  const uint32_t hw = std::max<uint32_t>(1, std::thread::hardware_concurrency());
+  const uint32_t want = config_.sim_threads == 0 ? hw : config_.sim_threads;
+  const uint32_t pool = std::min(static_cast<uint32_t>(shards_.size()),
+                                 std::max<uint32_t>(1, want));
+  if (pool > 1) {
+    threads_.reserve(pool);
+    for (uint32_t i = 0; i < pool; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  while (true) {
+    // Global next time: minimum over the arrival cursor, the coordinator
+    // queue and every shard queue. The epoch window is [nt, nt + horizon).
+    bool any = false;
+    SimTime nt = 0;
+    const auto consider = [&any, &nt](SimTime t) {
+      if (!any || t < nt) {
+        nt = t;
+        any = true;
+      }
+    };
+    if (next_job < jobs.size()) {
+      consider(jobs[next_job].submit_time);
+    }
+    if (!pending_.Empty()) {
+      consider(pending_.PeekTime());
+    }
+    for (const Shard& shard : shards_) {
+      if (!shard.queue.Empty()) {
+        consider(shard.queue.PeekTime());
+      }
+    }
+    if (!any) {
+      break;
+    }
+    const SimTime t_end = nt + horizon_us_;
+    // Barrier: arrivals and coordinator items strictly inside the window, in
+    // (time, push order) with arrivals winning ties — the serial driver's
+    // cursor rule. The coordinator clock only moves forward: records from an
+    // overlapping earlier window are processed at the clamped clock, so
+    // policies never observe time running backwards.
+    while (true) {
+      const bool have_arrival = next_job < jobs.size() && jobs[next_job].submit_time < t_end;
+      const bool have_item = !pending_.Empty() && pending_.PeekTime() < t_end;
+      if (have_arrival &&
+          (!have_item || jobs[next_job].submit_time <= pending_.PeekTime())) {
+        const Job& job = jobs[next_job++];
+        now_ = std::max(now_, job.submit_time);
+        result_.counters.events++;
+        ArriveJob(job);
+        continue;
+      }
+      if (!have_item) {
+        break;
+      }
+      const auto entry = pending_.Pop();
+      now_ = std::max(now_, entry.at);
+      result_.counters.events++;
+      ProcessCoordEvent(entry.payload);
+    }
+    RunPhases(t_end);
+    CollectOutboxes();
+  }
+  StopPool();
+  HAWK_CHECK(tracker_.AllJobsFinished())
+      << "simulation drained with " << trace_->NumJobs() - tracker_.jobs_finished()
+      << " unfinished jobs";
+  for (const Shard& shard : shards_) {
+    MergeCounters(result_.counters, shard.counters);
+  }
+  CollectResults();
+  return std::move(result_);
+}
+
+void ShardedSimulationDriver::CollectOutboxes() {
+  merge_scratch_.clear();
+  for (Shard& shard : shards_) {
+    merge_scratch_.insert(merge_scratch_.end(), shard.outbox.begin(), shard.outbox.end());
+    shard.outbox.clear();
+  }
+  // Canonical commit order: (due time, worker). Each worker lives in exactly
+  // one shard, so any (due, worker) tie is within one shard's outbox, where
+  // the stable sort preserves that worker's own (deterministic, shard-count
+  // independent) emission order. The merged order therefore depends on
+  // neither thread interleaving nor shard count.
+  std::stable_sort(merge_scratch_.begin(), merge_scratch_.end(),
+                   [](const OutRecord& a, const OutRecord& b) {
+                     if (a.due != b.due) {
+                       return a.due < b.due;
+                     }
+                     return a.event.worker < b.event.worker;
+                   });
+  for (const OutRecord& rec : merge_scratch_) {
+    pending_.Push(rec.due, rec.event);
+  }
+}
+
+void ShardedSimulationDriver::ArriveJob(const Job& job) {
+  const JobClass cls = classifier_.Classify(job);
+  tracker_.SetClassification(
+      job.id, cls.is_long_sched, cls.is_long_metrics,
+      static_cast<DurationUs>(std::llround(std::max(0.0, cls.estimate_us))));
+  result_.counters.jobs++;
+  policy_->OnJobArrival(job, cls);
+}
+
+// --- coordinator event processing --------------------------------------------
+
+void ShardedSimulationDriver::ProcessCoordEvent(const CoordEvent& ev) {
+  WorkerStore& workers = cluster_.workers();
+  switch (ev.kind) {
+    case CoordEvent::Kind::kIdle: {
+      // A worker went idle during a phase; the steal opportunity commits
+      // here. Skip if the worker's world changed since emission (crash bumped
+      // the incarnation, or it departed).
+      if (ev.incarnation != incarnation_[ev.worker] || down_[ev.worker] != DownKind::kUp) {
+        break;
+      }
+      TryDispatchCoord(ev.worker);
+      break;
+    }
+    case CoordEvent::Kind::kRequest: {
+      if (ev.incarnation != incarnation_[ev.worker]) {
+        // The requesting slot died with the crash (ResetSlots freed it).
+        LostProbe(ev.job, ev.is_long);
+        break;
+      }
+      workers.ResolveRequest(ev.worker, ev.is_long);
+      if (down_[ev.worker] != DownKind::kUp) {
+        LostProbe(ev.job, ev.is_long);
+        break;
+      }
+      const auto assignment = tracker_.TakeNextTask(ev.job);
+      if (assignment.has_value()) {
+        result_.counters.tasks_launched++;
+        RecordQueueWait(result_.counters, ev.is_long, SaturatingWait(now_, ev.enqueue_time));
+        QueueEntry task =
+            QueueEntry::Task(ev.job, assignment->task_index, assignment->duration, ev.is_long);
+        task.enqueue_time = ev.enqueue_time;
+        StartExecuteCoord(ev.worker, task);
+      } else {
+        result_.counters.cancels++;
+        TryDispatchCoord(ev.worker);
+      }
+      break;
+    }
+    case CoordEvent::Kind::kTaskStart: {
+      QueueEntry task = QueueEntry::Task(ev.job, ev.task_index, ev.duration, ev.is_long);
+      task.enqueue_time = ev.enqueue_time;
+      policy_->OnTaskStart(ev.worker, task);
+      break;
+    }
+    case CoordEvent::Kind::kTaskFinish: {
+      if (!speculation_enabled_ ||
+          SpecCompletion(ev.job, ev.task_index, ev.duration, ev.speculative)) {
+        tracker_.OnTaskFinished(ev.job, now_);
+      }
+      if (!ev.speculative) {
+        policy_->OnTaskFinish(ev.worker, ev.job, ev.is_long);
+      }
+      break;
+    }
+    case CoordEvent::Kind::kLostProbe: {
+      LostProbe(ev.job, ev.is_long);
+      break;
+    }
+    case CoordEvent::Kind::kLostTask: {
+      LostTask(ev.job, ev.task_index, ev.duration, ev.is_long);
+      break;
+    }
+    case CoordEvent::Kind::kSpecVanished: {
+      SpecCopyVanished(ev.job, ev.task_index, ev.duration, ev.is_long);
+      break;
+    }
+    case CoordEvent::Kind::kStraggling: {
+      // The phase verified the copy outlived the threshold and its worker's
+      // incarnation; here the speculation gate applies — at most one
+      // duplicate decision per logical task (phases cannot read spec_state_,
+      // so their checks fire unconditionally and are filtered here).
+      if (spec_state_.find(TaskKey(ev.job, ev.task_index)) != spec_state_.end()) {
+        break;
+      }
+      policy_->OnTaskStraggling(ev.job, ev.task_index, ev.duration, ev.is_long);
+      break;
+    }
+    case CoordEvent::Kind::kUtilSample: {
+      result_.utilization_samples.push_back(cluster_.Utilization());
+      if (!tracker_.AllJobsFinished()) {
+        CoordEvent sample;
+        sample.kind = CoordEvent::Kind::kUtilSample;
+        pending_.Push(now_ + config_.util_sample_period_us, sample);
+      }
+      break;
+    }
+    case CoordEvent::Kind::kIdleRetry: {
+      if (ev.incarnation != incarnation_[ev.worker]) {
+        break;
+      }
+      retry_pending_[ev.worker] = 0;
+      if (down_[ev.worker] == DownKind::kUp && workers.HasFreeSlot(ev.worker)) {
+        TryDispatchCoord(ev.worker);
+      }
+      break;
+    }
+    case CoordEvent::Kind::kCrashTick:
+    case CoordEvent::Kind::kDepartTick: {
+      HandleFaultTick(ev.kind);
+      break;
+    }
+    case CoordEvent::Kind::kWorkerRejoin: {
+      RejoinWorker(ev.worker);
+      break;
+    }
+  }
+}
+
+void ShardedSimulationDriver::TryDispatchCoord(WorkerId worker) {
+  WorkerStore& workers = cluster_.workers();
+  bool steal_tried = false;
+  while (workers.HasFreeSlot(worker)) {
+    if (workers.QueueEmpty(worker)) {
+      if (!steal_tried) {
+        steal_tried = true;
+        policy_->OnWorkerIdle(worker);
+        if (!workers.QueueEmpty(worker)) {
+          continue;
+        }
+      }
+      MaybeArmStealRetry(worker);
+      return;
+    }
+    const QueueEntry entry = workers.PopFront(worker);
+    if (entry.kind == EntryKind::kTask) {
+      if (!entry.speculative) {
+        result_.counters.tasks_launched++;
+        RecordQueueWait(result_.counters, entry.is_long,
+                        SaturatingWait(now_, entry.enqueue_time));
+      }
+      StartExecuteCoord(worker, entry);
+      continue;
+    }
+    workers.BeginRequest(worker, entry.is_long);
+    result_.counters.probe_requests++;
+    PushRequest(worker, entry.job, entry.is_long, entry.enqueue_time);
+  }
+}
+
+void ShardedSimulationDriver::StartExecuteCoord(WorkerId worker, const QueueEntry& task) {
+  BeginExecutionAt(shards_[ShardOfWorker(worker)], worker, task, now_);
+  // Barrier context: policy feedback is synchronous, like the serial driver.
+  if (!task.speculative) {
+    policy_->OnTaskStart(worker, task);
+  }
+}
+
+void ShardedSimulationDriver::MaybeArmStealRetry(WorkerId worker) {
+  if (config_.steal_retry_interval_us > 0 && retry_pending_[worker] == 0 &&
+      !tracker_.AllJobsFinished() && StealRetryUseful()) {
+    retry_pending_[worker] = 1;
+    CoordEvent retry;
+    retry.kind = CoordEvent::Kind::kIdleRetry;
+    retry.worker = worker;
+    retry.incarnation = incarnation_[worker];
+    pending_.Push(now_ + config_.steal_retry_interval_us, retry);
+  }
+}
+
+bool ShardedSimulationDriver::StealRetryUseful() const {
+  if (!policy_can_steal_) {
+    return false;
+  }
+  if (faults_enabled_) {
+    return true;
+  }
+  return result_.counters.jobs < trace_->NumJobs() || cluster_.workers().TotalQueued() > 0 ||
+         InflightDeliveries() > 0;
+}
+
+uint64_t ShardedSimulationDriver::InflightDeliveries() const {
+  uint64_t consumed = 0;
+  for (const Shard& shard : shards_) {
+    consumed += shard.deliveries_consumed;
+  }
+  HAWK_CHECK_GE(deliveries_pushed_, consumed);
+  return deliveries_pushed_ - consumed;
+}
+
+// --- fault layer (barrier-only) ----------------------------------------------
+
+void ShardedSimulationDriver::ScheduleFaultTick(CoordEvent::Kind kind) {
+  const double rate_per_second = kind == CoordEvent::Kind::kCrashTick
+                                     ? config_.worker_crash_rate
+                                     : config_.worker_churn_rate;
+  const double mean_us = 1e6 / (rate_per_second * static_cast<double>(config_.num_workers));
+  const auto wait = static_cast<SimTime>(std::llround(fault_rng_.Exponential(mean_us)));
+  CoordEvent tick;
+  tick.kind = kind;
+  pending_.Push(now_ + std::max<SimTime>(wait, 1), tick);
+}
+
+void ShardedSimulationDriver::HandleFaultTick(CoordEvent::Kind kind) {
+  if (tracker_.AllJobsFinished()) {
+    return;
+  }
+  // Victim before re-arm: the stream reads (victim, next-wait) per tick,
+  // like the serial driver.
+  const auto victim =
+      static_cast<WorkerId>(fault_rng_.UniformInt(0, config_.num_workers - 1));
+  const bool up = down_[victim] == DownKind::kUp;
+  ScheduleFaultTick(kind);
+  if (!up) {
+    return;
+  }
+  if (kind == CoordEvent::Kind::kCrashTick) {
+    CrashWorker(victim);
+  } else {
+    DepartWorker(victim);
+  }
+}
+
+void ShardedSimulationDriver::CrashWorker(WorkerId worker) {
+  WorkerStore& workers = cluster_.workers();
+  result_.counters.worker_crashes++;
+  down_[worker] = DownKind::kCrashed;
+  ++incarnation_[worker];
+  retry_pending_[worker] = 0;
+  const std::vector<QueueEntry> drained = workers.DrainQueue(worker);
+  std::vector<ExecRecord> killed;
+  if (track_exec_) {
+    killed.swap(exec_records_[worker]);
+  } else {
+    HAWK_CHECK_EQ(workers.ExecutingSlots(worker), 0u)
+        << "crash injection without exec tracking";
+  }
+  workers.ResetSlots(worker);
+  for (const QueueEntry& entry : drained) {
+    ReDispatchEntry(entry);
+  }
+  for (const ExecRecord& rec : killed) {
+    // The crash commits at the (clamped) barrier clock, which can sit just
+    // before a start that an overlapping phase window already processed;
+    // clamp the delivered share at zero rather than crediting negative work.
+    const DurationUs ran = std::max<SimTime>(0, now_ - rec.started_at);
+    workers.DeductBusyUs(worker, rec.actual_duration - ran);
+    const int64_t waste_delta = ran - (rec.actual_duration - rec.duration);
+    result_.counters.wasted_work_us = static_cast<uint64_t>(
+        static_cast<int64_t>(result_.counters.wasted_work_us) + waste_delta);
+    if (rec.speculative) {
+      SpecCopyVanished(rec.job, rec.task_index, rec.duration, rec.is_long);
+      continue;
+    }
+    if (speculation_enabled_) {
+      const uint64_t key = TaskKey(rec.job, rec.task_index);
+      auto it = spec_state_.find(key);
+      if (it != spec_state_.end()) {
+        SpecState& st = it->second;
+        st.primary_owned = false;
+        if (!st.done && st.spec_outstanding == 0) {
+          st.primary_owned = true;
+          LostTask(rec.job, rec.task_index, rec.duration, rec.is_long);
+        }
+        MaybeEraseSpec(key);
+        continue;
+      }
+    }
+    LostTask(rec.job, rec.task_index, rec.duration, rec.is_long);
+  }
+  CoordEvent rejoin;
+  rejoin.kind = CoordEvent::Kind::kWorkerRejoin;
+  rejoin.worker = worker;
+  pending_.Push(now_ + config_.worker_downtime_us, rejoin);
+}
+
+void ShardedSimulationDriver::DepartWorker(WorkerId worker) {
+  WorkerStore& workers = cluster_.workers();
+  result_.counters.worker_departures++;
+  down_[worker] = DownKind::kDeparted;
+  const std::vector<QueueEntry> drained = workers.DrainQueue(worker);
+  for (const QueueEntry& entry : drained) {
+    ReDispatchEntry(entry);
+  }
+  CoordEvent rejoin;
+  rejoin.kind = CoordEvent::Kind::kWorkerRejoin;
+  rejoin.worker = worker;
+  pending_.Push(now_ + config_.worker_downtime_us, rejoin);
+}
+
+void ShardedSimulationDriver::RejoinWorker(WorkerId worker) {
+  down_[worker] = DownKind::kUp;
+  result_.counters.worker_rejoins++;
+  TryDispatchCoord(worker);
+}
+
+void ShardedSimulationDriver::ReDispatchEntry(const QueueEntry& entry) {
+  if (entry.kind == EntryKind::kTask) {
+    if (entry.speculative) {
+      SpecCopyVanished(entry.job, entry.task_index, entry.duration, entry.is_long);
+    } else {
+      LostTask(entry.job, entry.task_index, entry.duration, entry.is_long);
+    }
+  } else {
+    LostProbe(entry.job, entry.is_long);
+  }
+}
+
+void ShardedSimulationDriver::LostProbe(JobId job, bool is_long) {
+  result_.counters.probes_lost++;
+  policy_->OnProbeLost(job, is_long);
+}
+
+void ShardedSimulationDriver::LostTask(JobId job, TaskIndex task_index, DurationUs duration,
+                                       bool is_long) {
+  tracker_.ReturnTask(job, TaskAssignment{task_index, duration});
+  result_.counters.tasks_re_dispatched++;
+  policy_->OnTaskLost(job, is_long);
+}
+
+void ShardedSimulationDriver::SpecCopyVanished(JobId job, TaskIndex task_index,
+                                               DurationUs duration, bool is_long) {
+  const uint64_t key = TaskKey(job, task_index);
+  auto it = spec_state_.find(key);
+  HAWK_CHECK(it != spec_state_.end()) << "speculative copy of job " << job << " task "
+                                      << task_index << " has no state";
+  SpecState& st = it->second;
+  HAWK_CHECK_GT(st.spec_outstanding, 0u);
+  --st.spec_outstanding;
+  if (!st.done && st.spec_outstanding == 0 && !st.primary_owned) {
+    st.primary_owned = true;
+    LostTask(job, task_index, duration, is_long);
+  }
+  MaybeEraseSpec(key);
+}
+
+bool ShardedSimulationDriver::SpecCompletion(JobId job, TaskIndex task_index,
+                                             DurationUs duration, bool speculative) {
+  const uint64_t key = TaskKey(job, task_index);
+  auto it = spec_state_.find(key);
+  if (it == spec_state_.end()) {
+    HAWK_CHECK(!speculative) << "speculative completion without state";
+    return true;
+  }
+  SpecState& st = it->second;
+  if (speculative) {
+    HAWK_CHECK_GT(st.spec_outstanding, 0u);
+    --st.spec_outstanding;
+  } else {
+    st.primary_owned = false;
+  }
+  const bool first = !st.done;
+  if (first) {
+    st.done = true;
+    if (speculative) {
+      ++result_.counters.speculative_wins;
+    }
+  } else {
+    ++result_.counters.duplicate_completions;
+    result_.counters.speculative_wasted_us += static_cast<uint64_t>(duration);
+    result_.counters.wasted_work_us += static_cast<uint64_t>(duration);
+  }
+  MaybeEraseSpec(key);
+  return first;
+}
+
+void ShardedSimulationDriver::MaybeEraseSpec(uint64_t key) {
+  auto it = spec_state_.find(key);
+  if (it != spec_state_.end() && it->second.spec_outstanding == 0 &&
+      !it->second.primary_owned) {
+    HAWK_CHECK(it->second.done) << "speculation state dropped with the task unfinished";
+    spec_state_.erase(it);
+  }
+}
+
+// --- shard phases (worker-local) ---------------------------------------------
+
+void ShardedSimulationDriver::RunShardPhase(Shard& shard, SimTime t_end) {
+  WorkerStore& workers = cluster_.workers();
+  while (!shard.queue.Empty() && shard.queue.PeekTime() < t_end) {
+    const auto popped = shard.queue.Pop();
+    const ShardEvent& ev = popped.payload;
+    const SimTime at = popped.at;
+    shard.counters.events++;
+    switch (ev.type) {
+      case ShardEvent::Type::kProbeArrive: {
+        ++shard.deliveries_consumed;
+        if ((ev.flags & ShardEvent::kFlagAbandoned) != 0 ||
+            ev.incarnation != incarnation_[ev.worker] || down_[ev.worker] != DownKind::kUp) {
+          OutRecord rec;
+          rec.due = at;
+          rec.event.kind = CoordEvent::Kind::kLostProbe;
+          rec.event.worker = ev.worker;
+          rec.event.job = ev.job;
+          rec.event.is_long = ev.is_long;
+          shard.outbox.push_back(rec);
+          break;
+        }
+        QueueEntry entry = QueueEntry::Probe(ev.job, ev.is_long);
+        entry.enqueue_time = at;
+        workers.Enqueue(ev.worker, entry);
+        TryDispatchLocal(shard, ev.worker, at);
+        break;
+      }
+      case ShardEvent::Type::kTaskArrive: {
+        ++shard.deliveries_consumed;
+        const bool speculative = (ev.flags & ShardEvent::kFlagSpeculative) != 0;
+        if ((ev.flags & ShardEvent::kFlagAbandoned) != 0 ||
+            ev.incarnation != incarnation_[ev.worker] || down_[ev.worker] != DownKind::kUp) {
+          if ((ev.flags & ShardEvent::kFlagAbandoned) != 0) {
+            ++shard.counters.tasks_abandoned;
+          }
+          OutRecord rec;
+          rec.due = at;
+          rec.event.kind = speculative ? CoordEvent::Kind::kSpecVanished
+                                       : CoordEvent::Kind::kLostTask;
+          rec.event.worker = ev.worker;
+          rec.event.job = ev.job;
+          rec.event.task_index = ev.task_index;
+          rec.event.duration = ev.arg;
+          rec.event.is_long = ev.is_long;
+          shard.outbox.push_back(rec);
+          break;
+        }
+        QueueEntry entry = QueueEntry::Task(ev.job, ev.task_index, ev.arg, ev.is_long);
+        entry.speculative = speculative;
+        entry.enqueue_time = at;
+        workers.Enqueue(ev.worker, entry);
+        TryDispatchLocal(shard, ev.worker, at);
+        break;
+      }
+      case ShardEvent::Type::kTaskComplete: {
+        if (ev.incarnation != incarnation_[ev.worker]) {
+          break;
+        }
+        workers.FinishExecute(ev.worker, ev.is_long);
+        if (track_exec_) {
+          DropExecRecord(ev.worker, ev.job, ev.task_index,
+                         (ev.flags & ShardEvent::kFlagSpeculative) != 0);
+        }
+        OutRecord rec;
+        rec.due = at;
+        rec.event.kind = CoordEvent::Kind::kTaskFinish;
+        rec.event.worker = ev.worker;
+        rec.event.job = ev.job;
+        rec.event.task_index = ev.task_index;
+        rec.event.duration = ev.arg;
+        rec.event.is_long = ev.is_long;
+        rec.event.speculative = (ev.flags & ShardEvent::kFlagSpeculative) != 0;
+        shard.outbox.push_back(rec);
+        if (down_[ev.worker] == DownKind::kUp) {
+          TryDispatchLocal(shard, ev.worker, at);
+        }
+        break;
+      }
+      case ShardEvent::Type::kSpecCheck: {
+        if (ev.incarnation != incarnation_[ev.worker]) {
+          break;
+        }
+        // The watched copy is provably still running (checks only get
+        // scheduled when the stretch outlives the threshold, and this
+        // worker's completion pops after the check). The speculation gate
+        // itself lives at the barrier.
+        OutRecord rec;
+        rec.due = at;
+        rec.event.kind = CoordEvent::Kind::kStraggling;
+        rec.event.worker = ev.worker;
+        rec.event.job = ev.job;
+        rec.event.task_index = ev.task_index;
+        rec.event.duration = ev.arg;
+        rec.event.is_long = ev.is_long;
+        shard.outbox.push_back(rec);
+        break;
+      }
+    }
+  }
+}
+
+void ShardedSimulationDriver::TryDispatchLocal(Shard& shard, WorkerId worker, SimTime at) {
+  WorkerStore& workers = cluster_.workers();
+  while (workers.HasFreeSlot(worker)) {
+    if (workers.QueueEmpty(worker)) {
+      // Stealing is cross-worker, so the idle transition is handed to the
+      // barrier; guards there skip it if the worker's state moved on. This is
+      // the sharded executor's sanctioned timing divergence: a steal lands at
+      // the idle transition's commit time, not instantaneously.
+      OutRecord rec;
+      rec.due = at;
+      rec.event.kind = CoordEvent::Kind::kIdle;
+      rec.event.worker = worker;
+      rec.event.incarnation = incarnation_[worker];
+      shard.outbox.push_back(rec);
+      return;
+    }
+    const QueueEntry entry = workers.PopFront(worker);
+    if (entry.kind == EntryKind::kTask) {
+      if (!entry.speculative) {
+        shard.counters.tasks_launched++;
+        RecordQueueWait(shard.counters, entry.is_long,
+                        SaturatingWait(at, entry.enqueue_time));
+      }
+      BeginExecutionAt(shard, worker, entry, at);
+      if (!entry.speculative) {
+        // Phase context: policy feedback travels as a record.
+        OutRecord rec;
+        rec.due = at;
+        rec.event.kind = CoordEvent::Kind::kTaskStart;
+        rec.event.worker = worker;
+        rec.event.job = entry.job;
+        rec.event.task_index = entry.task_index;
+        rec.event.duration = entry.duration;
+        rec.event.is_long = entry.is_long;
+        rec.event.enqueue_time = entry.enqueue_time;
+        shard.outbox.push_back(rec);
+      }
+      continue;
+    }
+    workers.BeginRequest(worker, entry.is_long);
+    shard.counters.probe_requests++;
+    OutRecord rec;
+    rec.due = at + 2 * config_.net_delay_us;
+    rec.event.kind = CoordEvent::Kind::kRequest;
+    rec.event.worker = worker;
+    rec.event.job = entry.job;
+    rec.event.is_long = entry.is_long;
+    rec.event.enqueue_time = entry.enqueue_time;
+    rec.event.incarnation = incarnation_[worker];
+    shard.outbox.push_back(rec);
+  }
+}
+
+void ShardedSimulationDriver::BeginExecutionAt(Shard& shard, WorkerId worker,
+                                               const QueueEntry& task, SimTime at) {
+  HAWK_CHECK(!task.is_long || cluster_.InGeneralPartition(worker))
+      << "long task on short-partition worker " << worker;
+  DurationUs actual = task.duration;
+  if (stragglers_on_ && StragglerDraw(worker)) {
+    actual = std::max(task.duration,
+                      static_cast<DurationUs>(std::llround(
+                          static_cast<double>(task.duration) *
+                          config_.straggler_slowdown_factor)));
+    shard.counters.wasted_work_us += static_cast<uint64_t>(actual - task.duration);
+  }
+  QueueEntry charged = task;
+  charged.duration = actual;
+  cluster_.workers().BeginExecute(worker, at, charged);
+  if (track_exec_) {
+    exec_records_[worker].push_back(ExecRecord{task.job, task.task_index, task.duration,
+                                               actual, at, task.is_long, task.speculative});
+  }
+  if (speculation_enabled_ && !task.speculative) {
+    const DurationUs estimate = tracker_.EstimateUs(task.job);
+    if (estimate > 0) {
+      const auto delay = std::max<SimTime>(
+          1, static_cast<SimTime>(
+                 std::llround(spec_threshold_ * static_cast<double>(estimate))));
+      if (delay < actual) {
+        // Unlike the serial driver, no spec_state_ look-aside here: phases
+        // cannot read coordinator state, so the check is scheduled
+        // unconditionally and the barrier filters already-speculated tasks.
+        ShardEvent check =
+            ShardEvent::SpecCheck(worker, task.job, task.task_index, task.duration, task.is_long);
+        check.incarnation = incarnation_[worker];
+        shard.queue.Push(at + delay, check);
+      }
+    }
+  }
+  ShardEvent complete =
+      ShardEvent::TaskComplete(worker, task.job, task.task_index, task.duration, task.is_long);
+  if (task.speculative) {
+    complete.flags |= ShardEvent::kFlagSpeculative;
+  }
+  complete.incarnation = incarnation_[worker];
+  shard.queue.Push(at + actual, complete);
+}
+
+bool ShardedSimulationDriver::StragglerDraw(WorkerId worker) {
+  // splitmix64-style hash of (salt, worker, draw index): a stateless
+  // substream per worker, so which executions straggle depends only on the
+  // per-worker execution order — not on shard count or thread interleaving.
+  uint64_t x = straggler_salt_;
+  x += (static_cast<uint64_t>(worker) + 1) * 0x9E3779B97F4A7C15ULL;
+  x += (straggler_seq_[worker]++ + 1) * 0xD1B54A32D192ED03ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  const double unit = static_cast<double>(x >> 11) * 0x1.0p-53;
+  return unit < config_.straggler_rate;
+}
+
+void ShardedSimulationDriver::DropExecRecord(WorkerId worker, JobId job, TaskIndex task_index,
+                                             bool speculative) {
+  std::vector<ExecRecord>& records = exec_records_[worker];
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].job == job && records[i].task_index == task_index &&
+        records[i].speculative == speculative) {
+      records[i] = records.back();
+      records.pop_back();
+      return;
+    }
+  }
+  HAWK_CHECK(false) << "no exec record for job " << job << " task " << task_index
+                    << " on worker " << worker;
+}
+
+// --- phase thread pool -------------------------------------------------------
+
+void ShardedSimulationDriver::RunPhases(SimTime t_end) {
+  if (threads_.empty()) {
+    for (Shard& shard : shards_) {
+      RunShardPhase(shard, t_end);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    phase_end_ = t_end;
+    next_shard_.store(0, std::memory_order_relaxed);
+    running_ = static_cast<uint32_t>(threads_.size());
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return running_ == 0; });
+}
+
+void ShardedSimulationDriver::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    SimTime t_end = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [this, seen] { return stop_ || generation_ != seen; });
+      if (stop_) {
+        return;
+      }
+      seen = generation_;
+      t_end = phase_end_;
+    }
+    const auto num_shards = static_cast<uint32_t>(shards_.size());
+    for (uint32_t s = next_shard_.fetch_add(1, std::memory_order_relaxed); s < num_shards;
+         s = next_shard_.fetch_add(1, std::memory_order_relaxed)) {
+      RunShardPhase(shards_[s], t_end);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--running_ == 0) {
+        cv_done_.notify_one();
+      }
+    }
+  }
+}
+
+void ShardedSimulationDriver::StopPool() {
+  if (threads_.empty()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& thread : threads_) {
+    thread.join();
+  }
+  threads_.clear();
+  stop_ = false;
+}
+
+void ShardedSimulationDriver::CollectResults() {
+  result_.total_busy_us = cluster_.TotalBusyUs();
+  result_.jobs.reserve(trace_->NumJobs());
+  for (const Job& job : trace_->jobs()) {
+    JobResult r;
+    r.id = job.id;
+    r.is_long = tracker_.IsLongMetrics(job.id);
+    r.submit_time = job.submit_time;
+    r.finish_time = tracker_.FinishTime(job.id);
+    HAWK_CHECK_GE(r.finish_time, r.submit_time);
+    r.runtime_us = r.finish_time - r.submit_time;
+    result_.makespan_us = std::max(result_.makespan_us, r.finish_time);
+    result_.jobs.push_back(r);
+  }
+}
+
+}  // namespace hawk

@@ -4,8 +4,19 @@
 // microsecond. These pin the driver's event mechanics in place.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/common/random.h"
 #include "src/core/hawk_config.h"
+#include "src/scheduler/driver.h"
 #include "src/scheduler/experiment.h"
+#include "src/scheduler/sharded_driver.h"
+#include "src/scheduler/sparrow.h"
+#include "src/workload/arrivals.h"
+#include "src/workload/cluster_workloads.h"
 #include "src/workload/trace.h"
 
 namespace hawk {
@@ -201,6 +212,270 @@ TEST(DriverScenarioTest, LateArrivalSeesEmptyCluster) {
   const RunResult r0 = RunExperiment(at_zero, Config(4), "sparrow");
   const RunResult r1 = RunExperiment(late, Config(4), "sparrow");
   EXPECT_EQ(r0.jobs[0].runtime_us, r1.jobs[0].runtime_us);
+}
+
+// --- metamorphic properties --------------------------------------------------
+// Relations that must hold between *pairs* of runs, checked against both the
+// serial executor (sim_shards=1) and the sharded one (sim_shards=4). These
+// catch semantic bugs no single-run pin can: accidental dependence on trace
+// add-order, non-linear time arithmetic, or worker-identity leaks.
+
+void ExpectSameOutcome(const RunResult& r1, const RunResult& r2) {
+  ASSERT_EQ(r1.jobs.size(), r2.jobs.size());
+  for (size_t i = 0; i < r1.jobs.size(); ++i) {
+    ASSERT_EQ(r1.jobs[i].id, r2.jobs[i].id);
+    ASSERT_EQ(r1.jobs[i].submit_time, r2.jobs[i].submit_time) << "job " << i;
+    ASSERT_EQ(r1.jobs[i].finish_time, r2.jobs[i].finish_time) << "job " << i;
+  }
+  EXPECT_EQ(r1.makespan_us, r2.makespan_us);
+  EXPECT_EQ(r1.total_busy_us, r2.total_busy_us);
+  EXPECT_EQ(r1.utilization_samples, r2.utilization_samples);
+}
+
+// Same-shape job cohorts at shared submit instants: feeding them to Trace in
+// any add-order must be invisible after SortAndRenumber, through the whole
+// simulation. Guards against add-order leaking into ids/placement.
+TEST(MetamorphicTest, EqualTimeArrivalOrderIsInvisible) {
+  const std::vector<DurationUs> shapes[] = {
+      {SecondsToUs(5), SecondsToUs(7)},
+      {SecondsToUs(10)},
+      {SecondsToUs(2000), SecondsToUs(2000)},  // Long cohort (hinted).
+      {SecondsToUs(1), SecondsToUs(1), SecondsToUs(1)},
+  };
+  std::vector<Job> jobs;
+  for (size_t cohort = 0; cohort < 4; ++cohort) {
+    for (int copy = 0; copy < 3; ++copy) {
+      Job job;
+      job.submit_time = SecondsToUs(static_cast<double>(cohort));
+      job.task_durations = shapes[cohort];
+      job.long_hint = cohort == 2;
+      jobs.push_back(job);
+    }
+  }
+  auto make_trace = [&jobs](size_t rotate) {
+    Trace trace;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      trace.Add(jobs[(i + rotate) % jobs.size()]);
+    }
+    trace.SortAndRenumber();
+    return trace;
+  };
+  const Trace canonical = make_trace(0);
+  const Trace rotated = make_trace(5);    // Splits every cohort across the seam.
+  const Trace reversed = [&jobs] {
+    Trace trace;
+    for (size_t i = jobs.size(); i > 0; --i) {
+      trace.Add(jobs[i - 1]);
+    }
+    trace.SortAndRenumber();
+    return trace;
+  }();
+  for (const char* scheduler : {"sparrow", "hawk"}) {
+    for (const uint32_t shards : {1u, 4u}) {
+      SCOPED_TRACE(std::string(scheduler) + " shards=" + std::to_string(shards));
+      HawkConfig config = Config(10);
+      config.classify_mode = ClassifyMode::kHint;
+      config.sim_shards = shards;
+      const RunResult base = RunExperiment(canonical, config, scheduler);
+      ExpectSameOutcome(base, RunExperiment(rotated, config, scheduler));
+      ExpectSameOutcome(base, RunExperiment(reversed, config, scheduler));
+    }
+  }
+}
+
+// Scaling every time input by k=2 (task durations, submit times, and the
+// config's time knobs: network delay, classification cutoff, sample period,
+// steal-retry interval) must scale every output time by exactly 2. k is a
+// power of two so even the double-valued runtime estimates scale exactly.
+// Noise and faults stay off: their draws are not time-linear.
+TEST(MetamorphicTest, DoublingAllTimeInputsDoublesAllOutputs) {
+  constexpr int64_t kScale = 2;
+  Trace base_trace = GenerateClusterWorkload(FacebookParams(120, 5));
+  {
+    Rng arrivals_rng(11);
+    AssignPoissonArrivals(&base_trace, SecondsToUs(2.0), &arrivals_rng);
+  }
+  Trace scaled_trace;
+  for (const Job& job : base_trace.jobs()) {
+    Job scaled = job;
+    scaled.submit_time *= kScale;
+    for (DurationUs& duration : scaled.task_durations) {
+      duration *= kScale;
+    }
+    scaled_trace.Add(scaled);
+  }
+  scaled_trace.SortAndRenumber();
+
+  HawkConfig base_config;
+  base_config.num_workers = 60;
+  base_config.classify_mode = ClassifyMode::kHint;
+  base_config.seed = 7;
+  HawkConfig scaled_config = base_config;
+  scaled_config.net_delay_us *= kScale;
+  scaled_config.cutoff_us *= kScale;
+  scaled_config.util_sample_period_us *= kScale;
+  scaled_config.steal_retry_interval_us *= kScale;
+
+  for (const char* scheduler : {"sparrow", "centralized", "hawk", "split"}) {
+    for (const uint32_t shards : {1u, 4u}) {
+      SCOPED_TRACE(std::string(scheduler) + " shards=" + std::to_string(shards));
+      HawkConfig b = base_config;
+      b.sim_shards = shards;
+      HawkConfig s = scaled_config;
+      s.sim_shards = shards;
+      const RunResult r1 = RunExperiment(base_trace, b, scheduler);
+      const RunResult r2 = RunExperiment(scaled_trace, s, scheduler);
+      ASSERT_EQ(r1.jobs.size(), r2.jobs.size());
+      for (size_t i = 0; i < r1.jobs.size(); ++i) {
+        ASSERT_EQ(r1.jobs[i].id, r2.jobs[i].id);
+        ASSERT_EQ(kScale * r1.jobs[i].finish_time, r2.jobs[i].finish_time) << "job " << i;
+        ASSERT_EQ(kScale * r1.jobs[i].runtime_us, r2.jobs[i].runtime_us) << "job " << i;
+      }
+      EXPECT_EQ(kScale * r1.makespan_us, r2.makespan_us);
+      EXPECT_EQ(kScale * r1.total_busy_us, r2.total_busy_us);
+    }
+  }
+}
+
+// Forwards every placement through a worker-id permutation and every
+// execution callback through its inverse, so the wrapped policy lives in the
+// relabeled cluster without knowing it.
+class RelabelContext : public SchedulerContext {
+ public:
+  RelabelContext(SchedulerContext* real, std::vector<WorkerId> perm)
+      : real_(real), perm_(std::move(perm)) {}
+  SimTime Now() const override { return real_->Now(); }
+  Rng& SchedRng() override { return real_->SchedRng(); }
+  Cluster& GetCluster() override { return real_->GetCluster(); }
+  JobTracker& Tracker() override { return real_->Tracker(); }
+  RunCounters& Counters() override { return real_->Counters(); }
+  void PlaceProbe(WorkerId worker, JobId job, bool is_long) override {
+    real_->PlaceProbe(perm_[worker], job, is_long);
+  }
+  void PlaceTask(WorkerId worker, JobId job, TaskIndex task_index, DurationUs duration,
+                 bool is_long) override {
+    real_->PlaceTask(perm_[worker], job, task_index, duration, is_long);
+  }
+  void PlaceSpeculative(WorkerId worker, JobId job, TaskIndex task_index, DurationUs duration,
+                        bool is_long) override {
+    real_->PlaceSpeculative(perm_[worker], job, task_index, duration, is_long);
+  }
+  void DeliverStolen(WorkerId thief, const std::vector<QueueEntry>& entries) override {
+    real_->DeliverStolen(perm_[thief], entries);
+  }
+
+ private:
+  SchedulerContext* real_;
+  std::vector<WorkerId> perm_;
+};
+
+class RelabelPolicy : public SchedulerPolicy {
+ public:
+  RelabelPolicy(std::unique_ptr<SchedulerPolicy> inner, std::vector<WorkerId> perm)
+      : inner_(std::move(inner)), perm_(std::move(perm)), inverse_(perm_.size()) {
+    for (size_t w = 0; w < perm_.size(); ++w) {
+      inverse_[perm_[w]] = static_cast<WorkerId>(w);
+    }
+  }
+  void Attach(SchedulerContext* ctx) override {
+    SchedulerPolicy::Attach(ctx);
+    relabel_ = std::make_unique<RelabelContext>(ctx, perm_);
+    inner_->Attach(relabel_.get());
+  }
+  RuntimeShape ShapeForRuntime(const HawkConfig& config) const override {
+    return inner_->ShapeForRuntime(config);
+  }
+  double SpeculationThreshold(const HawkConfig& config) const override {
+    return inner_->SpeculationThreshold(config);
+  }
+  void OnJobArrival(const Job& job, const JobClass& cls) override {
+    inner_->OnJobArrival(job, cls);
+  }
+  void OnWorkerIdle(WorkerId worker) override { inner_->OnWorkerIdle(inverse_[worker]); }
+  void OnTaskStart(WorkerId worker, const QueueEntry& task) override {
+    inner_->OnTaskStart(inverse_[worker], task);
+  }
+  void OnTaskFinish(WorkerId worker, JobId job, bool is_long) override {
+    inner_->OnTaskFinish(inverse_[worker], job, is_long);
+  }
+  void OnTaskLost(JobId job, bool is_long) override { inner_->OnTaskLost(job, is_long); }
+  void OnProbeLost(JobId job, bool is_long) override { inner_->OnProbeLost(job, is_long); }
+  void OnTaskStraggling(JobId job, TaskIndex task_index, DurationUs duration,
+                        bool is_long) override {
+    inner_->OnTaskStraggling(job, task_index, duration, is_long);
+  }
+  std::string_view Name() const override { return "relabel"; }
+
+ private:
+  std::unique_ptr<SchedulerPolicy> inner_;
+  std::vector<WorkerId> perm_;
+  std::vector<WorkerId> inverse_;
+  std::unique_ptr<RelabelContext> relabel_;
+};
+
+// Uniform workers are exchangeable: routing sparrow (no partition, no
+// stealing) through a worker-id reversal must be invisible. The serial
+// executor resolves same-instant ties by placement order — a relabeling-
+// equivariant key — so there the invariance is bit-exact: every job time,
+// the busy total and the utilization series match. The sharded executor's
+// canonical commit order is (due, worker id): relabeling reorders
+// same-microsecond commits between workers (e.g. which of two simultaneous
+// grants takes which task duration), so worker identity is semantically
+// load-bearing at epoch barriers and only the *distribution* is invariant —
+// work conservation exactly, runtime statistics tightly.
+TEST(MetamorphicTest, WorkerRelabelingIsInvisible) {
+  Trace trace = GenerateClusterWorkload(FacebookParams(80, 5));
+  {
+    Rng arrivals_rng(11);
+    AssignPoissonArrivals(&trace, SecondsToUs(2.0), &arrivals_rng);
+  }
+  HawkConfig config;
+  config.num_workers = 40;
+  config.classify_mode = ClassifyMode::kHint;
+  config.seed = 7;
+  std::vector<WorkerId> reversal(config.num_workers);
+  for (WorkerId w = 0; w < config.num_workers; ++w) {
+    reversal[w] = config.num_workers - 1 - w;
+  }
+  auto run = [&trace](const HawkConfig& c, std::unique_ptr<SchedulerPolicy> policy) {
+    if (c.sim_shards > 1) {
+      ShardedSimulationDriver driver(&trace, c, c.num_workers, policy.get());
+      return driver.Run();
+    }
+    SimulationDriver driver(&trace, c, c.num_workers, policy.get());
+    return driver.Run();
+  };
+  auto relabeled_policy = [&reversal, &config] {
+    return std::make_unique<RelabelPolicy>(
+        std::make_unique<SparrowPolicy>(config.probe_ratio), reversal);
+  };
+
+  // Serial: bit-exact.
+  const RunResult serial_base =
+      run(config, std::make_unique<SparrowPolicy>(config.probe_ratio));
+  ExpectSameOutcome(serial_base, run(config, relabeled_policy()));
+
+  // Sharded: exact conservation, statistical runtime invariance.
+  HawkConfig sharded = config;
+  sharded.sim_shards = 4;
+  const RunResult base = run(sharded, std::make_unique<SparrowPolicy>(config.probe_ratio));
+  const RunResult relabel = run(sharded, relabeled_policy());
+  ASSERT_EQ(base.jobs.size(), relabel.jobs.size());
+  EXPECT_EQ(base.total_busy_us, relabel.total_busy_us);  // Same work, done once.
+  EXPECT_EQ(base.counters.tasks_launched, relabel.counters.tasks_launched);
+  double base_mean = 0.0;
+  double relabel_mean = 0.0;
+  // Mean of per-job runtimes (equal weights, so plain sums compare safely).
+  for (size_t i = 0; i < base.jobs.size(); ++i) {
+    base_mean += static_cast<double>(base.jobs[i].runtime_us);
+    relabel_mean += static_cast<double>(relabel.jobs[i].runtime_us);
+  }
+  base_mean /= static_cast<double>(base.jobs.size());
+  relabel_mean /= static_cast<double>(relabel.jobs.size());
+  EXPECT_NEAR(relabel_mean / base_mean, 1.0, 0.02);
+  const double makespan_ratio =
+      static_cast<double>(relabel.makespan_us) / static_cast<double>(base.makespan_us);
+  EXPECT_NEAR(makespan_ratio, 1.0, 0.02);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 // timeout-based crash recovery including duplicate-completion dedupe.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -11,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/common/random.h"
 #include "src/core/hawk_config.h"
 #include "src/runtime/prototype_cluster.h"
@@ -26,13 +28,38 @@ namespace {
 // policy-agnostic and every registered scheduler must survive it.
 const char* kAllSchedulers[] = {"sparrow", "centralized", "hawk", "hawk-dchoice", "split"};
 
+// Strict unsigned-integer env parse (the bench_util::BenchScale idiom): a
+// malformed value must fail the run loudly, not silently fall back — a chaos
+// soak that quietly reruns the default schedule validates nothing while
+// claiming to have walked the matrix.
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const uint64_t value = std::strtoull(env, &end, 10);
+  while (end != nullptr && std::isspace(static_cast<unsigned char>(*end))) {
+    ++end;
+  }
+  HAWK_CHECK(end != nullptr && *end == '\0' && end != env)
+      << name << " is not an unsigned integer: \"" << env << "\"";
+  return value;
+}
+
 // Chaos-soak hook: CI reruns the fault-labeled suites with HAWK_FAULT_SEED
 // set to walk several distinct crash/loss/straggler schedules through the
 // same invariants. Locally (unset) the fallback keeps runs reproducible.
-uint64_t EnvFaultSeed(uint64_t fallback) {
-  const char* env = std::getenv("HAWK_FAULT_SEED");
-  if (env == nullptr || *env == '\0') return fallback;
-  return std::strtoull(env, nullptr, 10);
+uint64_t EnvFaultSeed(uint64_t fallback) { return EnvU64("HAWK_FAULT_SEED", fallback); }
+
+// Second chaos-soak axis: HAWK_SIM_SHARDS routes the *simulation* halves of
+// the fault suites through the sharded executor (the prototype halves run
+// real threads and ignore it). The shards>1 identity pins live in
+// shard_test.cc; here the same fault invariants must hold per shard count.
+uint32_t EnvSimShards() {
+  const uint64_t shards = EnvU64("HAWK_SIM_SHARDS", 1);
+  HAWK_CHECK_GE(shards, 1u) << "HAWK_SIM_SHARDS must be >= 1";
+  return static_cast<uint32_t>(shards);
 }
 
 Trace MakeTrace(uint32_t jobs = 150, uint64_t seed = 5, double interarrival_s = 2.0) {
@@ -59,6 +86,7 @@ HawkConfig FaultyConfig() {
   config.message_loss_rate = 0.05;
   config.message_delay_jitter_us = 2'000;
   config.fault_seed = EnvFaultSeed(3);
+  config.sim_shards = EnvSimShards();
   return config;
 }
 

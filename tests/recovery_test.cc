@@ -5,6 +5,7 @@
 // under stragglers, and the retry budget's bound on retransmissions.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "src/cluster/cluster.h"
+#include "src/common/check.h"
 #include "src/cluster/job_tracker.h"
 #include "src/common/random.h"
 #include "src/core/hawk_config.h"
@@ -29,10 +31,21 @@ namespace {
 // Chaos-soak hook: CI reruns the fault-labeled suites with HAWK_FAULT_SEED
 // set to walk several distinct crash/loss/straggler schedules through the
 // same invariants. Locally (unset) the fallback keeps runs reproducible.
+// Strict parse (the bench_util::BenchScale idiom): a malformed value fails
+// loudly instead of silently soaking the fallback schedule.
 uint64_t EnvFaultSeed(uint64_t fallback) {
   const char* env = std::getenv("HAWK_FAULT_SEED");
-  if (env == nullptr || *env == '\0') return fallback;
-  return std::strtoull(env, nullptr, 10);
+  if (env == nullptr || *env == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const uint64_t value = std::strtoull(env, &end, 10);
+  while (end != nullptr && std::isspace(static_cast<unsigned char>(*end))) {
+    ++end;
+  }
+  HAWK_CHECK(end != nullptr && *end == '\0' && end != env)
+      << "HAWK_FAULT_SEED is not an unsigned integer: \"" << env << "\"";
+  return value;
 }
 
 // A context that records placements instead of simulating them — enough to

@@ -1,0 +1,92 @@
+// Order-sensitive 64-bit digest of a RunResult, for golden-result pins: two
+// results digest equal iff every per-job time, every counter, every
+// utilization sample and the aggregate times are bit-identical. FNV-1a over
+// the fields in a fixed serialization order — stable across platforms as
+// long as the arithmetic is (the simulation is integer except utilization,
+// which is hashed by bit pattern).
+#ifndef HAWK_TESTS_RESULT_DIGEST_H_
+#define HAWK_TESTS_RESULT_DIGEST_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/cluster/results.h"
+
+namespace hawk {
+namespace testing {
+
+class Fnv1a {
+ public:
+  void MixU64(uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (value >> (8 * i)) & 0xFFu;
+      hash_ *= 0x100000001B3ULL;
+    }
+  }
+  void MixI64(int64_t value) { MixU64(static_cast<uint64_t>(value)); }
+  void MixDouble(double value) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    MixU64(bits);
+  }
+  uint64_t Digest() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+inline uint64_t DigestResult(const RunResult& result) {
+  Fnv1a h;
+  h.MixU64(result.jobs.size());
+  for (const JobResult& job : result.jobs) {
+    h.MixU64(job.id);
+    h.MixU64(job.is_long ? 1 : 0);
+    h.MixI64(job.submit_time);
+    h.MixI64(job.finish_time);
+    h.MixI64(job.runtime_us);
+  }
+  h.MixI64(result.makespan_us);
+  h.MixI64(result.total_busy_us);
+  h.MixU64(result.utilization_samples.size());
+  for (const double sample : result.utilization_samples) {
+    h.MixDouble(sample);
+  }
+  const RunCounters& c = result.counters;
+  h.MixU64(c.jobs);
+  h.MixU64(c.tasks_launched);
+  h.MixU64(c.probes_placed);
+  h.MixU64(c.probe_requests);
+  h.MixU64(c.cancels);
+  h.MixU64(c.central_tasks_placed);
+  h.MixU64(c.steal_attempts);
+  h.MixU64(c.steal_victim_probes);
+  h.MixU64(c.steal_successes);
+  h.MixU64(c.entries_stolen);
+  h.MixU64(c.events);
+  h.MixU64(c.short_tasks_started);
+  h.MixU64(c.long_tasks_started);
+  h.MixU64(c.short_queue_wait_us);
+  h.MixU64(c.long_queue_wait_us);
+  h.MixU64(c.worker_crashes);
+  h.MixU64(c.worker_departures);
+  h.MixU64(c.worker_rejoins);
+  h.MixU64(c.messages_dropped);
+  h.MixU64(c.message_retries);
+  h.MixU64(c.tasks_re_dispatched);
+  h.MixU64(c.probes_lost);
+  h.MixU64(c.duplicate_completions);
+  h.MixU64(c.wasted_work_us);
+  h.MixU64(c.tasks_speculated);
+  h.MixU64(c.speculative_wins);
+  h.MixU64(c.speculative_wasted_us);
+  h.MixU64(c.retries_suppressed);
+  h.MixU64(c.tasks_abandoned);
+  h.MixU64(c.node_suspicions);
+  return h.Digest();
+}
+
+}  // namespace testing
+}  // namespace hawk
+
+#endif  // HAWK_TESTS_RESULT_DIGEST_H_
