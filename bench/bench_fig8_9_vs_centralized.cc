@@ -28,8 +28,9 @@ int main(int argc, char** argv) {
       hawk::bench::SimSize(static_cast<uint32_t>(paper_sizes[1])),
       flags.GetDouble("util", 0.93));
 
-  // Two sweep points per cluster size (Hawk + the centralized baseline),
-  // fanned across the thread pool; results are identical to a serial loop.
+  // Three sweep points per cluster size (Hawk, the late-binding hybrid
+  // variant, and the centralized baseline), fanned across the thread pool;
+  // results are identical to a serial loop.
   std::vector<double> sizes;
   for (const int64_t paper_size : paper_sizes) {
     sizes.push_back(hawk::bench::SimSize(static_cast<uint32_t>(paper_size)));
@@ -39,22 +40,27 @@ int main(int argc, char** argv) {
           .WithConfig(hawk::bench::GoogleConfig(hawk::bench::SimSize(15000), seed))
           .WithTrace(&trace)
           .WithLabel("fig8_9"));
-  sweep.Vary("num_workers", sizes).VarySchedulers({"hawk", "centralized"});
+  sweep.Vary("num_workers", sizes).VarySchedulers({"hawk", "hawk-latebind", "centralized"});
   const std::vector<hawk::SweepRun> results =
       hawk::RunSweep(sweep, static_cast<uint32_t>(flags.GetInt("threads", 0)));
 
   hawk::bench::PrintHeader("Figures 8-9: Hawk normalized to fully centralized (Google trace, " +
                            std::to_string(jobs) + " jobs)");
-  hawk::Table fig8({"nodes(paper)", "p50 short", "p90 short"});
-  hawk::Table fig9({"nodes(paper)", "p50 long", "p90 long"});
+  hawk::Table fig8({"nodes(paper)", "p50 short", "p90 short", "p50 short(lb)", "p90 short(lb)"});
+  hawk::Table fig9({"nodes(paper)", "p50 long", "p90 long", "p50 long(lb)", "p90 long(lb)"});
   for (size_t i = 0; i < paper_sizes.size(); ++i) {
     const int64_t paper_size = paper_sizes[i];
-    const hawk::RunComparison cmp =
-        hawk::CompareRuns(results[2 * i].result, results[2 * i + 1].result);
+    const hawk::RunResult& central = results[3 * i + 2].result;
+    const hawk::RunComparison cmp = hawk::CompareRuns(results[3 * i].result, central);
+    const hawk::RunComparison lb = hawk::CompareRuns(results[3 * i + 1].result, central);
     fig8.AddRow({std::to_string(paper_size), hawk::Table::Num(cmp.short_jobs.p50_ratio),
-                 hawk::Table::Num(cmp.short_jobs.p90_ratio)});
+                 hawk::Table::Num(cmp.short_jobs.p90_ratio),
+                 hawk::Table::Num(lb.short_jobs.p50_ratio),
+                 hawk::Table::Num(lb.short_jobs.p90_ratio)});
     fig9.AddRow({std::to_string(paper_size), hawk::Table::Num(cmp.long_jobs.p50_ratio),
-                 hawk::Table::Num(cmp.long_jobs.p90_ratio)});
+                 hawk::Table::Num(cmp.long_jobs.p90_ratio),
+                 hawk::Table::Num(lb.long_jobs.p50_ratio),
+                 hawk::Table::Num(lb.long_jobs.p90_ratio)});
   }
   std::printf("\nFigure 8: short jobs (Hawk better where < 1)\n");
   fig8.Print();

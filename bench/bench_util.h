@@ -14,6 +14,7 @@
 #include <functional>
 #include <string>
 
+#include "src/cluster/results.h"
 #include "src/common/check.h"
 #include "src/common/flags.h"
 #include "src/common/status.h"
@@ -91,6 +92,19 @@ inline HawkConfig GoogleConfig(uint32_t num_workers, uint64_t seed = 42) {
   config.classify_mode = ClassifyMode::kCutoff;
   config.seed = seed;
   return config;
+}
+
+// Executor-independent event count for throughput rates: the paper-level
+// control-plane events — job arrivals, probe placements, task placements
+// (centralized lane), and one start plus one finish per launched task.
+// Derived from the semantic RunCounters, which the determinism contract
+// keeps identical across the serial and sharded executors; `counters.events`
+// by contrast tallies each executor's internal bookkeeping (the epoch
+// machinery splits deliveries across coordinator and shard phases), so rates
+// built on it are only comparable within one executor. Rates built on this
+// are comparable across rows and executors alike.
+inline uint64_t PaperEvents(const RunCounters& c) {
+  return c.jobs + c.probes_placed + c.central_tasks_placed + 2 * c.tasks_launched;
 }
 
 // Writes a JSON array of `count` objects to `path`; `row_text(i)` returns

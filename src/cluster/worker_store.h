@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "src/cluster/queue_entry.h"
+#include "src/common/aligned.h"
 #include "src/common/check.h"
 #include "src/common/ring_buffer.h"
 #include "src/common/types.h"
@@ -171,15 +172,22 @@ class WorkerStore {
   }
 
   // --- fault injection -----------------------------------------------------
-  // Removes and returns every queued entry of `id` (FIFO order). The fault
-  // layer hands the entries back to their schedulers for re-dispatch.
-  std::vector<QueueEntry> DrainQueue(WorkerId id) {
+  // Removes every queued entry of `id` (FIFO order) and appends it to `*out`.
+  // The fault layer hands the entries back to their schedulers for
+  // re-dispatch; callers on hot fault paths pool `*out` across calls so a
+  // crash costs no allocation once warm.
+  void DrainQueueInto(WorkerId id, std::vector<QueueEntry>* out) {
     const size_t i = Check(id);
-    std::vector<QueueEntry> drained;
-    drained.reserve(queues_[i].Size());
+    out->reserve(out->size() + queues_[i].Size());
     while (!queues_[i].Empty()) {
-      drained.push_back(PopFront(id));
+      out->push_back(PopFront(id));
     }
+  }
+
+  // Allocating convenience wrapper around DrainQueueInto.
+  std::vector<QueueEntry> DrainQueue(WorkerId id) {
+    std::vector<QueueEntry> drained;
+    DrainQueueInto(id, &drained);
     return drained;
   }
 
@@ -348,18 +356,24 @@ class WorkerStore {
   // Erases queue positions [begin, end) and updates the composition counters.
   void RemoveGroup(WorkerId id, size_t begin, size_t end);
 
-  // Hot arrays (dense, one small integer per worker).
-  std::vector<uint16_t> free_;
-  std::vector<uint16_t> executing_;
-  std::vector<uint16_t> requesting_;
-  std::vector<uint16_t> occupied_long_;
-  std::vector<uint32_t> queue_long_;
-  std::vector<uint32_t> queue_short_;
+  // Hot arrays (dense, one small integer per worker). Cache-line-aligned
+  // bases: concurrent shards of the sharded executor mutate disjoint worker
+  // ranges of these arrays, and the driver rounds large-cluster shard
+  // boundaries to 32-worker multiples — with aligned bases that puts every
+  // boundary on a line boundary in each array, so neighbouring shards never
+  // write the same line.
+  CacheAlignedVector<uint16_t> free_;
+  CacheAlignedVector<uint16_t> executing_;
+  CacheAlignedVector<uint16_t> requesting_;
+  CacheAlignedVector<uint16_t> occupied_long_;
+  CacheAlignedVector<uint32_t> queue_long_;
+  CacheAlignedVector<uint32_t> queue_short_;
 
-  // Cold side arrays.
+  // Cold side arrays (queues_ and busy_accum_us_ are phase-written too, so
+  // they get the same aligned-base treatment).
   std::vector<uint16_t> slots_;
-  std::vector<RingBuffer<QueueEntry>> queues_;
-  std::vector<DurationUs> busy_accum_us_;
+  CacheAlignedVector<RingBuffer<QueueEntry>> queues_;
+  CacheAlignedVector<DurationUs> busy_accum_us_;
 
   // Slot-index mapping. Uniform layouts need no tables (divide/multiply by
   // the shared slot count); heterogeneous layouts carry prefix + reverse maps.

@@ -1,0 +1,59 @@
+// Cache-line-aligned allocation for dense per-worker arrays.
+//
+// The sharded simulation executor partitions the worker-id space and lets
+// shard phases mutate their worker ranges concurrently. The per-worker hot
+// counters are small integers packed 32-per-line, so a shard boundary falling
+// mid-line makes the two neighbouring shards ping-pong that line. Boundary
+// rounding (ShardedSimulationDriver) puts boundaries on 32-worker multiples;
+// this allocator makes the array bases line-aligned so those multiples are
+// real line boundaries.
+#ifndef HAWK_COMMON_ALIGNED_H_
+#define HAWK_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace hawk {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T, std::size_t Align>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Align >= alignof(T), "alignment below the type's natural one");
+
+  // Explicit rebind: allocator_traits cannot synthesize one across the
+  // non-type Align parameter.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Align>&) const {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U, Align>&) const {
+    return false;
+  }
+};
+
+template <typename T>
+using CacheAlignedVector = std::vector<T, AlignedAllocator<T, kCacheLineBytes>>;
+
+}  // namespace hawk
+
+#endif  // HAWK_COMMON_ALIGNED_H_

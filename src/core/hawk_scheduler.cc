@@ -88,6 +88,38 @@ void HawkPolicy::OnTaskLost(JobId job, bool is_long) {
   SchedulerPolicy::OnTaskLost(job, is_long);
 }
 
+void HawkLateBindPolicy::ScheduleLongCentralized(const Job& job, const JobClass& cls) {
+  (void)cls;
+  // One probe per task on the minimum-wait worker. Tasks stay in the tracker
+  // until a probe reaches service and its request is granted — the same late
+  // binding short jobs get, aimed by the waiting-time queue instead of
+  // random sampling. The estimate is charged here (AssignTask) and
+  // discharged by OnTaskStart when the granted task runs, exactly as in the
+  // eager lane.
+  const DurationUs estimate_us = ctx_->Tracker().EstimateUs(job.id);
+  for (uint32_t i = 0; i < job.NumTasks(); ++i) {
+    const WorkerId worker = central_queue().AssignTask(ctx_->Now(), estimate_us);
+    ctx_->PlaceProbe(worker, job.id, /*is_long=*/true);
+  }
+}
+
+void HawkLateBindPolicy::OnProbeLost(JobId job, bool is_long) {
+  if (ctx_->Tracker().AllTasksAssigned(job)) {
+    return;
+  }
+  // Long probes are this policy's scheduler lane: the replacement goes back
+  // through the waiting-time queue so it again lands on the minimum-wait
+  // worker (mirrors HawkPolicy::OnTaskLost for the eager lane). Short probes
+  // keep the base random re-probe.
+  if (is_long && config().use_centralized_long) {
+    const DurationUs estimate_us = ctx_->Tracker().EstimateUs(job);
+    const WorkerId worker = central_queue().AssignTask(ctx_->Now(), estimate_us);
+    ctx_->PlaceProbe(worker, job, /*is_long=*/true);
+    return;
+  }
+  SchedulerPolicy::OnProbeLost(job, is_long);
+}
+
 void HawkPolicy::OnWorkerIdle(WorkerId worker) {
   if (!config_.use_stealing || config_.steal_cap == 0) {
     return;

@@ -46,8 +46,15 @@ class HawkPolicy : public SchedulerPolicy {
   const HawkConfig& config() const { return config_; }
   const SlotWaitingTimeQueue& waiting_times() const { return *central_queue_; }
 
+ protected:
+  // The long-job lane. Virtual so the "hawk-latebind" variant can swap the
+  // eager task binding for probe placement without duplicating the routing
+  // in OnJobArrival.
+  virtual void ScheduleLongCentralized(const Job& job, const JobClass& cls);
+
+  SlotWaitingTimeQueue& central_queue() { return *central_queue_; }
+
  private:
-  void ScheduleLongCentralized(const Job& job, const JobClass& cls);
   void ScheduleDistributed(const Job& job, const JobClass& cls, SlotId first, uint32_t count);
 
   HawkConfig config_;
@@ -76,6 +83,29 @@ class HawkSpecPolicy : public HawkPolicy {
   }
 
   std::string_view Name() const override { return "hawk-spec"; }
+};
+
+// "hawk-latebind" registered variant: the centralized long-job lane places
+// *probes* on the minimum-wait workers instead of binding tasks eagerly, so
+// the driver's late-binding request machinery (§3.5) hands out tasks in
+// probe-service order. The waiting-time accounting is unchanged — one
+// AssignTask charge per probe, discharged when the granted task starts on
+// that worker, which the per-worker FIFO protocol covers because a worker
+// serves its probes in placement order. Lost probes are replaced through the
+// waiting-time queue (not a random re-probe) so the min-wait property
+// survives faults. On the prototype runtime the variant degrades to the
+// eager centralized backend, like every placement nuance that needs live
+// central state (see RuntimeShape).
+class HawkLateBindPolicy : public HawkPolicy {
+ public:
+  using HawkPolicy::HawkPolicy;
+
+  void OnProbeLost(JobId job, bool is_long) override;
+
+  std::string_view Name() const override { return "hawk-latebind"; }
+
+ protected:
+  void ScheduleLongCentralized(const Job& job, const JobClass& cls) override;
 };
 
 }  // namespace hawk

@@ -61,6 +61,17 @@ const SchedulerRegistration kRegisterHawkSpec(
     },
     [](const HawkConfig& config) { return config.GeneralCount(); });
 
+// Late-binding centralized hybrid (ROADMAP carry-over): the long-job lane
+// places probes on the minimum-wait workers and lets the §3.5 request
+// machinery bind tasks at service time. Swept beside hawk and centralized in
+// bench_fig8_9_vs_centralized.
+const SchedulerRegistration kRegisterHawkLateBind(
+    "hawk-latebind",
+    [](const HawkConfig& config) -> std::unique_ptr<SchedulerPolicy> {
+      return std::make_unique<HawkLateBindPolicy>(config);
+    },
+    [](const HawkConfig& config) { return config.GeneralCount(); });
+
 // The empty-short-partition precondition is enforced in
 // SplitClusterPolicy::Attach (simulation) and by RunPrototype's span check
 // (runtime, as a clean Status) — not here: factories must stay abort-free so

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 namespace hawk {
 namespace {
@@ -53,6 +54,26 @@ void RecordQueueWait(RunCounters& counters, bool is_long, DurationUs wait_us) {
   }
 }
 
+// Light busy-wait hint for the spin loops (a no-op fallback elsewhere).
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+// Spin budget before parking on a condvar. Small on purpose: a miss costs
+// one condvar round-trip, while a long spin on an oversubscribed machine
+// burns the very core the awaited phase needs.
+constexpr int kSpinIters = 2048;
+
+// Shard boundaries are rounded to this many workers when shards are at least
+// 128x that size: 32 per-worker counters of 2 bytes fill one 64-byte cache
+// line, so with the store's line-aligned array bases a 32-worker boundary
+// keeps neighbouring shards out of each other's lines in every hot array.
+constexpr WorkerId kBoundaryAlignWorkers = 32;
+
 }  // namespace
 
 ShardedSimulationDriver::ShardedSimulationDriver(const Trace* trace, const HawkConfig& config,
@@ -90,6 +111,14 @@ ShardedSimulationDriver::ShardedSimulationDriver(const Trace* trace, const HawkC
   const uint64_t total_slots = store.TotalSlots();
   shard_begin_.reserve(num_shards);
   shard_begin_.push_back(0);
+  // Large-cluster boundaries are additionally rounded to 32-worker multiples
+  // (a cache line of 2-byte counters; see kBoundaryAlignWorkers), so
+  // neighbouring shards never write the same line of any per-worker hot
+  // array. Like the shard count itself, the exact boundary placement is
+  // non-semantic: the canonical (due, worker) commit order is partition-
+  // independent, which shard_test pins across shard counts.
+  const bool round_boundaries =
+      config.num_workers / num_shards >= kBoundaryAlignWorkers * 128;
   for (uint32_t s = 1; s < num_shards; ++s) {
     const uint64_t target = total_slots * s / num_shards;
     WorkerId w = shard_begin_.back() + 1;
@@ -97,7 +126,13 @@ ShardedSimulationDriver::ShardedSimulationDriver(const Trace* trace, const HawkC
       ++w;
     }
     const WorkerId max_begin = config.num_workers - (num_shards - s);
-    shard_begin_.push_back(std::min(w, max_begin));
+    WorkerId begin = std::min(w, max_begin);
+    if (round_boundaries) {
+      const WorkerId rounded = (begin + kBoundaryAlignWorkers / 2) / kBoundaryAlignWorkers *
+                               kBoundaryAlignWorkers;
+      begin = std::min(std::max<WorkerId>(rounded, shard_begin_.back() + 1), max_begin);
+    }
+    shard_begin_.push_back(begin);
   }
   cluster_.workers().ConfigureShards(shard_begin_);
   shards_ = std::vector<Shard>(num_shards);
@@ -105,6 +140,9 @@ ShardedSimulationDriver::ShardedSimulationDriver(const Trace* trace, const HawkC
     shards_[s].begin = shard_begin_[s];
     shards_[s].end = s + 1 < num_shards ? shard_begin_[s + 1] : config.num_workers;
   }
+  ready_ = std::vector<ReadyFlag>(num_shards);
+  merge_taken_.assign(num_shards, 0);
+  coalesce_ = config.sim_epoch_coalescing;
 
   retry_pending_.assign(config.num_workers, 0);
   faults_enabled_ = config.FaultsEnabled();
@@ -255,6 +293,13 @@ RunResult ShardedSimulationDriver::Run() {
   const uint32_t pool = std::min(static_cast<uint32_t>(shards_.size()),
                                  std::max<uint32_t>(1, want));
   if (pool > 1) {
+    pool_size_ = pool;
+    // Spinning only pays when every waiter owns a core; once pool + the
+    // coordinator oversubscribe the machine, a spinning thread is burning
+    // exactly the core the awaited phase (or merge) needs, so park
+    // immediately instead. Timing-only: determinism never depends on how a
+    // waiter waits.
+    spin_iters_ = pool + 1 <= hw ? kSpinIters : 0;
     threads_.reserve(pool);
     for (uint32_t i = 0; i < pool; ++i) {
       threads_.emplace_back([this] { WorkerLoop(); });
@@ -311,8 +356,25 @@ RunResult ShardedSimulationDriver::Run() {
       result_.counters.events++;
       ProcessCoordEvent(entry.payload);
     }
+    // Epoch coalescing: when the window holds no shard-side event, an empty
+    // phase would commit nothing — skip straight to the next horizon without
+    // waking the pool. Checked after the barrier because barrier grants
+    // (StartExecuteCoord) can push completions due inside this very window;
+    // deliveries cannot (their due is >= now + net_delay >= window end).
+    if (coalesce_) {
+      bool shard_work = false;
+      for (const Shard& shard : shards_) {
+        if (!shard.queue.Empty() && shard.queue.PeekTime() < t_end) {
+          shard_work = true;
+          break;
+        }
+      }
+      if (!shard_work) {
+        continue;
+      }
+    }
     RunPhases(t_end);
-    CollectOutboxes();
+    MergeOutboxes();
   }
   StopPool();
   HAWK_CHECK(tracker_.AllJobsFinished())
@@ -325,25 +387,74 @@ RunResult ShardedSimulationDriver::Run() {
   return std::move(result_);
 }
 
-void ShardedSimulationDriver::CollectOutboxes() {
-  merge_scratch_.clear();
-  for (Shard& shard : shards_) {
-    merge_scratch_.insert(merge_scratch_.end(), shard.outbox.begin(), shard.outbox.end());
-    shard.outbox.clear();
+// Canonical commit order: (due time, worker). Each worker lives in exactly
+// one shard, so any (due, worker) tie is within one shard's outbox, where the
+// phase's local stable sort preserves that worker's own (deterministic,
+// shard-count independent) emission order. Merging sorted runs can therefore
+// never face an inter-run tie: the merged order depends on neither thread
+// interleaving nor shard count nor the order the runs were folded in.
+bool ShardedSimulationDriver::RecordLess(const OutRecord& a, const OutRecord& b) {
+  if (a.due != b.due) {
+    return a.due < b.due;
   }
-  // Canonical commit order: (due time, worker). Each worker lives in exactly
-  // one shard, so any (due, worker) tie is within one shard's outbox, where
-  // the stable sort preserves that worker's own (deterministic, shard-count
-  // independent) emission order. The merged order therefore depends on
-  // neither thread interleaving nor shard count.
-  std::stable_sort(merge_scratch_.begin(), merge_scratch_.end(),
-                   [](const OutRecord& a, const OutRecord& b) {
-                     if (a.due != b.due) {
-                       return a.due < b.due;
-                     }
-                     return a.event.worker < b.event.worker;
-                   });
-  for (const OutRecord& rec : merge_scratch_) {
+  return a.event.worker < b.event.worker;
+}
+
+void ShardedSimulationDriver::MergeRun(const std::vector<OutRecord>& run) {
+  if (run.empty()) {
+    return;
+  }
+  if (merge_acc_.empty()) {
+    merge_acc_.assign(run.begin(), run.end());
+    return;
+  }
+  merge_tmp_.clear();
+  merge_tmp_.reserve(merge_acc_.size() + run.size());
+  std::merge(merge_acc_.begin(), merge_acc_.end(), run.begin(), run.end(),
+             std::back_inserter(merge_tmp_), RecordLess);
+  merge_acc_.swap(merge_tmp_);
+}
+
+void ShardedSimulationDriver::MergeOutboxes() {
+  // Stage one of the pipeline: fold each shard's sorted outbox into the
+  // accumulated run the moment its ready flag appears, so the coordinator's
+  // merge overlaps with phases still draining on the pool. The merge result
+  // is order-independent (see RecordLess), so taking runs in completion
+  // order is still deterministic.
+  const auto num_shards = static_cast<uint32_t>(shards_.size());
+  merge_acc_.clear();
+  std::fill(merge_taken_.begin(), merge_taken_.end(), 0);
+  uint32_t merged = 0;
+  int spins = 0;
+  bool pool_drained = threads_.empty();
+  while (merged < num_shards) {
+    bool progressed = false;
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      if (merge_taken_[s] == 0 && ready_[s].v.load(std::memory_order_acquire) != 0) {
+        MergeRun(shards_[s].outbox);
+        merge_taken_[s] = 1;
+        ++merged;
+        progressed = true;
+      }
+    }
+    if (merged == num_shards || progressed) {
+      spins = 0;
+      continue;
+    }
+    if (++spins > spin_iters_ && !pool_drained) {
+      // Stop burning a core: park until the whole epoch retires (every shard
+      // is ready once all threads are done), then sweep up the stragglers.
+      AwaitPhasesDone();
+      pool_drained = true;
+      continue;
+    }
+    CpuRelax();
+  }
+  // Stage two: the barrier replay needs exclusive ownership of worker and
+  // queue state again, so wait for every pool thread to retire before
+  // returning to the coordinator loop.
+  AwaitPhasesDone();
+  for (const OutRecord& rec : merge_acc_) {
     pending_.Push(rec.due, rec.event);
   }
 }
@@ -577,8 +688,15 @@ void ShardedSimulationDriver::CrashWorker(WorkerId worker) {
   down_[worker] = DownKind::kCrashed;
   ++incarnation_[worker];
   retry_pending_[worker] = 0;
-  const std::vector<QueueEntry> drained = workers.DrainQueue(worker);
-  std::vector<ExecRecord> killed;
+  // Pooled teardown scratch: the coordinator owns both vectors and nothing on
+  // the re-dispatch paths below re-enters a crash/depart, so one of each is
+  // enough, and a warm crash costs no allocation. The swap leaves the
+  // worker's exec-record vector empty with the scratch's old capacity.
+  std::vector<QueueEntry>& drained = drain_scratch_;
+  drained.clear();
+  workers.DrainQueueInto(worker, &drained);
+  std::vector<ExecRecord>& killed = crash_exec_scratch_;
+  killed.clear();
   if (track_exec_) {
     killed.swap(exec_records_[worker]);
   } else {
@@ -628,7 +746,9 @@ void ShardedSimulationDriver::DepartWorker(WorkerId worker) {
   WorkerStore& workers = cluster_.workers();
   result_.counters.worker_departures++;
   down_[worker] = DownKind::kDeparted;
-  const std::vector<QueueEntry> drained = workers.DrainQueue(worker);
+  std::vector<QueueEntry>& drained = drain_scratch_;
+  drained.clear();
+  workers.DrainQueueInto(worker, &drained);
   for (const QueueEntry& entry : drained) {
     ReDispatchEntry(entry);
   }
@@ -955,46 +1075,102 @@ void ShardedSimulationDriver::DropExecRecord(WorkerId worker, JobId job, TaskInd
 
 // --- phase thread pool -------------------------------------------------------
 
+void ShardedSimulationDriver::RunOneShard(uint32_t s, SimTime t_end) {
+  Shard& shard = shards_[s];
+  // Outbox arena reset: the coordinator finished merging last epoch's records
+  // strictly before this generation was published, so clearing here (capacity
+  // retained) moves the reset off the coordinator's critical path.
+  shard.outbox.clear();
+  RunShardPhase(shard, t_end);
+  std::stable_sort(shard.outbox.begin(), shard.outbox.end(), RecordLess);
+  ready_[s].v.store(1, std::memory_order_release);
+}
+
 void ShardedSimulationDriver::RunPhases(SimTime t_end) {
+  const auto num_shards = static_cast<uint32_t>(shards_.size());
   if (threads_.empty()) {
-    for (Shard& shard : shards_) {
-      RunShardPhase(shard, t_end);
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      RunOneShard(s, t_end);
     }
     return;
   }
+  // Epoch reset, then the generation bump (release) that publishes it. No
+  // pool thread is running here: MergeOutboxes waited for threads_done_
+  // before the previous barrier.
+  for (ReadyFlag& flag : ready_) {
+    flag.v.store(0, std::memory_order_relaxed);
+  }
+  threads_done_.v.store(0, std::memory_order_relaxed);
+  phase_end_ = t_end;
+  next_shard_.v.store(0, std::memory_order_relaxed);
+  generation_.v.fetch_add(1, std::memory_order_release);
+  uint32_t sleeping = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    phase_end_ = t_end;
-    next_shard_.store(0, std::memory_order_relaxed);
-    running_ = static_cast<uint32_t>(threads_.size());
-    ++generation_;
+    sleeping = sleepers_;
   }
-  cv_start_.notify_all();
+  if (sleeping > 0) {
+    cv_start_.notify_all();
+  }
+}
+
+void ShardedSimulationDriver::AwaitPhasesDone() {
+  if (threads_.empty()) {
+    return;
+  }
+  for (int i = 0; i < spin_iters_; ++i) {
+    if (threads_done_.v.load(std::memory_order_acquire) == pool_size_) {
+      return;
+    }
+    CpuRelax();
+  }
   std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [this] { return running_ == 0; });
+  coord_parked_ = true;
+  cv_done_.wait(lock, [this] {
+    return threads_done_.v.load(std::memory_order_acquire) == pool_size_;
+  });
+  coord_parked_ = false;
 }
 
 void ShardedSimulationDriver::WorkerLoop() {
   uint64_t seen = 0;
   for (;;) {
-    SimTime t_end = 0;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_start_.wait(lock, [this, seen] { return stop_ || generation_ != seen; });
-      if (stop_) {
+    // Await the next generation: spin briefly, then park on cv_start_.
+    bool advanced = false;
+    for (int i = 0; i < spin_iters_; ++i) {
+      if (stop_.load(std::memory_order_acquire)) {
         return;
       }
-      seen = generation_;
-      t_end = phase_end_;
+      if (generation_.v.load(std::memory_order_acquire) != seen) {
+        advanced = true;
+        break;
+      }
+      CpuRelax();
     }
+    if (!advanced) {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++sleepers_;
+      cv_start_.wait(lock, [this, seen] {
+        return stop_.load(std::memory_order_relaxed) ||
+               generation_.v.load(std::memory_order_relaxed) != seen;
+      });
+      --sleepers_;
+      if (stop_.load(std::memory_order_relaxed)) {
+        return;
+      }
+    }
+    ++seen;
+    const SimTime t_end = phase_end_;  // Published before the generation bump.
     const auto num_shards = static_cast<uint32_t>(shards_.size());
-    for (uint32_t s = next_shard_.fetch_add(1, std::memory_order_relaxed); s < num_shards;
-         s = next_shard_.fetch_add(1, std::memory_order_relaxed)) {
-      RunShardPhase(shards_[s], t_end);
+    for (uint32_t s = next_shard_.v.fetch_add(1, std::memory_order_relaxed); s < num_shards;
+         s = next_shard_.v.fetch_add(1, std::memory_order_relaxed)) {
+      RunOneShard(s, t_end);
     }
-    {
+    // Retire: the release edge pairs with the coordinator's acquire in
+    // AwaitPhasesDone; the last thread wakes a parked coordinator.
+    if (threads_done_.v.fetch_add(1, std::memory_order_release) + 1 == pool_size_) {
       std::lock_guard<std::mutex> lock(mu_);
-      if (--running_ == 0) {
+      if (coord_parked_) {
         cv_done_.notify_one();
       }
     }
@@ -1007,14 +1183,15 @@ void ShardedSimulationDriver::StopPool() {
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
+    stop_.store(true, std::memory_order_release);
   }
   cv_start_.notify_all();
   for (std::thread& thread : threads_) {
     thread.join();
   }
   threads_.clear();
-  stop_ = false;
+  pool_size_ = 0;
+  stop_.store(false, std::memory_order_relaxed);
 }
 
 void ShardedSimulationDriver::CollectResults() {

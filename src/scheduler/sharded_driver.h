@@ -19,12 +19,28 @@
 //      all happen here and only here.
 //   3. Phase (parallel): each shard drains its own event queue up to the
 //      window end, touching only worker-local state (queues, slots, busy
-//      accounting, its own counters) and appending cross-worker effects to a
-//      per-shard outbox.
-//   4. The outboxes are concatenated and stable-sorted by (due time, worker)
-//      — each worker lives in exactly one shard, so the merged order is
-//      independent of both thread interleaving and shard count — then pushed
-//      into the coordinator's pending queue for the next barrier.
+//      accounting, its own counters), appending cross-worker effects to a
+//      per-shard outbox, and finishing with a local stable sort of that
+//      outbox by (due time, worker) — the shard's own post-work, off the
+//      coordinator's critical path.
+//   4. Merge (pipelined): as each shard publishes its sorted outbox, the
+//      coordinator folds it into an accumulated sorted run with a two-way
+//      merge — overlapping merge work with still-running phases — and pushes
+//      the final run into its pending queue for the next barrier. Each worker
+//      lives in exactly one shard, so (due, worker) ties never cross runs and
+//      the merged order is a pure function of the records: independent of
+//      thread interleaving, shard count, and merge arrival order.
+//
+// Epochs whose window holds no shard-side event skip steps 3–4 entirely
+// (epoch coalescing): the coordinator advances horizon after horizon without
+// waking the phase pool, which an empty phase could not have influenced.
+//
+// The phase pool is persistent and lock-light: workers spin briefly on an
+// epoch generation counter before parking on a condvar, claim shards off a
+// shared atomic cursor, and publish per-shard ready flags (merge gate) plus a
+// pool-wide done counter (barrier-replay gate). Per-epoch allocations are
+// pooled — outboxes, merge runs and fault-path scratch keep their capacity
+// across epochs — and every spun-on control word sits on its own cache line.
 //
 // Determinism contract: for a fixed config (including sim_shards > 1) the
 // RunResult is bit-identical across sim_threads values, and identical across
@@ -214,14 +230,34 @@ class ShardedSimulationDriver : public SchedulerContext {
   // One worker shard: a contiguous worker-id range, its event queue (lane 0
   // is the monotone fault-free delivery lane; completions, spec checks and
   // faulty deliveries use the heap), its outbox and its private counters.
-  // Cache-line aligned so concurrent shards never share a line.
+  // Cache-line aligned so concurrent shards never share a line; the queue is
+  // additionally line-aligned so the shard's queue heads (heap front, lane
+  // cursors) never share a line with the topology fields the coordinator
+  // reads. The outbox is an arena: cleared (capacity retained) by the owning
+  // phase at claim time, read by the coordinator's merge after the shard's
+  // ready flag, never reallocated per epoch once warm.
   struct alignas(64) Shard {
     WorkerId begin = 0;
     WorkerId end = 0;
-    sim::MultiLaneEventQueue<ShardEvent, 1> queue;
+    alignas(64) sim::MultiLaneEventQueue<ShardEvent, 1> queue;
     std::vector<OutRecord> outbox;
     RunCounters counters;
     uint64_t deliveries_consumed = 0;  // Feeds the in-flight delivery count.
+  };
+
+  // One-per-shard ready flag, line-isolated: the coordinator spins on these
+  // while phase threads are writing their shards' hot state, so a flag must
+  // not share a line with anything else.
+  struct alignas(64) ReadyFlag {
+    std::atomic<uint32_t> v{0};
+  };
+  // Line-isolated pool control words (each spun on from one side of the
+  // coordinator/phase handoff while the other side works).
+  struct alignas(64) PaddedAtomicU32 {
+    std::atomic<uint32_t> v{0};
+  };
+  struct alignas(64) PaddedAtomicU64 {
+    std::atomic<uint64_t> v{0};
   };
 
   static constexpr size_t kLaneDelivery = 0;
@@ -258,7 +294,12 @@ class ShardedSimulationDriver : public SchedulerContext {
   void SpecCopyVanished(JobId job, TaskIndex task_index, DurationUs duration, bool is_long);
   bool SpecCompletion(JobId job, TaskIndex task_index, DurationUs duration, bool speculative);
   void MaybeEraseSpec(uint64_t key);
-  void CollectOutboxes();
+  // Folds every shard's sorted outbox into pending_, two-way merging runs as
+  // their ready flags appear (overlapping with late phases), then waits for
+  // the pool's done counter so the next barrier owns all state again.
+  void MergeOutboxes();
+  void MergeRun(const std::vector<OutRecord>& run);
+  static bool RecordLess(const OutRecord& a, const OutRecord& b);
   void CollectResults();
 
   // --- shard (phase) side --------------------------------------------------
@@ -281,7 +322,13 @@ class ShardedSimulationDriver : public SchedulerContext {
 
   // --- phase thread pool ---------------------------------------------------
   uint32_t ShardOfWorker(WorkerId worker) const;
+  // Runs one shard's phase end to end: outbox reset, drain, local sort.
+  void RunOneShard(uint32_t s, SimTime t_end);
+  // Publishes t_end and bumps the epoch generation (inline execution when the
+  // pool is empty). Returns immediately; MergeOutboxes consumes the results.
   void RunPhases(SimTime t_end);
+  // Blocks until every pool thread has retired from the current epoch.
+  void AwaitPhasesDone();
   void WorkerLoop();
   void StopPool();
 
@@ -300,7 +347,13 @@ class ShardedSimulationDriver : public SchedulerContext {
   // (time, push order). Push order is canonical: outboxes are sorted before
   // insertion and barrier processing is single-threaded.
   sim::EventQueue<CoordEvent> pending_;
-  std::vector<OutRecord> merge_scratch_;
+  // Pooled merge state (coordinator-owned; capacity retained across epochs).
+  std::vector<OutRecord> merge_acc_;
+  std::vector<OutRecord> merge_tmp_;
+  std::vector<uint8_t> merge_taken_;
+  // Pooled fault-path scratch (coordinator-owned; see CrashWorker).
+  std::vector<QueueEntry> drain_scratch_;
+  std::vector<ExecRecord> crash_exec_scratch_;
 
   std::vector<Shard> shards_;
   std::vector<WorkerId> shard_begin_;  // shard_begin_[s] = first worker of s.
@@ -331,18 +384,34 @@ class ShardedSimulationDriver : public SchedulerContext {
   uint64_t straggler_salt_ = 0;
   std::vector<uint64_t> straggler_seq_;
 
-  // Phase pool. Shard phases only run between cv_start_ and cv_done_
-  // handshakes, which give the coordinator/phase handoff its happens-before
-  // edges; next_shard_ distributes shards across pool threads.
+  // Epoch coalescing toggle (config-mirrored; non-semantic).
+  bool coalesce_ = true;
+
+  // Persistent phase pool. An epoch starts when the coordinator bumps
+  // `generation_` (workers spin briefly on it, then park on cv_start_);
+  // `phase_end_` is published before the bump and read after the acquire.
+  // Workers claim shards off `next_shard_`, publish per-shard `ready_` flags
+  // with release stores (the coordinator's merge gate) and retire through
+  // `threads_done_` (the barrier-replay gate; the last worker wakes a parked
+  // coordinator through cv_done_). Every spun-on word is line-isolated.
   std::vector<std::thread> threads_;
+  uint32_t pool_size_ = 0;
+  // Pre-park spin budget for every waiter (workers awaiting a generation,
+  // the coordinator awaiting runs/retirement). Zero when pool + coordinator
+  // oversubscribe the hardware: a spinning waiter would hold the very core
+  // the awaited work needs. Timing-only — never observable in the bits.
+  int spin_iters_ = 0;
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
-  uint64_t generation_ = 0;
-  uint32_t running_ = 0;
-  std::atomic<uint32_t> next_shard_{0};
+  uint32_t sleepers_ = 0;        // Guarded by mu_.
+  bool coord_parked_ = false;    // Guarded by mu_.
+  std::atomic<bool> stop_{false};
   SimTime phase_end_ = 0;
-  bool stop_ = false;
+  PaddedAtomicU64 generation_;
+  PaddedAtomicU32 next_shard_;
+  PaddedAtomicU32 threads_done_;
+  std::vector<ReadyFlag> ready_;  // One per shard.
 };
 
 }  // namespace hawk

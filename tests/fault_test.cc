@@ -62,6 +62,14 @@ uint32_t EnvSimShards() {
   return static_cast<uint32_t>(shards);
 }
 
+// Third chaos-soak axis: HAWK_SIM_THREADS sizes the sharded executor's phase
+// pool (0 = hardware default, 1 = inline). Only meaningful with shards > 1;
+// thread-count identity pins live in shard_test.cc, here each pool size must
+// uphold the same fault invariants under TSan.
+uint32_t EnvSimThreads() {
+  return static_cast<uint32_t>(EnvU64("HAWK_SIM_THREADS", 1));
+}
+
 Trace MakeTrace(uint32_t jobs = 150, uint64_t seed = 5, double interarrival_s = 2.0) {
   Trace trace = GenerateClusterWorkload(FacebookParams(jobs, seed));
   Rng arrivals_rng(11);
@@ -87,6 +95,7 @@ HawkConfig FaultyConfig() {
   config.message_delay_jitter_us = 2'000;
   config.fault_seed = EnvFaultSeed(3);
   config.sim_shards = EnvSimShards();
+  config.sim_threads = EnvSimThreads();
   return config;
 }
 

@@ -33,7 +33,7 @@ namespace hawk {
 namespace {
 
 const char* kAllSchedulers[] = {"sparrow", "centralized", "hawk", "hawk-dchoice",
-                                "hawk-spec", "split"};
+                                "hawk-spec", "hawk-latebind", "split"};
 constexpr uint64_t kSeeds[] = {1, 2};
 constexpr uint32_t kShardCounts[] = {1, 4};
 
@@ -136,6 +136,41 @@ TEST(GoldenResultTest, EveryRegisteredSchedulerMatchesPinnedDigests) {
     EXPECT_EQ(it->second, digest)
         << key << ": simulation semantics changed. If intentional, regenerate "
         << "with HAWK_UPDATE_GOLDENS=1 and justify the fixture diff.";
+  }
+}
+
+// The sharded executor's contract is ONE digest per (scheduler, seed) for
+// every shard count > 1, regardless of pool size: the merge barrier makes
+// commit order a pure function of (due, worker), never of which thread ran
+// which shard or how shards slice the worker space. This test pins that by
+// checking the sim_threads x sim_shards grid against the shards=4 rows the
+// fixture already carries — no new fixture cells, the grid must reproduce
+// the existing ones bit-for-bit. Seed 1 only: the grid multiplies runs, and
+// one seed suffices to catch an ordering bug (seed 2 is covered by the main
+// matrix above).
+TEST(GoldenResultTest, ThreadAndShardGridReproducesPinnedShardedDigests) {
+  const char* update = std::getenv("HAWK_UPDATE_GOLDENS");
+  if (update != nullptr && *update != '\0') {
+    GTEST_SKIP() << "fixture regeneration run";
+  }
+  const Trace trace = GoldenTrace();
+  const std::map<std::string, uint64_t> goldens = LoadGoldens(HAWK_GOLDEN_FILE);
+  constexpr uint32_t kGridShards[] = {2, 8};
+  constexpr uint32_t kGridThreads[] = {1, 2, 4};
+  for (const char* scheduler : kAllSchedulers) {
+    const auto pinned = goldens.find(CellKey(scheduler, /*seed=*/1, /*shards=*/4));
+    ASSERT_NE(pinned, goldens.end()) << "no pinned sharded digest for " << scheduler;
+    for (const uint32_t shards : kGridShards) {
+      for (const uint32_t threads : kGridThreads) {
+        HawkConfig config = GoldenConfig(/*seed=*/1);
+        config.sim_shards = shards;
+        config.sim_threads = threads;
+        EXPECT_EQ(testing::DigestResult(RunExperiment(trace, config, scheduler)),
+                  pinned->second)
+            << scheduler << " shards=" << shards << " threads=" << threads
+            << ": sharded result depends on the shard/thread grid";
+      }
+    }
   }
 }
 

@@ -22,7 +22,7 @@ namespace hawk {
 namespace {
 
 const char* kAllSchedulers[] = {"sparrow", "centralized", "hawk", "hawk-dchoice",
-                                "hawk-spec", "split"};
+                                "hawk-spec", "hawk-latebind", "split"};
 
 Trace MakeTrace(uint32_t jobs = 150, uint64_t seed = 5, double interarrival_s = 2.0) {
   Trace trace = GenerateClusterWorkload(FacebookParams(jobs, seed));
@@ -166,6 +166,40 @@ TEST(ShardDeterminismTest, ChaosRunsIdenticalAcrossThreadsAndShards) {
     const RunResult four = RunSharded(trace, config, scheduler, 4, 0);
     ExpectIdentical(four, RunSharded(trace, config, scheduler, 4, 1));
     ExpectIdentical(base, four);
+  }
+}
+
+// Oversubscription: a pool far larger than this machine's core count (and
+// larger than the shard count, so threads contend for the claim cursor and
+// some park without ever winning a shard) must still produce the same bits.
+// This is the stress case for the generation-counter protocol — parked
+// threads waking into a stale generation, claim races, and done-counting
+// must all be invisible in the result.
+TEST(ShardDeterminismTest, OversubscribedPoolIsNonSemantic) {
+  const Trace trace = MakeTrace();
+  const HawkConfig config = ChaosConfig();
+  const RunResult inline_run = RunSharded(trace, config, "hawk", 4, 1);
+  ExpectIdentical(inline_run, RunSharded(trace, config, "hawk", 4, 8));
+  ExpectIdentical(inline_run, RunSharded(trace, config, "hawk", 4, 16));
+}
+
+// Epoch coalescing skips provably empty phases; on and off must agree
+// bit-for-bit, with the fault stack lit (barrier-granted completions are the
+// tricky case: they land inside the window after the coalescing check, which
+// is why the check runs after barrier replay).
+TEST(ShardDeterminismTest, EpochCoalescingIsNonSemantic) {
+  const Trace trace = MakeTrace();
+  const HawkConfig config = ChaosConfig();
+  for (const char* scheduler : {"hawk", "sparrow", "centralized"}) {
+    SCOPED_TRACE(scheduler);
+    HawkConfig on = config;
+    on.sim_epoch_coalescing = true;
+    HawkConfig off = config;
+    off.sim_epoch_coalescing = false;
+    const RunResult with_coalescing = RunSharded(trace, on, scheduler, 4, 0);
+    ExpectIdentical(with_coalescing, RunSharded(trace, off, scheduler, 4, 0));
+    // And off-path sharding still matches the other shard counts.
+    ExpectIdentical(with_coalescing, RunSharded(trace, off, scheduler, 2, 1));
   }
 }
 
